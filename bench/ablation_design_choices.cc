@@ -1,0 +1,114 @@
+// Ablation bench — isolates the contribution of each McCuckoo design
+// choice called out in DESIGN.md:
+//
+//   1. Lookup partition pruning (§III.B.2): reads per lookup with the
+//      partition rules on vs reading every non-empty candidate.
+//   2. Stash screening (§III.E): stash probes per negative lookup with the
+//      counter + flag screen on vs probing the stash on every miss.
+//   3. Proactive redundancy cost (Theorem 2): cumulative redundant writes
+//      as the table fills, against the 5/6 * S bound.
+
+#include "bench/bench_common.h"
+#include "src/core/mccuckoo_table.h"
+
+namespace mccuckoo {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchFlags(argc, argv);
+  PrintRunHeader("Ablation: McCuckoo design choices", CommonParams(cfg));
+
+  // --- 1. lookup pruning -------------------------------------------------
+  {
+    TextTable t;
+    t.Add("load", "reads/lookup (pruned)", "reads/lookup (unpruned)");
+    for (double load : {0.3, 0.5, 0.7, 0.9}) {
+      double pruned = 0, unpruned = 0;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        for (const bool prune : {true, false}) {
+          SchemeConfig sc = MakeSchemeConfig(cfg, rep);
+          sc.lookup_pruning_enabled = prune;
+          auto table = MakeScheme(SchemeKind::kMcCuckoo, sc);
+          const auto keys = MakeInsertKeys(cfg, table->capacity(), rep);
+          size_t cursor = 0;
+          FillToLoad(*table, keys, load, &cursor);
+          std::vector<uint64_t> sample(
+              keys.begin(), keys.begin() + static_cast<long>(cursor));
+          const PhaseStats phase =
+              MeasureLookups(*table, sample, 50'000, true);
+          (prune ? pruned : unpruned) += phase.ReadsPerOp();
+        }
+      }
+      t.AddRow({FormatPercent(load, 0), FormatDouble(pruned / cfg.reps),
+                FormatDouble(unpruned / cfg.reps)});
+    }
+    std::printf("1) lookup partition pruning (existing items)\n");
+    Status s = EmitTable(t, cfg.flags, "pruning");
+    if (!s.ok()) return 1;
+  }
+
+  // --- 2. stash screening --------------------------------------------------
+  {
+    TextTable t;
+    t.Add("maxloop", "stash probes/neg lookup (screened)",
+          "stash probes/neg lookup (unscreened)");
+    for (uint32_t maxloop : {100u, 300u}) {
+      double screened = 0, unscreened = 0;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        for (const bool screen : {true, false}) {
+          SchemeConfig sc = MakeSchemeConfig(cfg, rep);
+          sc.maxloop = maxloop;
+          sc.stash_screen_enabled = screen;
+          auto table = MakeScheme(SchemeKind::kMcCuckoo, sc);
+          const auto keys = MakeInsertKeys(cfg, table->capacity(), rep);
+          size_t cursor = 0;
+          FillToLoad(*table, keys, 0.93, &cursor);  // force stash use
+          const auto missing = MakeMissingKeys(cfg, 50'000, rep);
+          const PhaseStats phase =
+              MeasureLookups(*table, missing, 50'000, false);
+          (screen ? screened : unscreened) += phase.StashProbesPerOp();
+        }
+      }
+      t.AddRow({std::to_string(maxloop), FormatDouble(screened / cfg.reps, 5),
+                FormatDouble(unscreened / cfg.reps, 5)});
+    }
+    std::printf("2) stash screening at 93%% load\n");
+    Status s = EmitTable(t, cfg.flags, "screen");
+    if (!s.ok()) return 1;
+  }
+
+  // --- 3. redundancy cost (Theorem 2) ---------------------------------------
+  {
+    TextTable t;
+    t.Add("load", "redundant writes / capacity", "theorem-2 bound");
+    TableOptions o;
+    o.buckets_per_table = cfg.slots / 3;
+    o.maxloop = cfg.maxloop;
+    o.seed = cfg.seed;
+    McCuckooTable<uint64_t, uint64_t> table(o);
+    const auto keys = MakeUniqueKeys(table.capacity(), cfg.seed, 0);
+    size_t cursor = 0;
+    for (double load : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+      const uint64_t target =
+          static_cast<uint64_t>(load * static_cast<double>(table.capacity()));
+      while (table.TotalItems() < target && cursor < keys.size()) {
+        table.Insert(keys[cursor], keys[cursor]);
+        ++cursor;
+      }
+      t.AddRow({FormatPercent(load, 0),
+                FormatDouble(static_cast<double>(table.redundant_writes()) /
+                                 static_cast<double>(table.capacity()),
+                             3),
+                "0.833 (5/6, d=3)"});
+    }
+    std::printf("3) proactive redundant writes vs Theorem 2 bound\n");
+    Status s = EmitTable(t, cfg.flags, "redundancy");
+    if (!s.ok()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Lookup access-count distribution (supporting claim of §III.B.2: "in
+// practice we can achieve zero or one access for a large portion of lookup
+// queries, especially when the table is moderately loaded").
+//
+// For each scheme and load, the share of lookups completing with exactly
+// 0, 1, 2 or 3+ off-chip reads, for existing and non-existing keys.
+
+#include "bench/bench_common.h"
+
+namespace mccuckoo {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchFlags(argc, argv);
+  const uint64_t queries =
+      static_cast<uint64_t>(cfg.flags.GetInt("queries", 100'000));
+  auto params = CommonParams(cfg);
+  params.emplace_back("queries", std::to_string(queries));
+  PrintRunHeader("Lookup access-count histogram (supporting §III.B.2)",
+                 params);
+
+  for (const bool existing : {true, false}) {
+    TextTable out;
+    out.Add("scheme", "load", "0 reads", "1 read", "2 reads", "3+ reads");
+    for (SchemeKind kind : kAllSchemes) {
+      for (double load : {0.3, 0.6, 0.9}) {
+        AccessHistogram hist;
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          auto table = MakeScheme(kind, MakeSchemeConfig(cfg, rep));
+          const auto keys = MakeInsertKeys(cfg, table->capacity(), rep);
+          size_t cursor = 0;
+          FillToLoad(*table, keys, load, &cursor);
+          if (existing) {
+            std::vector<uint64_t> sample(
+                keys.begin(), keys.begin() + static_cast<long>(cursor));
+            MeasureLookupHistogram(*table, sample, queries, true, &hist);
+          } else {
+            const auto missing = MakeMissingKeys(cfg, queries, rep);
+            MeasureLookupHistogram(*table, missing, queries, false, &hist);
+          }
+        }
+        double three_plus = 0;
+        for (size_t b = 3; b < AccessHistogram::kBins; ++b) {
+          three_plus += hist.Fraction(b);
+        }
+        out.AddRow({SchemeName(kind), FormatPercent(load, 0),
+                    FormatPercent(hist.Fraction(0)),
+                    FormatPercent(hist.Fraction(1)),
+                    FormatPercent(hist.Fraction(2)),
+                    FormatPercent(three_plus)});
+      }
+    }
+    std::printf("%s keys\n", existing ? "existing" : "non-existing");
+    Status s = EmitTable(out, cfg.flags, existing ? "hit" : "miss");
+    if (!s.ok()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Main(argc, argv); }

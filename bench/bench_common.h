@@ -1,0 +1,113 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every binary accepts the same core flags:
+//   --slots=N     total slot capacity per scheme (default 270000)
+//   --reps=N      repetitions averaged per data point (default 3; paper: 10)
+//   --seed=N      base seed (each rep perturbs it)
+//   --maxloop=N   kick-chain bound (default 500 unless the figure sweeps it)
+//   --csv=PATH    mirror the printed table to CSV
+//   --docwords    use the synthetic DocWords keys instead of uniform keys
+//   --trace=PATH  insert keys parsed from a real UCI DocWords file
+//                 (docword.nytimes.txt et al.) instead of synthetic ones
+
+#ifndef MCCUCKOO_BENCH_BENCH_COMMON_H_
+#define MCCUCKOO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/format.h"
+#include "src/sim/reporter.h"
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/docwords.h"
+#include "src/workload/keyset.h"
+#include "src/workload/trace_io.h"
+
+namespace mccuckoo {
+
+/// Parsed common bench configuration.
+struct BenchConfig {
+  uint64_t slots = 9 * 30'000;
+  int reps = 3;
+  uint64_t seed = 0x5EEDC0DE;
+  uint32_t maxloop = 500;
+  bool docwords = false;
+  std::string trace;  ///< real DocWords file (overrides docwords/uniform)
+  Flags flags;
+};
+
+inline BenchConfig ParseBenchFlags(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  BenchConfig cfg;
+  cfg.flags = std::move(parsed).value();
+  cfg.slots = static_cast<uint64_t>(cfg.flags.GetInt("slots", 9 * 30'000));
+  cfg.reps = static_cast<int>(cfg.flags.GetInt("reps", 3));
+  cfg.seed = static_cast<uint64_t>(cfg.flags.GetInt("seed", 0x5EEDC0DE));
+  cfg.maxloop = static_cast<uint32_t>(cfg.flags.GetInt("maxloop", 500));
+  cfg.docwords = cfg.flags.GetBool("docwords", false);
+  cfg.trace = cfg.flags.GetString("trace", "");
+  return cfg;
+}
+
+/// SchemeConfig for repetition `rep` of this bench run.
+inline SchemeConfig MakeSchemeConfig(const BenchConfig& cfg, int rep) {
+  SchemeConfig c;
+  c.total_slots = cfg.slots;
+  c.maxloop = cfg.maxloop;
+  c.seed = cfg.seed + 0x9E37ull * static_cast<uint64_t>(rep);
+  return c;
+}
+
+/// Keys to insert for repetition `rep` (uniform unique by default; synthetic
+/// DocWords with --docwords).
+inline std::vector<uint64_t> MakeInsertKeys(const BenchConfig& cfg,
+                                            uint64_t count, int rep) {
+  if (!cfg.trace.empty()) {
+    Result<std::vector<uint64_t>> keys = LoadDocWordsFile(cfg.trace, count);
+    if (!keys.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", keys.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(keys).value();
+  }
+  if (cfg.docwords) {
+    DocWordsConfig dw;
+    dw.seed = cfg.seed + 131 * static_cast<uint64_t>(rep);
+    return GenerateDocWordsKeys(count, dw);
+  }
+  return MakeUniqueKeys(count, cfg.seed + static_cast<uint64_t>(rep), 0);
+}
+
+/// Never-inserted probe keys (disjoint stream).
+inline std::vector<uint64_t> MakeMissingKeys(const BenchConfig& cfg,
+                                             uint64_t count, int rep) {
+  // Stream 7 is disjoint from stream 0 and from DocWords keys (which keep
+  // bit 40+20 small).
+  return MakeUniqueKeys(count, cfg.seed + static_cast<uint64_t>(rep), 7);
+}
+
+/// Standard header parameters echoed by every bench.
+inline std::vector<std::pair<std::string, std::string>> CommonParams(
+    const BenchConfig& cfg) {
+  return {
+      {"slots", std::to_string(cfg.slots)},
+      {"reps", std::to_string(cfg.reps)},
+      {"seed", std::to_string(cfg.seed)},
+      {"maxloop", std::to_string(cfg.maxloop)},
+      {"workload", !cfg.trace.empty() ? "trace:" + cfg.trace
+                   : cfg.docwords    ? "docwords-synthetic"
+                                     : "uniform-unique"},
+  };
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Fig 12 — Off-chip memory accesses per lookup of *existing* items vs load.
+//
+// McCuckoo skips candidate buckets that provably cannot hold the item
+// (partition rules, §III.B.2), so its average is below the single-copy
+// schemes at every load; B-McCuckoo degrades toward traditional behaviour
+// at very high load (§IV.C).
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace mccuckoo {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchFlags(argc, argv);
+  const uint64_t queries =
+      static_cast<uint64_t>(cfg.flags.GetInt("queries", 100'000));
+  auto params = CommonParams(cfg);
+  params.emplace_back("queries", std::to_string(queries));
+  PrintRunHeader("Fig 12: memory accesses per lookup (existing items)",
+                 params);
+
+  const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9};
+  std::map<SchemeKind, std::vector<double>> accesses;
+  for (SchemeKind kind : kAllSchemes) {
+    accesses[kind].assign(loads.size(), 0.0);
+  }
+
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    for (SchemeKind kind : kAllSchemes) {
+      auto table = MakeScheme(kind, MakeSchemeConfig(cfg, rep));
+      const auto keys = MakeInsertKeys(cfg, table->capacity(), rep);
+      size_t cursor = 0;
+      for (size_t i = 0; i < loads.size(); ++i) {
+        FillToLoad(*table, keys, loads[i], &cursor);
+        // Probe a slice of the inserted keys (wraps if needed).
+        std::vector<uint64_t> sample(keys.begin(),
+                                     keys.begin() + static_cast<long>(cursor));
+        const PhaseStats phase =
+            MeasureLookups(*table, sample, queries, true);
+        accesses[kind][i] += phase.ReadsPerOp();
+      }
+    }
+  }
+
+  TextTable out;
+  out.Add("load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo");
+  for (size_t i = 0; i < loads.size(); ++i) {
+    out.AddRow({FormatPercent(loads[i], 0),
+                FormatDouble(accesses[SchemeKind::kCuckoo][i] / cfg.reps),
+                FormatDouble(accesses[SchemeKind::kMcCuckoo][i] / cfg.reps),
+                FormatDouble(accesses[SchemeKind::kBcht][i] / cfg.reps),
+                FormatDouble(accesses[SchemeKind::kBMcCuckoo][i] / cfg.reps)});
+  }
+  Status s = EmitTable(out, cfg.flags);
+  std::printf(
+      "expected shape: multi-copy below single-copy at matching layout\n");
+  return s.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Main(argc, argv); }

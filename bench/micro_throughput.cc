@@ -1,0 +1,116 @@
+// Wall-clock microbenchmarks (google-benchmark): raw software throughput of
+// the four schemes plus a std::unordered_map reference. Not a paper figure
+// — the paper's end-to-end numbers are FPGA-based — but useful for judging
+// the pure-software cost of the counter logic.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+constexpr uint64_t kSlots = 9 * 20'000;
+
+SchemeConfig Config() {
+  SchemeConfig c;
+  c.total_slots = kSlots;
+  c.maxloop = 500;
+  c.seed = 7;
+  return c;
+}
+
+std::unique_ptr<SchemeTable> FilledTable(SchemeKind kind, double load) {
+  auto t = MakeScheme(kind, Config());
+  const auto keys = MakeUniqueKeys(t->capacity(), 7, 0);
+  size_t cursor = 0;
+  FillToLoad(*t, keys, load, &cursor);
+  return t;
+}
+
+void BM_Insert(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const double load = static_cast<double>(state.range(1)) / 100.0;
+  // Rebuild periodically: inserting past the target load would distort the
+  // measurement, so insert in bounded bursts from the prefill point.
+  auto table = FilledTable(kind, load);
+  const auto fresh = MakeUniqueKeys(kSlots, 7, 3);
+  size_t i = 0;
+  const size_t burst_limit = static_cast<size_t>(kSlots) / 20;
+  for (auto _ : state) {
+    if (i >= burst_limit) {
+      state.PauseTiming();
+      table = FilledTable(kind, load);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(table->Insert(fresh[i], fresh[i]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(SchemeName(kind));
+}
+
+void BM_LookupHit(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const double load = static_cast<double>(state.range(1)) / 100.0;
+  auto table = FilledTable(kind, load);
+  const auto keys = MakeUniqueKeys(table->TotalItems(), 7, 0);
+  size_t i = 0;
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Find(keys[i % keys.size()], &v));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(SchemeName(kind));
+}
+
+void BM_LookupMiss(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const double load = static_cast<double>(state.range(1)) / 100.0;
+  auto table = FilledTable(kind, load);
+  const auto missing = MakeUniqueKeys(100'000, 7, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Find(missing[i % missing.size()], nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(SchemeName(kind));
+}
+
+void BM_StdUnorderedMapLookup(benchmark::State& state) {
+  std::unordered_map<uint64_t, uint64_t> map;
+  const auto keys = MakeUniqueKeys(kSlots / 2, 7, 0);
+  for (uint64_t k : keys) map.emplace(k, k);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i % keys.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("std::unordered_map");
+}
+
+void SchemeLoadArgs(benchmark::internal::Benchmark* b) {
+  for (int kind = 0; kind < 4; ++kind) {
+    b->Args({kind, 50});
+    b->Args({kind, 90});
+  }
+}
+
+BENCHMARK(BM_Insert)->Apply(SchemeLoadArgs)->Iterations(30000);
+BENCHMARK(BM_LookupHit)->Apply(SchemeLoadArgs);
+BENCHMARK(BM_LookupMiss)->Apply(SchemeLoadArgs);
+BENCHMARK(BM_StdUnorderedMapLookup);
+
+}  // namespace
+}  // namespace mccuckoo
+
+BENCHMARK_MAIN();

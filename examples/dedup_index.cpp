@@ -1,0 +1,73 @@
+// Inline-deduplication chunk index scenario (the ChunkStash [5] motivation):
+// a storage system fingerprints incoming chunks and asks, for every chunk,
+// "have I stored this already?". Most answers are *no* — exactly the
+// negative-lookup case McCuckoo's counter Bloom rule makes nearly free —
+// and duplicates follow a skewed popularity distribution, modeled here with
+// the synthetic DocWords generator.
+//
+//   ./build/examples/dedup_index
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/zipf.h"
+
+using namespace mccuckoo;
+
+int main() {
+  constexpr uint64_t kChunks = 500'000;
+  constexpr double kDupFraction = 0.30;  // 30% of the stream is duplicates
+
+  SchemeConfig config;
+  config.total_slots = 9 * 50'000;
+
+  std::printf("Dedup chunk index: %" PRIu64
+              " incoming chunks, %.0f%% duplicates (Zipf-popular)\n\n",
+              kChunks, kDupFraction * 100);
+  std::printf("%-12s %14s %16s %16s\n", "scheme", "dup hits",
+              "reads/chunk", "bytes deduped/KB stored");
+
+  for (SchemeKind kind : {SchemeKind::kCuckoo, SchemeKind::kMcCuckoo,
+                          SchemeKind::kBMcCuckoo}) {
+    auto table = MakeScheme(kind, config);
+    Xoshiro256 rng(31337);
+    ZipfGenerator popular(100'000, 1.0);
+    std::vector<uint64_t> stored;
+    uint64_t next_chunk = 0;
+    uint64_t dup_hits = 0;
+
+    for (uint64_t i = 0; i < kChunks; ++i) {
+      uint64_t fingerprint;
+      if (!stored.empty() && rng.Bernoulli(kDupFraction)) {
+        // Re-sent chunk: popular chunks are re-sent more often.
+        fingerprint = stored[popular.Sample(rng) % stored.size()];
+      } else {
+        fingerprint = SplitMix64(next_chunk++ ^ 0x0DEDA110Cull);
+      }
+      uint64_t location = 0;
+      if (table->Find(fingerprint, &location)) {
+        ++dup_hits;  // chunk already stored: write nothing
+      } else {
+        table->Insert(fingerprint, /*storage location=*/i);
+        stored.push_back(fingerprint);
+      }
+    }
+
+    const AccessStats& s = table->stats();
+    std::printf("%-12s %14" PRIu64 " %16.3f %15.1f\n", SchemeName(kind),
+                dup_hits, static_cast<double>(s.offchip_reads) / kChunks,
+                1024.0 * dup_hits / kChunks);
+    std::printf("             (index load ended at %.1f%%, %zu stash)\n",
+                table->load_factor() * 100, table->stash_size());
+  }
+
+  std::printf(
+      "\nTakeaway: dedup indexes are dominated by \"never seen\" lookups; "
+      "the multi-copy counters answer most of them without touching flash/"
+      "disk, which is ChunkStash's entire budget.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// KV-cache index scenario (the MemC3 [9] motivation from the paper's
+// introduction): a read-heavy memcached-style workload — 90% GET / 8% SET /
+// 2% DELETE — over a hot key space, comparing McCuckoo against standard
+// cuckoo hashing on the metric that matters for an off-chip-table
+// deployment: memory accesses per operation.
+//
+//   ./build/examples/kv_cache_index
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/opstream.h"
+
+using namespace mccuckoo;
+
+int main() {
+  constexpr uint64_t kOps = 600'000;
+
+  OpStreamConfig mix;
+  mix.insert_fraction = 0.08;
+  mix.lookup_fraction = 0.82;  // hot-key GETs
+  mix.erase_fraction = 0.02;   // expiries; the rest are GET misses
+  mix.seed = 99;
+  const auto ops = GenerateOpStream(kOps, mix);
+
+  SchemeConfig config;
+  config.total_slots = 9 * 8'000;
+  config.deletion_mode = DeletionMode::kResetCounters;
+  config.maxloop = 500;
+
+  std::printf("KV cache index: %" PRIu64
+              " ops (82%% GET, 8%% SET, 2%% DELETE, 8%% GET-miss)\n\n",
+              kOps);
+  std::printf("%-12s %14s %14s %12s %14s\n", "scheme", "offchip reads",
+              "offchip writes", "kickouts", "stash probes");
+
+  for (SchemeKind kind : {SchemeKind::kCuckoo, SchemeKind::kMcCuckoo}) {
+    auto table = MakeScheme(kind, config);
+    uint64_t hits = 0, misses = 0;
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case Op::Kind::kInsert:
+          table->Insert(op.key, ValueFor(op.key));
+          break;
+        case Op::Kind::kLookup: {
+          uint64_t v = 0;
+          table->Find(op.key, &v) ? ++hits : ++misses;
+          break;
+        }
+        case Op::Kind::kErase:
+          table->Erase(op.key);
+          break;
+      }
+    }
+    const AccessStats& s = table->stats();
+    std::printf("%-12s %14.3f %14.3f %12.4f %14.5f\n", SchemeName(kind),
+                static_cast<double>(s.offchip_reads) / kOps,
+                static_cast<double>(s.offchip_writes) / kOps,
+                static_cast<double>(s.kickouts) / kOps,
+                static_cast<double>(s.stash_probes) / kOps);
+    std::printf("             (per op; load ended at %.1f%%, %" PRIu64
+                " GET hits, %" PRIu64 " misses)\n",
+                table->load_factor() * 100, hits, misses);
+  }
+
+  std::printf(
+      "\nTakeaway: with the table in slow off-chip memory, McCuckoo serves "
+      "the same KV workload with a fraction of the memory traffic — the "
+      "counters screen GET misses and guide evictions.\n");
+  return 0;
+}

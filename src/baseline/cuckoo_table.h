@@ -1,0 +1,379 @@
+// Standard d-ary Cuckoo hash table (single copy, single slot) — the paper's
+// first baseline ("Cuckoo", §IV.A.3).
+//
+// Each key lives in exactly one of its d candidate buckets. The table has no
+// on-chip helping structure, so every question about a bucket — is it
+// empty? does it hold the key? — costs one off-chip read. Collisions are
+// resolved by the classic random-walk kick-out chain bounded by maxloop;
+// overruns go to a stash (modeling the common CHS arrangement [22]) so that
+// no key is ever lost, but without McCuckoo's counters every main-table miss
+// must probe the stash.
+
+#ifndef MCCUCKOO_BASELINE_CUCKOO_TABLE_H_
+#define MCCUCKOO_BASELINE_CUCKOO_TABLE_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/config.h"
+#include "src/core/eviction.h"
+#include "src/core/stash.h"
+#include "src/hash/hash_family.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Classic d-ary cuckoo hash table with random-walk insertion.
+template <typename Key, typename Value, typename Hasher = BobHasher,
+          typename Family = HashFamily<Key, Hasher>>
+  requires SeedableHasher<Hasher, Key>
+class CuckooTable {
+ public:
+  /// Exposed template parameters (used by wrappers/adapters).
+  using KeyType = Key;
+  using ValueType = Value;
+
+  /// One off-chip bucket. `occupied` models the valid bit stored with the
+  /// record; reading it requires reading the bucket.
+  struct Bucket {
+    Key key{};
+    Value value{};
+    bool occupied = false;
+  };
+
+  explicit CuckooTable(const TableOptions& options)
+      : opts_(options),
+        family_(options.num_hashes, options.buckets_per_table, options.seed),
+        table_(options.num_hashes * options.buckets_per_table),
+        rng_(SplitMix64(options.seed ^ 0x1234ABCD5678EF00ull)) {
+    assert(options.Validate().ok());
+    assert(options.slots_per_bucket == 1);
+    if (options.eviction_policy == EvictionPolicy::kMinCounter) {
+      kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
+                                  stats_.get());
+    }
+  }
+
+  /// Validating factory for untrusted configuration.
+  static Result<CuckooTable> Create(const TableOptions& options) {
+    Status s = options.Validate();
+    if (!s.ok()) return s;
+    if (options.slots_per_bucket != 1) {
+      return Status::InvalidArgument("CuckooTable is single-slot; use BchtTable");
+    }
+    return CuckooTable(options);
+  }
+
+  // --- Core operations ---------------------------------------------------
+
+  /// Inserts a key assumed not to be present.
+  InsertResult Insert(Key key, Value value) {
+    // Scan candidates for an empty bucket (each check is an off-chip read).
+    const std::array<size_t, kMaxHashes> cand = Candidates(key);
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      if (!LoadBucket(cand[t]).occupied) {
+        StoreBucket(cand[t], key, value, true);
+        ++size_;
+        return InsertResult::kInserted;
+      }
+    }
+    // All candidates occupied: resolve per the configured policy.
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    if (opts_.eviction_policy == EvictionPolicy::kBfs) {
+      return BfsInsert(std::move(key), std::move(value), cand);
+    }
+    return WalkInsert(std::move(key), std::move(value), cand);
+  }
+
+  /// Inserts or updates the single copy of an existing key.
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    const int64_t idx = FindInMain(key, nullptr);
+    if (idx >= 0) {
+      StoreBucket(static_cast<size_t>(idx), key, value, true);
+      return InsertResult::kUpdated;
+    }
+    if (!stash_.empty()) {
+      ChargeStashProbe();
+      if (stash_.Find(key, nullptr)) {
+        ChargeStashWrite();
+        stash_.Insert(key, value);
+        return InsertResult::kUpdated;
+      }
+    }
+    return Insert(key, value);
+  }
+
+  /// Looks `key` up (candidates in order, then the stash on a miss).
+  bool Find(const Key& key, Value* out = nullptr) const {
+    auto* self = const_cast<CuckooTable*>(this);
+    if (self->FindInMain(key, out) >= 0) return true;
+    if (!stash_.empty()) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Deletes `key`: one off-chip write to clear the record's valid bit.
+  bool Erase(const Key& key) {
+    const int64_t idx = FindInMain(key, nullptr);
+    if (idx >= 0) {
+      Bucket& b = table_[static_cast<size_t>(idx)];
+      b.occupied = false;
+      ++stats_->offchip_writes;
+      --size_;
+      return true;
+    }
+    if (!stash_.empty()) {
+      ChargeStashProbe();
+      if (stash_.Erase(key)) {
+        ChargeStashWrite();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  size_t size() const { return size_; }
+  size_t stash_size() const { return stash_.size(); }
+  size_t TotalItems() const { return size_ + stash_.size(); }
+  uint64_t capacity() const { return table_.size(); }
+  double load_factor() const {
+    return static_cast<double>(TotalItems()) / static_cast<double>(capacity());
+  }
+  const TableOptions& options() const { return opts_; }
+  const AccessStats& stats() const { return *stats_; }
+  void ResetStats() { *stats_ = AccessStats{}; }
+  uint64_t first_collision_items() const { return first_collision_items_; }
+  uint64_t first_failure_items() const { return first_failure_items_; }
+
+  /// Times the CHS on-chip stash exceeded its capacity — forced-rehash
+  /// events in a real deployment (§II.B).
+  uint64_t forced_rehash_events() const { return forced_rehash_events_; }
+
+  /// No on-chip helping structure (MinCounter's kick history when active).
+  size_t onchip_memory_bytes() const { return kick_history_.memory_bytes(); }
+
+  /// Invokes `fn(key, value)` once per live key (main table + stash), in
+  /// unspecified order. Uncharged maintenance/snapshot path.
+  template <typename Fn>
+  void ForEachItem(Fn&& fn) const {
+    for (const Bucket& b : table_) {
+      if (b.occupied) fn(b.key, b.value);
+    }
+    for (const auto& [k, v] : stash_.Items()) fn(k, v);
+  }
+
+  /// Structural check (uncharged; testing): occupants hash to their bucket
+  /// and size_ matches the number of occupied buckets.
+  Status ValidateInvariants() const {
+    size_t live = 0;
+    for (size_t idx = 0; idx < table_.size(); ++idx) {
+      if (!table_[idx].occupied) continue;
+      ++live;
+      const uint32_t t = static_cast<uint32_t>(idx / opts_.buckets_per_table);
+      const uint64_t b = idx % opts_.buckets_per_table;
+      if (family_.Bucket(table_[idx].key, t) != b) {
+        return Status::Internal("occupant does not hash to bucket " +
+                                std::to_string(idx));
+      }
+    }
+    if (live != size_) {
+      return Status::Internal("size_ mismatch: " + std::to_string(size_) +
+                              " vs " + std::to_string(live));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Charges one stash probe (off-chip read, or free-ish on-chip read for
+  /// the classic CHS stash).
+  void ChargeStashProbe() {
+    ++stats_->stash_probes;
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_reads;
+    } else {
+      ++stats_->onchip_reads;
+    }
+  }
+
+  /// Charges one stash mutation (store/erase).
+  void ChargeStashWrite() {
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_writes;
+    } else {
+      ++stats_->onchip_writes;
+    }
+  }
+
+  static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
+  /// Random-walk / MinCounter kick-out chain. `cand` are the (already read,
+  /// all occupied) candidates of `key`.
+  InsertResult WalkInsert(Key key, Value value,
+                          std::array<size_t, kMaxHashes> cand) {
+    size_t exclude = kNoBucket;
+    for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
+      if (loop > 0) {
+        cand = Candidates(key);
+        for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+          if (cand[t] == exclude) continue;  // just evicted from there
+          if (!LoadBucket(cand[t]).occupied) {
+            StoreBucket(cand[t], key, value, true);
+            ++size_;
+            return InsertResult::kInserted;
+          }
+        }
+      }
+      const uint32_t t =
+          PickVictim(cand, opts_.num_hashes, exclude, kick_history_, rng_);
+      const Bucket& victim = table_[cand[t]];  // already read above
+      Key vk = victim.key;
+      Value vv = victim.value;
+      StoreBucket(cand[t], key, value, true);
+      ++stats_->kickouts;
+      if (kick_history_.enabled()) kick_history_.Increment(cand[t]);
+      exclude = cand[t];
+      key = std::move(vk);
+      value = std::move(vv);
+    }
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOnchipChs &&
+        stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed
+                               : InsertResult::kFailed;
+  }
+
+  /// Breadth-first search for the shortest cuckoo path [3]: explore the
+  /// eviction tree level by level until an empty bucket appears, then shift
+  /// the items along the path *backwards* (empty end first) so no item is
+  /// ever absent from the table. The node budget is maxloop, making the
+  /// work bound comparable to the walk policies.
+  InsertResult BfsInsert(Key key, Value value,
+                         const std::array<size_t, kMaxHashes>& cand) {
+    struct Node {
+      size_t bucket;
+      int32_t parent;  // index into nodes, -1 for roots
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(opts_.maxloop);
+    std::unordered_map<size_t, bool> visited;
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      if (visited.emplace(cand[t], true).second) {
+        nodes.push_back({cand[t], -1});
+      }
+    }
+    for (size_t head = 0; head < nodes.size(); ++head) {
+      const Key occupant = table_[nodes[head].bucket].key;  // read earlier
+      const std::array<size_t, kMaxHashes> alt = Candidates(occupant);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        if (alt[t] == nodes[head].bucket) continue;
+        if (!visited.emplace(alt[t], true).second) continue;
+        if (!LoadBucket(alt[t]).occupied) {
+          // Found the path; move items from the empty end backwards.
+          size_t hole = alt[t];
+          int32_t n = static_cast<int32_t>(head);
+          while (n >= 0) {
+            const Bucket& src = table_[nodes[n].bucket];
+            StoreBucket(hole, src.key, src.value, true);
+            ++stats_->kickouts;
+            hole = nodes[n].bucket;
+            n = nodes[n].parent;
+          }
+          StoreBucket(hole, key, value, true);
+          ++size_;
+          return InsertResult::kInserted;
+        }
+        if (nodes.size() >= opts_.maxloop) break;
+        nodes.push_back({alt[t], static_cast<int32_t>(head)});
+      }
+      if (nodes.size() >= opts_.maxloop) break;
+    }
+    // Node budget exhausted without finding an empty bucket.
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOnchipChs &&
+        stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed
+                               : InsertResult::kFailed;
+  }
+
+  std::array<size_t, kMaxHashes> Candidates(const Key& key) const {
+    std::array<size_t, kMaxHashes> c{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      c[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
+             family_.Bucket(key, t);
+    }
+    return c;
+  }
+
+  const Bucket& LoadBucket(size_t idx) {
+    ++stats_->offchip_reads;
+    return table_[idx];
+  }
+
+  void StoreBucket(size_t idx, const Key& key, const Value& value,
+                   bool occupied) {
+    ++stats_->offchip_writes;
+    Bucket& b = table_[idx];
+    b.key = key;
+    b.value = value;
+    b.occupied = occupied;
+  }
+
+  /// Probes candidates in table order; returns the hit's global index or -1.
+  int64_t FindInMain(const Key& key, Value* out) {
+    const std::array<size_t, kMaxHashes> cand = Candidates(key);
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      const Bucket& b = LoadBucket(cand[t]);
+      if (b.occupied && b.key == key) {
+        if (out != nullptr) *out = b.value;
+        return static_cast<int64_t>(cand[t]);
+      }
+    }
+    return -1;
+  }
+
+  TableOptions opts_;
+  Family family_;
+  std::vector<Bucket> table_;
+  // Heap-allocated so the pointer handed to CounterArray /
+  // KickHistory stays valid when the table is moved (Rehash,
+  // snapshot loading, factory returns).
+  mutable std::unique_ptr<AccessStats> stats_ =
+      std::make_unique<AccessStats>();
+  KickHistory kick_history_;
+  Stash<Key, Value> stash_;
+  Xoshiro256 rng_;
+
+  size_t size_ = 0;
+  uint64_t first_collision_items_ = 0;
+  uint64_t first_failure_items_ = 0;
+  uint64_t forced_rehash_events_ = 0;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_BASELINE_CUCKOO_TABLE_H_

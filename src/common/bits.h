@@ -1,0 +1,34 @@
+// Small bit-manipulation helpers shared across modules.
+
+#ifndef MCCUCKOO_COMMON_BITS_H_
+#define MCCUCKOO_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// Maps a 64-bit hash value uniformly onto [0, n) without division
+/// (Lemire's "fastrange"). Requires n > 0.
+inline uint64_t FastRange64(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * static_cast<__uint128_t>(n)) >> 64);
+}
+
+/// Number of bits needed to represent values in [0, v] (at least 1).
+inline uint32_t BitWidthFor(uint64_t v) {
+  uint32_t w = static_cast<uint32_t>(std::bit_width(v));
+  return w == 0 ? 1u : w;
+}
+
+/// Rounds `v` up to the next multiple of `m` (m > 0).
+inline uint64_t RoundUp(uint64_t v, uint64_t m) {
+  return (v + m - 1) / m * m;
+}
+
+/// Integer ceiling division (b > 0).
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_COMMON_BITS_H_

@@ -1,0 +1,74 @@
+#include "src/common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mccuckoo {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToCell(double v) { return FormatDouble(v); }
+
+std::string TextTable::ToAligned() const {
+  if (rows_.empty()) return "";
+  size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out += cell;
+      out.append(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) out += " | ";
+    }
+    out += '\n';
+    if (i == 0) {
+      for (size_t c = 0; c < cols; ++c) {
+        out.append(width[c], '-');
+        if (c + 1 < cols) out += "-+-";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c) out += ',';
+      out += r[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string FormatPercent(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+  return buf;
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,59 @@
+// Aligned-table and CSV output used by all bench binaries.
+//
+// Every experiment prints the same rows/series the paper reports, in a
+// fixed-width console table, and optionally mirrors them to CSV for
+// plotting.
+
+#ifndef MCCUCKOO_COMMON_FORMAT_H_
+#define MCCUCKOO_COMMON_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace mccuckoo {
+
+/// Collects rows of string cells and renders them as an aligned console
+/// table or CSV. The first added row is treated as the header.
+class TextTable {
+ public:
+  /// Adds a row; all rows should have the same number of cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with Fmt() below.
+  template <typename... Args>
+  void Add(const Args&... args) {
+    AddRow({ToCell(args)...});
+  }
+
+  /// Renders an aligned, `|`-separated table with a rule under the header.
+  std::string ToAligned() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v);
+  static std::string ToCell(int v) { return std::to_string(v); }
+  static std::string ToCell(long v) { return std::to_string(v); }
+  static std::string ToCell(long long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimals, trimming trailing
+/// zeros ("0.0815" style used in the paper's tables).
+std::string FormatDouble(double v, int prec = 4);
+
+/// Formats `v` as a percentage with `prec` decimals, e.g. "23.20%".
+std::string FormatPercent(double v, int prec = 2);
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_COMMON_FORMAT_H_

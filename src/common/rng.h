@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library and the experiment harness flows through
+// these generators so that every run is reproducible from a single seed.
+// SplitMix64 is used for seeding and for stateless key scrambling;
+// Xoshiro256** is the workhorse generator (fast, 256-bit state, passes
+// BigCrush).
+
+#ifndef MCCUCKOO_COMMON_RNG_H_
+#define MCCUCKOO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// Stateless SplitMix64 step: returns the value for state `x` and is also a
+/// high-quality 64-bit mixer/finalizer usable as an integer hash.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies the C++
+/// UniformRandomBitGenerator requirements so it can drive <random>
+/// distributions, but the helper methods below avoid <random> overhead.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four state words from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256(uint64_t seed = 0xC0FFEE123456789ull) {
+    uint64_t x = seed;
+    for (auto& w : s_) {
+      x = SplitMix64(x + 0x9E3779B97F4A7C15ull);
+      w = x;
+    }
+    // The all-zero state is invalid; SplitMix64 of distinct inputs cannot
+    // produce four zeros, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, n). Requires n > 0. Uses the multiply-shift
+  /// reduction; the modulo bias is below 2^-64 * n and irrelevant here.
+  uint64_t Below(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * static_cast<__uint128_t>(n)) >>
+        64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (p in [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_COMMON_RNG_H_

@@ -1,0 +1,883 @@
+// Blocked multi-copy Cuckoo table (B-McCuckoo, paper §III.G).
+//
+// The multi-copy idea applied to the blocked layout: d sub-tables whose
+// buckets hold l slots each (d = 3, l = 3 in the paper), one on-chip
+// counter per *slot*, and one stash flag per *bucket*. Insertion follows
+// Algorithm 1 (Fig 6): place one copy into an empty slot of every candidate
+// bucket; if no copy found a home, overwrite counter-3 slots of the buckets
+// with the highest counter sum while the inserted item trails the victim by
+// two copies, then counter-2 slots, and only when all d*l candidate slot
+// counters are 1 fall back to the random walk / stash. Lookup follows
+// Algorithm 2: a bucket whose counters sum to zero is skipped entirely
+// (bucket-level Bloom rule); otherwise the whole bucket is fetched in one
+// access and scanned. Deletion follows Algorithm 3 and performs zero
+// off-chip writes.
+//
+// Slot hints: each record stores, for every other sub-table, which slot its
+// copy there occupies ((d-1) * log2(l) bits per slot, §III.G). The paper
+// admits the hints "cannot be fully tracked" once third parties overwrite
+// hinted slots; we therefore use them only to order the disambiguating
+// bucket reads (a stale hint costs nothing — the read it orders returns the
+// whole bucket and reveals the truth), never as an unverified source for
+// counter updates. All placement decisions are made from the on-chip
+// counters *before* any off-chip write, so every copy is written exactly
+// once, hints included.
+
+#ifndef MCCUCKOO_CORE_BLOCKED_MCCUCKOO_TABLE_H_
+#define MCCUCKOO_CORE_BLOCKED_MCCUCKOO_TABLE_H_
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/config.h"
+#include "src/core/counter_array.h"
+#include "src/core/eviction.h"
+#include "src/core/stash.h"
+#include "src/hash/hash_family.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Blocked multi-copy cuckoo hash table (d hashes, l slots per bucket).
+template <typename Key, typename Value, typename Hasher = BobHasher,
+          typename Family = HashFamily<Key, Hasher>>
+  requires SeedableHasher<Hasher, Key>
+class BlockedMcCuckooTable {
+ public:
+  /// Exposed template parameters (used by wrappers/adapters).
+  using KeyType = Key;
+  using ValueType = Value;
+
+  /// Sentinel for "no copy in that sub-table" in a record's hint array.
+  static constexpr uint8_t kNoHint = 0xFF;
+
+  /// One record slot. `hint[t]` is the slot index of this item's copy in
+  /// sub-table t when that copy existed at write time (kNoHint otherwise);
+  /// the entry for the record's own sub-table is unused.
+  struct Slot {
+    Key key{};
+    Value value{};
+    std::array<uint8_t, kMaxHashes> hint{kNoHint, kNoHint, kNoHint, kNoHint};
+  };
+
+  explicit BlockedMcCuckooTable(const TableOptions& options)
+      : opts_(options),
+        family_(options.num_hashes, options.buckets_per_table, options.seed),
+        slots_(static_cast<size_t>(options.num_hashes) *
+               options.buckets_per_table * options.slots_per_bucket),
+        flags_(static_cast<size_t>(options.num_hashes) *
+               options.buckets_per_table),
+        counters_(slots_.size(), options.num_hashes, stats_.get()),
+        rng_(SplitMix64(options.seed ^ 0xB10CB10CB10CB10Cull)) {
+    assert(options.Validate().ok());
+    assert(options.slots_per_bucket >= 2);
+    assert(options.eviction_policy != EvictionPolicy::kBfs);
+    if (options.eviction_policy == EvictionPolicy::kMinCounter) {
+      kick_history_ =
+          KickHistory(flags_.size(), options.kick_counter_bits, stats_.get());
+    }
+  }
+
+  /// Validating factory for untrusted configuration.
+  static Result<BlockedMcCuckooTable> Create(const TableOptions& options) {
+    Status s = options.Validate();
+    if (!s.ok()) return s;
+    if (options.slots_per_bucket < 2) {
+      return Status::InvalidArgument(
+          "BlockedMcCuckooTable needs slots_per_bucket >= 2; "
+          "use McCuckooTable");
+    }
+    if (options.eviction_policy == EvictionPolicy::kBfs) {
+      return Status::InvalidArgument(
+          "BFS eviction is only supported by the CuckooTable baseline");
+    }
+    return BlockedMcCuckooTable(options);
+  }
+
+  // --- Core operations ---------------------------------------------------
+
+  /// Inserts a key assumed not to be present (see McCuckooTable::Insert).
+  InsertResult Insert(const Key& key, const Value& value) {
+    Candidates cand = ComputeCandidates(key);
+    const uint32_t placed = TryPlace(key, value, cand);
+    if (placed > 0) {
+      ++size_;
+      return InsertResult::kInserted;
+    }
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    return RandomWalkInsert(key, value);
+  }
+
+  /// Inserts or, if the key exists (main table or stash), updates every copy.
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    CandidateView view;
+    Position pos;
+    if (FindInMain(key, nullptr, &view, &pos)) {
+      CopySet copies = LocateAllCopies(key, pos, CounterAt(pos));
+      for (uint32_t i = 0; i < copies.count; ++i) {
+        WriteSlotValue(copies.pos[i], key, value);
+      }
+      return InsertResult::kUpdated;
+    }
+    if (ShouldProbeStash(view)) {
+      ChargeStashProbe();
+      if (stash_.Find(key, nullptr)) {
+        ChargeStashWrite();
+        stash_.Insert(key, value);
+        return InsertResult::kUpdated;
+      }
+    }
+    return Insert(key, value);
+  }
+
+  /// Looks `key` up (Algorithm 2, Fig 7).
+  bool Find(const Key& key, Value* out = nullptr) const {
+    auto* self = const_cast<BlockedMcCuckooTable*>(this);
+    CandidateView view;
+    Position pos;
+    if (self->FindInMain(key, out, &view, &pos)) return true;
+    if (self->ShouldProbeStash(view)) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Statistics-free const lookup (see McCuckooTable::FindNoStats): the
+  /// ConcurrentMcCuckoo reader path. Performs no mutation.
+  bool FindNoStats(const Key& key, Value* out = nullptr) const {
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    Candidates cand = ComputeCandidates(key);
+    bool any_zero_bucket = false;
+    bool all_buckets_all_ones = true;
+    bool read_flag_zero = false;
+    bool found = false;
+    for (uint32_t t = 0; t < d && !found; ++t) {
+      uint64_t sum = 0;
+      bool any_tomb = false;
+      uint64_t slot_counter[8];
+      for (uint32_t s = 0; s < l; ++s) {
+        const size_t idx = cand.bucket[t] * l + s;
+        slot_counter[s] = counters_.PeekCounter(idx);
+        sum += slot_counter[s];
+        if (slot_counter[s] != 1) all_buckets_all_ones = false;
+        if (counters_.PeekTombstone(idx)) any_tomb = true;
+      }
+      if (sum == 0 && !any_tomb) any_zero_bucket = true;
+      if (opts_.lookup_pruning_enabled && sum == 0) continue;
+      if (!flags_[cand.bucket[t]]) read_flag_zero = true;
+      for (uint32_t s = 0; s < l; ++s) {
+        if (slot_counter[s] == 0) continue;
+        const Slot& slot = slots_[cand.bucket[t] * l + s];
+        if (slot.key == key) {
+          if (out != nullptr) *out = slot.value;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) return true;
+    if (stash_.empty()) return false;
+    if (opts_.stash_kind == StashKind::kOnchipChs) return stash_.Find(key, out);
+    if (opts_.stash_screen_enabled) {
+      if (opts_.deletion_mode == DeletionMode::kDisabled &&
+          !all_buckets_all_ones) {
+        return false;
+      }
+      if (opts_.deletion_mode == DeletionMode::kTombstone &&
+          any_zero_bucket) {
+        return false;
+      }
+      if (read_flag_zero) return false;
+    }
+    return stash_.Find(key, out);
+  }
+
+  /// Deletes `key` (Algorithm 3, Fig 8): zero off-chip writes.
+  bool Erase(const Key& key) {
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      std::fprintf(stderr,
+                   "BlockedMcCuckooTable::Erase called with "
+                   "DeletionMode::kDisabled\n");
+      std::abort();
+    }
+    CandidateView view;
+    Position pos;
+    if (FindInMain(key, nullptr, &view, &pos)) {
+      CopySet copies = LocateAllCopies(key, pos, CounterAt(pos));
+      for (uint32_t i = 0; i < copies.count; ++i) {
+        const size_t idx = SlotIndex(copies.pos[i]);
+        if (opts_.deletion_mode == DeletionMode::kTombstone) {
+          counters_.MarkDeleted(idx);
+        } else {
+          counters_.Set(idx, 0);
+        }
+      }
+      --size_;
+      return true;
+    }
+    if (ShouldProbeStash(view)) {
+      ChargeStashProbe();
+      if (stash_.Erase(key)) {
+        ChargeStashWrite();
+        ++stale_stash_flag_keys_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Full rehash into a table of `new_buckets_per_table` buckets per
+  /// sub-table under a fresh hash family seeded by `new_seed` — the costly
+  /// remedy for insertion failures that the stash exists to avoid (§I.2),
+  /// provided for completeness and for growing a long-lived table. Reads
+  /// out every live item (charged: one read per old bucket plus the
+  /// re-insertion traffic) and rebuilds; stashed items are re-tried first.
+  /// Fails without touching the table if the new capacity cannot hold the
+  /// current items.
+  Status Rehash(uint64_t new_buckets_per_table, uint64_t new_seed) {
+    TableOptions new_opts = opts_;
+    new_opts.buckets_per_table = new_buckets_per_table;
+    new_opts.seed = new_seed;
+    Status s = new_opts.Validate();
+    if (!s.ok()) return s;
+    if (new_opts.capacity() < TotalItems()) {
+      return Status::InvalidArgument(
+          "rehash target smaller than the current item count");
+    }
+    // "Reading out all inserted items and using a different set of hash
+    // functions to put them into a bigger table" (§I.2).
+    std::vector<std::pair<Key, Value>> items;
+    items.reserve(TotalItems());
+    std::unordered_map<Key, bool> seen;
+    const uint32_t l = opts_.slots_per_bucket;
+    for (size_t bucket = 0; bucket < flags_.size(); ++bucket) {
+      ++stats_->offchip_reads;  // full scan of the old table, per bucket
+      for (uint32_t slot = 0; slot < l; ++slot) {
+        const size_t idx = bucket * l + slot;
+        if (counters_.PeekCounter(idx) == 0) continue;
+        const Slot& b = slots_[idx];
+        if (seen.emplace(b.key, true).second) {
+          items.emplace_back(b.key, b.value);
+        }
+      }
+    }
+    for (const auto& [k, v] : stash_.Items()) {
+      ++stats_->offchip_reads;
+      items.emplace_back(k, v);
+    }
+
+    BlockedMcCuckooTable rebuilt(new_opts);
+    for (const auto& [k, v] : items) {
+      rebuilt.Insert(k, v);
+    }
+    // Keep cumulative statistics and lifetime counters across the rebuild.
+    *rebuilt.stats_ += *stats_;
+    rebuilt.redundant_writes_ += redundant_writes_;
+    rebuilt.first_collision_items_ = first_collision_items_;
+    rebuilt.first_failure_items_ = first_failure_items_;
+    *this = std::move(rebuilt);
+    return Status::OK();
+  }
+
+  // --- Stash maintenance ---------------------------------------------------
+
+  /// Attempts to move stashed items back into free/redundant slots.
+  size_t TryDrainStash() {
+    size_t drained = 0;
+    for (const auto& [k, v] : stash_.Items()) {
+      Candidates cand = ComputeCandidates(k);
+      if (TryPlace(k, v, cand) > 0) {
+        stash_.Erase(k);
+        ChargeStashWrite();
+        ++size_;
+        ++drained;
+      }
+    }
+    return drained;
+  }
+
+  /// Resets all stash flags and re-marks current stash items (§III.F).
+  void RebuildStashFlags() {
+    for (size_t i = 0; i < flags_.size(); ++i) {
+      if (flags_[i]) {
+        flags_[i] = false;
+        ++stats_->offchip_writes;
+      }
+    }
+    for (const auto& [k, v] : stash_.Items()) {
+      (void)v;
+      Candidates cand = ComputeCandidates(k);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
+    }
+    stale_stash_flag_keys_ = 0;
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  size_t size() const { return size_; }
+  size_t stash_size() const { return stash_.size(); }
+  size_t TotalItems() const { return size_ + stash_.size(); }
+  uint64_t capacity() const { return slots_.size(); }
+  double load_factor() const {
+    return static_cast<double>(TotalItems()) / static_cast<double>(capacity());
+  }
+  const TableOptions& options() const { return opts_; }
+  const AccessStats& stats() const { return *stats_; }
+  void ResetStats() { *stats_ = AccessStats{}; }
+  uint64_t first_collision_items() const { return first_collision_items_; }
+  uint64_t first_failure_items() const { return first_failure_items_; }
+  uint64_t redundant_writes() const { return redundant_writes_; }
+  uint64_t stale_stash_flag_keys() const { return stale_stash_flag_keys_; }
+
+  /// Times a CHS-style on-chip stash exceeded its capacity — events where a
+  /// real deployment would have had to rehash (§II.B).
+  uint64_t forced_rehash_events() const { return forced_rehash_events_; }
+  size_t onchip_memory_bytes() const {
+    return counters_.counter_bytes() + kick_history_.memory_bytes();
+  }
+
+  /// Invokes `fn(key, value)` once per live key (main table + stash), in
+  /// unspecified order. Uncharged maintenance/snapshot path.
+  template <typename Fn>
+  void ForEachItem(Fn&& fn) const {
+    std::unordered_map<Key, bool> seen;
+    for (size_t idx = 0; idx < slots_.size(); ++idx) {
+      if (counters_.PeekCounter(idx) == 0) continue;
+      const Slot& b = slots_[idx];
+      if (seen.emplace(b.key, true).second) fn(b.key, b.value);
+    }
+    for (const auto& [k, v] : stash_.Items()) fn(k, v);
+  }
+
+  /// Number of live copies of `key` (uncharged; testing).
+  uint32_t CountCopies(const Key& key) const {
+    Candidates cand = ComputeCandidates(key);
+    uint32_t copies = 0;
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      for (uint32_t s = 0; s < opts_.slots_per_bucket; ++s) {
+        const size_t idx = cand.bucket[t] * opts_.slots_per_bucket + s;
+        if (counters_.PeekCounter(idx) > 0 && slots_[idx].key == key) ++copies;
+      }
+    }
+    return copies;
+  }
+
+  /// Exhaustive structural check (uncharged; testing).
+  Status ValidateInvariants() const {
+    std::unordered_map<Key, std::vector<size_t>> copies;
+    const uint64_t nb = opts_.buckets_per_table;
+    const uint32_t l = opts_.slots_per_bucket;
+    for (size_t idx = 0; idx < slots_.size(); ++idx) {
+      const uint64_t c = counters_.PeekCounter(idx);
+      if (counters_.PeekTombstone(idx)) {
+        if (opts_.deletion_mode != DeletionMode::kTombstone) {
+          return Status::Internal("tombstone outside kTombstone mode");
+        }
+        continue;
+      }
+      if (c == 0) continue;
+      if (c > opts_.num_hashes) {
+        return Status::Internal("counter exceeds d at " + std::to_string(idx));
+      }
+      const size_t bucket = idx / l;
+      const uint32_t t = static_cast<uint32_t>(bucket / nb);
+      const uint64_t b = bucket % nb;
+      if (family_.Bucket(slots_[idx].key, t) != b) {
+        return Status::Internal("occupant does not hash to bucket " +
+                                std::to_string(idx));
+      }
+      copies[slots_[idx].key].push_back(idx);
+    }
+    for (const auto& [k, positions] : copies) {
+      // At most one copy per bucket.
+      std::vector<size_t> buckets;
+      for (size_t idx : positions) buckets.push_back(idx / l);
+      std::sort(buckets.begin(), buckets.end());
+      if (std::adjacent_find(buckets.begin(), buckets.end()) !=
+          buckets.end()) {
+        return Status::Internal("two copies of one key in one bucket");
+      }
+      for (size_t idx : positions) {
+        if (counters_.PeekCounter(idx) != positions.size()) {
+          return Status::Internal("counter != copy count at " +
+                                  std::to_string(idx));
+        }
+        if (!(slots_[idx].value == slots_[positions.front()].value)) {
+          return Status::Internal("diverged copy values for a key");
+        }
+      }
+    }
+    if (copies.size() != size_) {
+      return Status::Internal("size_ does not match live distinct keys");
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Charges one stash probe: an off-chip read for the paper's off-chip
+  /// stash, an on-chip read for the classic CHS stash.
+  void ChargeStashProbe() {
+    ++stats_->stash_probes;
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_reads;
+    } else {
+      ++stats_->onchip_reads;
+    }
+  }
+
+  /// Charges one stash mutation (store/erase).
+  void ChargeStashWrite() {
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_writes;
+    } else {
+      ++stats_->onchip_writes;
+    }
+  }
+
+  /// Global candidate bucket indices (bucket index space, not slot space).
+  struct Candidates {
+    std::array<size_t, kMaxHashes> bucket;
+  };
+
+  /// A (sub-table, bucket, slot) position, held as (bucket index, slot).
+  struct Position {
+    size_t bucket = 0;
+    uint32_t slot = 0;
+    bool operator==(const Position& o) const {
+      return bucket == o.bucket && slot == o.slot;
+    }
+  };
+
+  /// Counters and flags observed during an operation, for stash screening.
+  struct CandidateView {
+    std::array<size_t, kMaxHashes> bucket{};
+    std::array<uint64_t, kMaxHashes> sum{};        // counter sum per bucket
+    std::array<bool, kMaxHashes> bloom_nonzero{};  // any counter or tombstone
+    std::array<bool, kMaxHashes> all_ones{};       // every slot counter == 1
+    std::array<bool, kMaxHashes> bucket_read{};
+    std::array<bool, kMaxHashes> flag_value{};
+    uint32_t d = 0;
+  };
+
+  struct CopySet {
+    std::array<Position, kMaxHashes> pos;
+    uint32_t count = 0;
+  };
+
+  static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
+  Candidates ComputeCandidates(const Key& key) const {
+    Candidates c{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      c.bucket[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
+                    family_.Bucket(key, t);
+    }
+    return c;
+  }
+
+  size_t SlotIndex(const Position& p) const {
+    return p.bucket * opts_.slots_per_bucket + p.slot;
+  }
+
+  uint64_t CounterAt(const Position& p) const {
+    return counters_.Get(SlotIndex(p));
+  }
+
+  static uint32_t TableOf(size_t bucket, uint64_t buckets_per_table) {
+    return static_cast<uint32_t>(bucket / buckets_per_table);
+  }
+
+  // --- charged memory choke points ----------------------------------------
+
+  /// Fetches a whole bucket: one off-chip access regardless of l ([33]).
+  void ChargeBucketRead() { ++stats_->offchip_reads; }
+
+  /// Writes one slot (record + hints share the slot's memory word).
+  void WriteSlot(const Position& p, const Slot& record) {
+    ++stats_->offchip_writes;
+    slots_[SlotIndex(p)] = record;
+  }
+
+  /// Value-only update preserving the stored hints.
+  void WriteSlotValue(const Position& p, const Key& key, const Value& value) {
+    ++stats_->offchip_writes;
+    Slot& s = slots_[SlotIndex(p)];
+    s.key = key;
+    s.value = value;
+  }
+
+  void SetFlag(size_t bucket) {
+    ++stats_->offchip_writes;
+    flags_[bucket] = true;
+  }
+
+  // --- insertion -------------------------------------------------------------
+
+  /// Algorithm 1's placement phases, decided entirely on-chip before any
+  /// write. Returns the number of copies placed (0 = collision).
+  uint32_t TryPlace(const Key& key, const Value& value,
+                    const Candidates& cand) {
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+
+    std::array<Position, kMaxHashes> placed{};
+    std::array<bool, kMaxHashes> bucket_taken{};
+    uint32_t n_placed = 0;
+
+    // Phase 1: one copy into an empty slot of every candidate bucket.
+    for (uint32_t t = 0; t < d; ++t) {
+      for (uint32_t s = 0; s < l; ++s) {
+        const Position p{cand.bucket[t], s};
+        if (counters_.Get(SlotIndex(p)) == 0) {
+          placed[n_placed++] = p;
+          bucket_taken[t] = true;
+          break;
+        }
+      }
+    }
+
+    // Phase 2: overwrite redundant copies, most-redundant victim first,
+    // while the victim keeps a two-copy lead (V >= n_placed + 2). Counters
+    // are re-read per round (one insert can hit the same victim twice).
+    while (n_placed < d) {
+      int best_t = -1;
+      Position best_pos{};
+      uint64_t best_v = 0;
+      uint64_t best_sum = 0;
+      for (uint32_t t = 0; t < d; ++t) {
+        if (bucket_taken[t]) continue;
+        uint64_t sum = 0;
+        uint64_t bucket_best_v = 0;
+        uint32_t bucket_best_s = 0;
+        for (uint32_t s = 0; s < l; ++s) {
+          const uint64_t c =
+              counters_.Get(cand.bucket[t] * l + s);
+          sum += c;
+          if (c > bucket_best_v) {
+            bucket_best_v = c;
+            bucket_best_s = s;
+          }
+        }
+        // Bucket availability is judged by the counter sum (§III.G); the
+        // victim inside it is the highest-counter slot.
+        if (bucket_best_v > best_v ||
+            (bucket_best_v == best_v && sum > best_sum)) {
+          best_v = bucket_best_v;
+          best_sum = sum;
+          best_t = static_cast<int>(t);
+          best_pos = Position{cand.bucket[t], bucket_best_s};
+        }
+      }
+      if (best_t < 0 || best_v < 2 || best_v < n_placed + 2) break;
+      OverwriteRedundantCopy(best_pos, best_v);
+      placed[n_placed++] = best_pos;
+      bucket_taken[best_t] = true;
+    }
+
+    if (n_placed == 0) return 0;
+    CommitPlacement(key, value, placed, n_placed);
+    return n_placed;
+  }
+
+  /// Writes the record once per placed copy (hints included) and sets the
+  /// copies' counters.
+  void CommitPlacement(const Key& key, const Value& value,
+                       const std::array<Position, kMaxHashes>& placed,
+                       uint32_t n_placed) {
+    Slot record;
+    record.key = key;
+    record.value = value;
+    record.hint.fill(kNoHint);
+    for (uint32_t i = 0; i < n_placed; ++i) {
+      const uint32_t t = TableOf(placed[i].bucket, opts_.buckets_per_table);
+      record.hint[t] = static_cast<uint8_t>(placed[i].slot);
+    }
+    for (uint32_t i = 0; i < n_placed; ++i) {
+      WriteSlot(placed[i], record);
+      counters_.Set(SlotIndex(placed[i]), n_placed);
+    }
+    redundant_writes_ += n_placed - 1;
+  }
+
+  /// Displaces the redundant copy at `victim` (counter `v` >= 2): reads its
+  /// bucket to learn the victim's key and hints, then decrements the
+  /// victim's other copies. The slot itself is left for the caller to
+  /// overwrite (counter updated by CommitPlacement).
+  void OverwriteRedundantCopy(const Position& victim, uint64_t v) {
+    assert(v >= 2);
+    ChargeBucketRead();
+    const Slot record = slots_[SlotIndex(victim)];
+    CopySet others = LocateOtherCopies(record.key, victim, v, &record.hint);
+    for (uint32_t i = 0; i < others.count; ++i) {
+      counters_.Set(SlotIndex(others.pos[i]), v - 1);
+    }
+  }
+
+  /// Finds the v-1 positions besides `known` holding copies of `key` (all
+  /// counters equal v). Candidate slots are the value-v slots of key's
+  /// candidate buckets; buckets are resolved hint-first, and a bucket whose
+  /// remaining candidates must all be copies (pigeonhole) is not read.
+  CopySet LocateOtherCopies(const Key& key, const Position& known, uint64_t v,
+                            const std::array<uint8_t, kMaxHashes>* hints) {
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    Candidates cand = ComputeCandidates(key);
+
+    // Group: candidate slots with counter == v, per bucket, excluding
+    // `known` and excluding the bucket that contains `known` (one copy per
+    // bucket at most).
+    struct BucketGroup {
+      size_t bucket;
+      uint32_t table;
+      std::array<uint32_t, 8> slots;
+      uint32_t n_slots = 0;
+      bool hinted = false;
+    };
+    // Hinted buckets are queued first: their read almost always confirms a
+    // copy immediately.
+    std::array<BucketGroup, kMaxHashes> groups{};
+    uint32_t n_groups = 0;
+    uint32_t total_slots = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint32_t t = 0; t < d; ++t) {
+        if (cand.bucket[t] == known.bucket) continue;
+        const bool hinted = hints != nullptr && (*hints)[t] != kNoHint;
+        if (hinted != (pass == 0)) continue;
+        BucketGroup g{};
+        g.bucket = cand.bucket[t];
+        g.table = t;
+        for (uint32_t s = 0; s < l; ++s) {
+          if (counters_.Get(g.bucket * l + s) == v) g.slots[g.n_slots++] = s;
+        }
+        if (g.n_slots == 0) continue;
+        g.hinted = hinted;
+        groups[n_groups++] = g;
+        total_slots += g.n_slots;
+      }
+    }
+
+    const uint32_t need = static_cast<uint32_t>(v) - 1;
+    CopySet out{};
+    if (need == 0) return out;
+    assert(total_slots >= need);
+
+    uint32_t confirmed = 0;
+    uint32_t unresolved = total_slots;
+    for (uint32_t gi = 0; gi < n_groups && confirmed < need; ++gi) {
+      const BucketGroup& g = groups[gi];
+      // Pigeonhole: if every unresolved candidate slot must be a copy,
+      // take them without reading. (A key has at most one copy per bucket,
+      // so this can only trigger when each remaining group has one slot.)
+      if (unresolved == need - confirmed) {
+        bool single_slots = true;
+        for (uint32_t gj = gi; gj < n_groups; ++gj) {
+          if (groups[gj].n_slots != 1) single_slots = false;
+        }
+        if (single_slots) {
+          for (uint32_t gj = gi; gj < n_groups; ++gj) {
+            out.pos[out.count++] =
+                Position{groups[gj].bucket, groups[gj].slots[0]};
+            ++confirmed;
+          }
+          break;
+        }
+      }
+      ChargeBucketRead();
+      for (uint32_t i = 0; i < g.n_slots; ++i) {
+        const Position p{g.bucket, g.slots[i]};
+        if (slots_[SlotIndex(p)].key == key) {
+          out.pos[out.count++] = p;
+          ++confirmed;
+          break;  // at most one copy per bucket
+        }
+      }
+      unresolved -= g.n_slots;
+    }
+    assert(confirmed == need);
+    return out;
+  }
+
+  CopySet LocateAllCopies(const Key& key, const Position& known, uint64_t v) {
+    // The found record's stored hints order the disambiguation reads.
+    const std::array<uint8_t, kMaxHashes> hints =
+        slots_[SlotIndex(known)].hint;
+    CopySet out = LocateOtherCopies(key, known, v, &hints);
+    out.pos[out.count++] = known;
+    return out;
+  }
+
+  /// Random walk at slot granularity: eviction targets are sole copies
+  /// (all candidate slot counters are 1 when this is reached).
+  InsertResult RandomWalkInsert(Key key, Value value) {
+    size_t exclude_bucket = kNoBucket;
+    for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
+      Candidates cand = ComputeCandidates(key);
+      if (loop > 0) {
+        const uint32_t placed = TryPlace(key, value, cand);
+        if (placed > 0) {
+          ++size_;
+          return InsertResult::kInserted;
+        }
+      }
+      const uint32_t t = PickVictim(cand.bucket, opts_.num_hashes,
+                                    exclude_bucket, kick_history_, rng_);
+      const uint32_t s =
+          static_cast<uint32_t>(rng_.Below(opts_.slots_per_bucket));
+      const Position p{cand.bucket[t], s};
+      ChargeBucketRead();
+      Slot victim = slots_[SlotIndex(p)];
+      Slot record;
+      record.key = key;
+      record.value = value;
+      record.hint.fill(kNoHint);
+      record.hint[t] = static_cast<uint8_t>(s);
+      WriteSlot(p, record);
+      // Counter stays 1: the slot still holds a sole copy.
+      ++stats_->kickouts;
+      if (kick_history_.enabled()) kick_history_.Increment(cand.bucket[t]);
+      exclude_bucket = cand.bucket[t];
+      key = std::move(victim.key);
+      value = std::move(victim.value);
+    }
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      Candidates cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
+    } else if (stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+  }
+
+  // --- lookup -----------------------------------------------------------------
+
+  /// Algorithm 2's main-table probe. On a hit, fills `*pos` and returns
+  /// true. Fills `*view` for stash screening either way.
+  bool FindInMain(const Key& key, Value* out, CandidateView* view,
+                  Position* pos) {
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    Candidates cand = ComputeCandidates(key);
+    CandidateView& v = *view;
+    v.d = d;
+
+    std::array<std::array<uint64_t, 8>, kMaxHashes> slot_counter{};
+    for (uint32_t t = 0; t < d; ++t) {
+      v.bucket[t] = cand.bucket[t];
+      v.bucket_read[t] = false;
+      v.flag_value[t] = false;
+      uint64_t sum = 0;
+      bool any_tomb = false;
+      bool all_ones = true;
+      for (uint32_t s = 0; s < l; ++s) {
+        const size_t idx = cand.bucket[t] * l + s;
+        const uint64_t c = counters_.Get(idx);
+        slot_counter[t][s] = c;
+        sum += c;
+        if (c != 1) all_ones = false;
+        if (opts_.deletion_mode == DeletionMode::kTombstone &&
+            counters_.IsTombstone(idx)) {
+          any_tomb = true;
+        }
+      }
+      v.sum[t] = sum;
+      v.bloom_nonzero[t] = (sum > 0) || any_tomb;
+      v.all_ones[t] = all_ones;
+    }
+
+    for (uint32_t t = 0; t < d; ++t) {
+      if (opts_.lookup_pruning_enabled && v.sum[t] == 0) continue;
+      if (!opts_.lookup_pruning_enabled && v.sum[t] == 0 &&
+          !v.bloom_nonzero[t]) {
+        continue;  // nothing live to read even without pruning
+      }
+      ChargeBucketRead();
+      v.bucket_read[t] = true;
+      v.flag_value[t] = flags_[cand.bucket[t]];
+      for (uint32_t s = 0; s < l; ++s) {
+        if (slot_counter[t][s] == 0) continue;  // empty/tombstone: stale data
+        const Position p{cand.bucket[t], s};
+        const Slot& slot = slots_[SlotIndex(p)];
+        if (slot.key == key) {
+          if (out != nullptr) *out = slot.value;
+          if (pos != nullptr) *pos = p;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Stash screening at bucket granularity (§III.E/F and Algorithm 2).
+  bool ShouldProbeStash(const CandidateView& v) const {
+    if (stash_.empty()) return false;
+    if (opts_.stash_kind == StashKind::kOnchipChs) return true;  // free probe
+    if (!opts_.stash_screen_enabled) return true;
+
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      // A stashed key saw every candidate slot at counter 1; without
+      // deletions sole copies stay sole and empties stay... filled only by
+      // full buckets, so any non-all-ones bucket vetoes the probe.
+      for (uint32_t t = 0; t < v.d; ++t) {
+        if (!v.all_ones[t]) return false;
+      }
+      for (uint32_t t = 0; t < v.d; ++t) {
+        if (v.bucket_read[t] && !v.flag_value[t]) return false;
+      }
+      return true;
+    }
+    if (opts_.deletion_mode == DeletionMode::kTombstone) {
+      // True all-zero buckets (no tombstones) still prove "never inserted".
+      for (uint32_t t = 0; t < v.d; ++t) {
+        if (!v.bloom_nonzero[t]) return false;
+      }
+    }
+    for (uint32_t t = 0; t < v.d; ++t) {
+      if (v.bucket_read[t] && !v.flag_value[t]) return false;
+    }
+    return true;
+  }
+
+  TableOptions opts_;
+  Family family_;
+  std::vector<Slot> slots_;
+  std::vector<bool> flags_;  // one stash flag per bucket (off-chip)
+  // Heap-allocated so the pointer handed to CounterArray /
+  // KickHistory stays valid when the table is moved (Rehash,
+  // snapshot loading, factory returns).
+  mutable std::unique_ptr<AccessStats> stats_ =
+      std::make_unique<AccessStats>();
+  CounterArray counters_;
+  KickHistory kick_history_;
+  Stash<Key, Value> stash_;
+  Xoshiro256 rng_;
+
+  size_t size_ = 0;
+  uint64_t first_collision_items_ = 0;
+  uint64_t first_failure_items_ = 0;
+  uint64_t redundant_writes_ = 0;
+  uint64_t stale_stash_flag_keys_ = 0;
+  uint64_t forced_rehash_events_ = 0;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_BLOCKED_MCCUCKOO_TABLE_H_

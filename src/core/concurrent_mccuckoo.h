@@ -1,0 +1,96 @@
+// One-writer-many-readers concurrency wrapper (paper §III.H).
+//
+// Standard cuckoo hashing is sequential: during a kick chain the evicted
+// item is temporarily absent from the table, so a concurrent reader could
+// miss a live key. The paper observes that (a) read-heavy deployments only
+// need one-writer-many-readers, and (b) McCuckoo's counters find very short
+// cuckoo paths quickly, so writer critical sections are short. This wrapper
+// realizes that design with a readers-writer lock:
+//
+//  * readers share the lock and use the table's mutation-free FindNoStats
+//    path (not even access statistics are written), so any number of
+//    readers proceed in parallel;
+//  * the single writer takes the lock exclusively for the (short) span of
+//    an insert/erase, which also guarantees readers never observe the
+//    mid-chain state where an evicted item is in nobody's bucket.
+//
+// Works over both McCuckooTable and BlockedMcCuckooTable (any table
+// exposing FindNoStats).
+
+#ifndef MCCUCKOO_CORE_CONCURRENT_MCCUCKOO_H_
+#define MCCUCKOO_CORE_CONCURRENT_MCCUCKOO_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "src/core/config.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Readers-writer wrapper over a multi-copy table.
+template <typename Table>
+class OneWriterManyReaders {
+ public:
+  using Key = typename Table::KeyType;
+  using Value = typename Table::ValueType;
+
+  explicit OneWriterManyReaders(const TableOptions& options)
+      : table_(options) {}
+
+  /// Writer-side operations (exclusive).
+  InsertResult Insert(const Key& key, const Value& value) {
+    std::unique_lock lock(mutex_);
+    return table_.Insert(key, value);
+  }
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    std::unique_lock lock(mutex_);
+    return table_.InsertOrAssign(key, value);
+  }
+  bool Erase(const Key& key) {
+    std::unique_lock lock(mutex_);
+    return table_.Erase(key);
+  }
+
+  /// Reader-side operations (shared; mutation-free).
+  bool Find(const Key& key, Value* out = nullptr) const {
+    std::shared_lock lock(mutex_);
+    return table_.FindNoStats(key, out);
+  }
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return table_.size();
+  }
+  size_t stash_size() const {
+    std::shared_lock lock(mutex_);
+    return table_.stash_size();
+  }
+  double load_factor() const {
+    std::shared_lock lock(mutex_);
+    return table_.load_factor();
+  }
+
+  /// Snapshot of the writer-side access statistics.
+  AccessStats stats_snapshot() const {
+    std::shared_lock lock(mutex_);
+    return table_.stats();
+  }
+
+  /// Exclusive access to the underlying table (setup/validation only).
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::unique_lock lock(mutex_);
+    return std::forward<Fn>(fn)(table_);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  Table table_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_CONCURRENT_MCCUCKOO_H_

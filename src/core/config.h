@@ -1,0 +1,159 @@
+// Shared configuration and result types for the hash tables.
+
+#ifndef MCCUCKOO_CORE_CONFIG_H_
+#define MCCUCKOO_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/hash/hash_family.h"
+
+namespace mccuckoo {
+
+/// How a table handles Erase(), chosen at construction (paper §III.B.3).
+enum class DeletionMode {
+  /// Erase() is a programming error. Lookups may use the strongest counter
+  /// rules: any zero candidate counter proves the key was never inserted
+  /// (Bloom property), and any counter > 1 on a missed lookup proves the key
+  /// is not in the stash.
+  kDisabled,
+  /// Erase() resets the copies' counters to 0 (zero off-chip writes). The
+  /// Bloom property is lost; zero-counter buckets are still skipped for
+  /// reading, and stash screening falls back to the per-bucket flags
+  /// actually read during the lookup (§III.F).
+  kResetCounters,
+  /// Erase() marks the copies' counters "deleted": treated as zero by
+  /// insertion, as non-zero by lookup, so the Bloom property survives.
+  /// Suited to rare deletions — tombstones never return to true zero.
+  kTombstone,
+};
+
+/// How the eviction victim is chosen when a kick-out is unavoidable
+/// (§III.D: "any existing collision resolving mechanisms such as
+/// random-walk or MinCounter can be used").
+enum class EvictionPolicy {
+  /// Uniformly random victim among the candidates [28] — the paper's
+  /// running example and the default.
+  kRandomWalk,
+  /// MinCounter [17]: a small on-chip kick-history counter per bucket;
+  /// evict the bucket kicked least often (ties random). Spreads relocations
+  /// away from "hot" buckets.
+  kMinCounter,
+  /// Breadth-first search for the shortest cuckoo path [3]. Only supported
+  /// by the single-copy CuckooTable baseline (the original algorithm);
+  /// multi-copy tables reject it at Create().
+  kBfs,
+};
+
+/// Where the overflow stash lives.
+enum class StashKind {
+  /// McCuckoo's contribution (§III.E): a large stash in abundant off-chip
+  /// memory. Each probe costs one off-chip read, so the counter + flag
+  /// screen matters; capacity is effectively unlimited.
+  kOffchip,
+  /// Classic CHS [22]: a tiny stash in on-chip memory, probed for free on
+  /// every main-table miss but holding only a handful of items. Overruns
+  /// beyond its capacity are counted as forced-rehash events (the items are
+  /// still retained so no data is ever lost in this library).
+  kOnchipChs,
+};
+
+/// Outcome of an insertion.
+enum class InsertResult {
+  /// The key settled in the main table (possibly after kick-outs).
+  kInserted,
+  /// The key already existed and its copies were updated (InsertOrAssign).
+  kUpdated,
+  /// The insertion chain hit maxloop; some item (the inserted key or a
+  /// displaced victim) went to the stash. All keys remain findable.
+  kStashed,
+  /// As kStashed, but the caller configured stash_enabled = false; the item
+  /// was still kept in the overflow area so no data is lost, but the caller
+  /// asked to treat overflow as failure (e.g. to measure failure load).
+  kFailed,
+};
+
+/// Returns a short stable name ("inserted", "stashed", ...).
+inline const char* InsertResultToString(InsertResult r) {
+  switch (r) {
+    case InsertResult::kInserted: return "inserted";
+    case InsertResult::kUpdated:  return "updated";
+    case InsertResult::kStashed:  return "stashed";
+    case InsertResult::kFailed:   return "failed";
+  }
+  return "unknown";
+}
+
+/// Construction options shared by all four table variants.
+struct TableOptions {
+  /// Number of hash functions / sub-tables (2..kMaxHashes). The paper uses 3.
+  uint32_t num_hashes = 3;
+
+  /// Buckets per sub-table. Total bucket count is num_hashes * this.
+  uint64_t buckets_per_table = 1 << 16;
+
+  /// Slots per bucket; 1 for the single-slot tables, 3 for the blocked
+  /// tables in the paper.
+  uint32_t slots_per_bucket = 1;
+
+  /// Kick-out chain length bound before declaring insertion failure.
+  uint32_t maxloop = 500;
+
+  /// Master seed for the hash family and the eviction RNG.
+  uint64_t seed = 0x5EEDC0DE;
+
+  /// Deletion handling (see DeletionMode).
+  DeletionMode deletion_mode = DeletionMode::kDisabled;
+
+  /// Victim selection during kick-outs (see EvictionPolicy).
+  EvictionPolicy eviction_policy = EvictionPolicy::kRandomWalk;
+
+  /// Width of MinCounter's per-bucket kick-history counters (5 in [17]).
+  uint32_t kick_counter_bits = 5;
+
+  /// If false, insertion-chain failures are reported as kFailed instead of
+  /// kStashed (overflow items are still retained and findable).
+  bool stash_enabled = true;
+
+  /// Stash placement (see StashKind). The multi-copy tables default to the
+  /// paper's off-chip stash; the sim façade gives baselines kOnchipChs.
+  StashKind stash_kind = StashKind::kOffchip;
+
+  /// Capacity of the on-chip CHS stash (4 suffices for ~95% load whp [24]).
+  uint32_t onchip_stash_capacity = 4;
+
+  /// Ablation: use the on-chip counter rules and off-chip flags to screen
+  /// stash probes. Off = probe the stash on every main-table miss.
+  bool stash_screen_enabled = true;
+
+  /// Ablation: use the partition rules (paper §III.B.2) to skip candidate
+  /// buckets during lookup. Off = read every non-empty candidate.
+  bool lookup_pruning_enabled = true;
+
+  /// Validates ranges; returns InvalidArgument describing the problem.
+  Status Validate() const {
+    if (num_hashes < 2 || num_hashes > kMaxHashes) {
+      return Status::InvalidArgument("num_hashes must be in [2, 4]");
+    }
+    if (buckets_per_table == 0) {
+      return Status::InvalidArgument("buckets_per_table must be positive");
+    }
+    if (slots_per_bucket == 0 || slots_per_bucket > 8) {
+      return Status::InvalidArgument("slots_per_bucket must be in [1, 8]");
+    }
+    if (kick_counter_bits < 1 || kick_counter_bits > 16) {
+      return Status::InvalidArgument("kick_counter_bits must be in [1, 16]");
+    }
+    return Status::OK();
+  }
+
+  /// Total key capacity (slots across all sub-tables).
+  uint64_t capacity() const {
+    return static_cast<uint64_t>(num_hashes) * buckets_per_table *
+           slots_per_bucket;
+  }
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_CONFIG_H_

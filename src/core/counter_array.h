@@ -1,0 +1,90 @@
+// The on-chip copy-counter array (paper §III.C).
+//
+// One small counter per bucket (single-slot) or per slot (blocked) records
+// how many live copies the occupying item currently has in the whole table:
+// 0 = empty, 1..d = copy count. For d = 3 each counter is exactly 2 bits,
+// which is what lets the whole array fit in on-chip SRAM next to a large
+// off-chip table. Tombstone ("deleted") marks — used by
+// DeletionMode::kTombstone — are kept in a parallel 1-bit array: they are
+// treated as empty by insertion and as non-zero by the lookup Bloom rule.
+//
+// The array charges every logical read/write to an AccessStats so the
+// experiment harness can report on-chip traffic separately (Figs 15-16).
+
+#ifndef MCCUCKOO_CORE_COUNTER_ARRAY_H_
+#define MCCUCKOO_CORE_COUNTER_ARRAY_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "src/common/bits.h"
+#include "src/common/packed_array.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Packed per-bucket (or per-slot) copy counters with optional tombstones.
+class CounterArray {
+ public:
+  /// `size` counters wide enough to hold values 0..max_count. `stats` (may
+  /// be null) receives on-chip access charges and must outlive the array.
+  CounterArray(size_t size, uint32_t max_count, AccessStats* stats)
+      : counters_(size, BitWidthFor(max_count)),
+        tombstones_(size, 1),
+        stats_(stats) {}
+
+  size_t size() const { return counters_.size(); }
+
+  /// Counter value at `i` (0 for tombstoned entries). One on-chip read.
+  uint64_t Get(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return counters_.Get(i);
+  }
+
+  /// True if entry `i` carries the "deleted" mark. Charged together with
+  /// Get() in practice; reading the mark alone is also one on-chip read.
+  bool IsTombstone(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return tombstones_.Get(i) != 0;
+  }
+
+  /// Sets counter `i` to `v` and clears any tombstone. One on-chip write.
+  void Set(size_t i, uint64_t v) {
+    Charge(&AccessStats::onchip_writes);
+    counters_.Set(i, v);
+    tombstones_.Set(i, 0);
+  }
+
+  /// Marks entry `i` deleted (counter reads as 0, tombstone set).
+  void MarkDeleted(size_t i) {
+    Charge(&AccessStats::onchip_writes);
+    counters_.Set(i, 0);
+    tombstones_.Set(i, 1);
+  }
+
+  /// Uncharged accessors for tests / invariant validation.
+  uint64_t PeekCounter(size_t i) const { return counters_.Get(i); }
+  bool PeekTombstone(size_t i) const { return tombstones_.Get(i) != 0; }
+
+  /// Bytes of on-chip memory this array models (counters + tombstones).
+  size_t memory_bytes() const {
+    return counters_.memory_bytes() + tombstones_.memory_bytes();
+  }
+
+  /// Bytes for the counters alone (the paper's reported cost excludes
+  /// tombstones, which only exist in kTombstone mode).
+  size_t counter_bytes() const { return counters_.memory_bytes(); }
+
+ private:
+  void Charge(uint64_t AccessStats::* field) const {
+    if (stats_ != nullptr) ++(stats_->*field);
+  }
+
+  PackedArray counters_;
+  PackedArray tombstones_;
+  AccessStats* stats_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_COUNTER_ARRAY_H_

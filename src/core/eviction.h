@@ -1,0 +1,91 @@
+// Victim-selection policies for the kick-out path.
+//
+// The paper's collision-resolution section (§III.D) notes that *any*
+// existing mechanism — random-walk [28] or MinCounter [17] — can drive
+// McCuckoo's relocation, with the on-chip copy counters pinpointing usable
+// buckets at every step. Random-walk is the paper's running example; this
+// header adds the MinCounter policy (a per-bucket kick-history counter,
+// evict the "coldest" bucket) for all four tables, and the classic BFS
+// shortest-path search [3] for the single-copy baseline.
+
+#ifndef MCCUCKOO_CORE_EVICTION_H_
+#define MCCUCKOO_CORE_EVICTION_H_
+
+#include <cstdint>
+
+#include "src/common/packed_array.h"
+#include "src/common/rng.h"
+#include "src/hash/hash_family.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// MinCounter's per-bucket kick-history array: `bits`-wide saturating
+/// counters (5 bits in [17]) living on-chip next to the copy counters.
+class KickHistory {
+ public:
+  /// Disabled history (random-walk tables carry this empty object).
+  KickHistory() = default;
+
+  /// Enabled history over `buckets` buckets. `stats` (may be null) receives
+  /// on-chip access charges and must outlive the object.
+  KickHistory(size_t buckets, uint32_t bits, AccessStats* stats)
+      : counters_(buckets, bits), stats_(stats), enabled_(true) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Kick count of `bucket` (charged as one on-chip read).
+  uint64_t Get(size_t bucket) const {
+    if (stats_ != nullptr) ++stats_->onchip_reads;
+    return counters_.Get(bucket);
+  }
+
+  /// Bytes of modeled on-chip memory (0 when disabled).
+  size_t memory_bytes() const { return counters_.memory_bytes(); }
+
+  /// Saturating increment after `bucket`'s occupant is evicted.
+  void Increment(size_t bucket) {
+    if (stats_ != nullptr) ++stats_->onchip_writes;
+    const uint64_t v = counters_.Get(bucket);
+    if (v < counters_.max_value()) counters_.Set(bucket, v + 1);
+  }
+
+ private:
+  PackedArray counters_;
+  AccessStats* stats_ = nullptr;
+  bool enabled_ = false;
+};
+
+/// Picks the eviction target among `d` candidate buckets, excluding
+/// `exclude` (the bucket the in-hand item was just evicted from; pass
+/// SIZE_MAX for none). With an enabled KickHistory this is MinCounter's
+/// choice — the not-so-"hot" bucket, ties broken uniformly; otherwise a
+/// uniform random pick. Returns the candidate slot index t.
+template <typename Candidates>
+uint32_t PickVictim(const Candidates& buckets, uint32_t d, size_t exclude,
+                    const KickHistory& history, Xoshiro256& rng) {
+  if (!history.enabled()) {
+    uint32_t t = static_cast<uint32_t>(rng.Below(d));
+    if (buckets[t] == exclude) {
+      t = (t + 1 + static_cast<uint32_t>(rng.Below(d - 1))) % d;
+    }
+    return t;
+  }
+  uint32_t best[kMaxHashes];
+  uint32_t n_best = 0;
+  uint64_t best_count = ~0ull;
+  for (uint32_t t = 0; t < d; ++t) {
+    if (buckets[t] == exclude) continue;
+    const uint64_t c = history.Get(buckets[t]);
+    if (c < best_count) {
+      best_count = c;
+      n_best = 0;
+    }
+    if (c == best_count) best[n_best++] = t;
+  }
+  return best[rng.Below(n_best)];
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_EVICTION_H_

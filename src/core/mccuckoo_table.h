@@ -1,0 +1,849 @@
+// Multi-copy Cuckoo hash table (McCuckoo) — the paper's core contribution.
+//
+// A d-ary, one-slot-per-bucket cuckoo table that, instead of committing an
+// inserted item to a single bucket, writes a copy into *every* free
+// candidate bucket and tracks each bucket occupant's total copy count in a
+// compact on-chip counter array. The counters then drive every operation:
+//
+//  * Insertion (§III.B.1) — principles:
+//      1. occupy all empty candidate buckets;
+//      2. never overwrite a bucket of value 1 (a sole copy);
+//      3. overwrite the rest in decreasing counter order while the victim
+//         still has at least two more copies than the inserted item
+//         (V >= n_x + 2).
+//    A real collision only occurs when all candidates hold sole copies;
+//    then a counter-guided random walk relocates items, and maxloop
+//    overruns go to an off-chip stash.
+//  * Lookup (§III.B.2) — candidates are partitioned by counter value;
+//    partitions smaller than their value are impossible and skipped; a
+//    partition of size S and value V needs at most S - V + 1 probes. With
+//    deletions disabled, a zero counter anywhere proves the key was never
+//    inserted (Bloom property: zero off-chip accesses).
+//  * Deletion (§III.B.3) — all V copies are located, then only their on-chip
+//    counters are reset (or tombstoned): zero off-chip writes.
+//  * Stash screening (§III.E/F) — a 1-bit flag per bucket (stored with the
+//    bucket, read back for free during lookups) plus the rule "a stashed
+//    item always saw all-ones counters" suppress almost every stash probe.
+//
+// One point the paper leaves implicit is made explicit here: overwriting a
+// redundant copy of victim B (counter V >= 2) requires decrementing B's
+// *other* copies' counters, whose positions are only learned by reading B's
+// key from the overwritten bucket (the read cost visible in Fig 10a) and
+// then identifying B's copies inside the value-V partition of B's
+// candidates — by pigeonhole inference when the partition has exactly V
+// members, by further reads otherwise. See LocateOtherCopies().
+
+#ifndef MCCUCKOO_CORE_MCCUCKOO_TABLE_H_
+#define MCCUCKOO_CORE_MCCUCKOO_TABLE_H_
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/config.h"
+#include "src/core/counter_array.h"
+#include "src/core/eviction.h"
+#include "src/core/stash.h"
+#include "src/hash/hash_family.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Multi-copy cuckoo hash table. Key must be equality-comparable and
+/// hashable by Hasher; Key and Value must be copyable. Not thread-safe (see
+/// ConcurrentMcCuckoo for the one-writer-many-readers wrapper).
+template <typename Key, typename Value, typename Hasher = BobHasher,
+          typename Family = HashFamily<Key, Hasher>>
+  requires SeedableHasher<Hasher, Key>
+class McCuckooTable {
+ public:
+  /// Exposed template parameters (used by wrappers/adapters).
+  using KeyType = Key;
+  using ValueType = Value;
+
+  /// One off-chip bucket: the stored record plus the 1-bit stash flag that
+  /// shares the bucket's memory word (§III.E). Occupancy is defined by the
+  /// on-chip counter, not by the bucket itself.
+  struct Bucket {
+    Key key{};
+    Value value{};
+    bool stash_flag = false;
+  };
+
+  /// Constructs a table; `options` must satisfy Validate() and
+  /// slots_per_bucket must be 1 (use BlockedMcCuckooTable otherwise).
+  explicit McCuckooTable(const TableOptions& options)
+      : opts_(options),
+        family_(options.num_hashes, options.buckets_per_table, options.seed),
+        table_(options.num_hashes * options.buckets_per_table),
+        counters_(options.num_hashes * options.buckets_per_table,
+                  options.num_hashes, stats_.get()),
+        rng_(SplitMix64(options.seed ^ 0xA5A5A5A5A5A5A5A5ull)) {
+    assert(options.Validate().ok());
+    assert(options.slots_per_bucket == 1);
+    assert(options.eviction_policy != EvictionPolicy::kBfs);
+    if (options.eviction_policy == EvictionPolicy::kMinCounter) {
+      kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
+                                  stats_.get());
+    }
+  }
+
+  /// Validating factory for untrusted configuration.
+  static Result<McCuckooTable> Create(const TableOptions& options) {
+    Status s = options.Validate();
+    if (!s.ok()) return s;
+    if (options.slots_per_bucket != 1) {
+      return Status::InvalidArgument(
+          "McCuckooTable is single-slot; use BlockedMcCuckooTable");
+    }
+    if (options.eviction_policy == EvictionPolicy::kBfs) {
+      return Status::InvalidArgument(
+          "BFS eviction is only supported by the CuckooTable baseline");
+    }
+    return McCuckooTable(options);
+  }
+
+  // --- Core operations -------------------------------------------------
+
+  /// Inserts a key assumed not to be present (the common case in the
+  /// paper's workloads; duplicate keys corrupt the copy invariants — use
+  /// InsertOrAssign when presence is unknown).
+  InsertResult Insert(const Key& key, const Value& value) {
+    Candidates cand = ComputeCandidates(key);
+    const uint32_t placed = TryPlace(key, value, cand);
+    if (placed > 0) {
+      ++size_;
+      return InsertResult::kInserted;
+    }
+    // All candidates hold sole copies: a real collision (§III.D).
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    return RandomWalkInsert(key, value);
+  }
+
+  /// Inserts or, if the key exists (main table or stash), updates every
+  /// copy of it.
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    CandidateView view;
+    int64_t found = FindInMain(key, nullptr, &view);
+    if (found >= 0) {
+      CopySet copies = LocateAllCopies(key, static_cast<size_t>(found),
+                                       view.counter[FindSlot(view, found)]);
+      for (uint32_t i = 0; i < copies.count; ++i) {
+        StoreBucket(copies.idx[i], key, value);
+      }
+      return InsertResult::kUpdated;
+    }
+    if (ShouldProbeStash(view)) {
+      ChargeStashProbe();
+      if (stash_.Find(key, nullptr)) {
+        ChargeStashWrite();
+        stash_.Insert(key, value);
+        return InsertResult::kUpdated;
+      }
+    }
+    return Insert(key, value);
+  }
+
+  /// Looks `key` up; writes the value through `out` when found (out may be
+  /// null). Mutates only the access statistics.
+  bool Find(const Key& key, Value* out = nullptr) const {
+    auto* self = const_cast<McCuckooTable*>(this);
+    CandidateView view;
+    const int64_t idx = self->FindInMain(key, out, &view);
+    if (idx >= 0) return true;
+    if (self->ShouldProbeStash(view)) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  /// Convenience wrapper over Find.
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Statistics-free const lookup: same candidate/partition/stash-screen
+  /// logic as Find but through the uncharged accessors, so it performs no
+  /// mutation whatsoever. This is the read path ConcurrentMcCuckoo uses —
+  /// many readers may call it under a shared lock while a writer is
+  /// excluded (see src/core/concurrent_mccuckoo.h). Not meant for
+  /// experiments: it records no access counts.
+  bool FindNoStats(const Key& key, Value* out = nullptr) const {
+    const uint32_t d = opts_.num_hashes;
+    Candidates cand = ComputeCandidates(key);
+    uint64_t counter[kMaxHashes];
+    bool tomb[kMaxHashes];
+    bool any_zero = false, any_gt1 = false;
+    for (uint32_t t = 0; t < d; ++t) {
+      counter[t] = counters_.PeekCounter(cand.idx[t]);
+      tomb[t] = counters_.PeekTombstone(cand.idx[t]);
+      if (counter[t] == 0 && !tomb[t]) any_zero = true;
+      if (counter[t] > 1) any_gt1 = true;
+    }
+    if (opts_.lookup_pruning_enabled && any_zero &&
+        opts_.deletion_mode != DeletionMode::kResetCounters) {
+      return false;
+    }
+    bool read_flag_zero = false;
+    for (uint64_t value = d; value >= 1; --value) {
+      uint32_t members[kMaxHashes];
+      uint32_t s = 0;
+      for (uint32_t t = 0; t < d; ++t) {
+        if (!tomb[t] && counter[t] == value) members[s++] = t;
+      }
+      if (s < value && opts_.lookup_pruning_enabled) continue;
+      const uint32_t probes =
+          opts_.lookup_pruning_enabled ? s - static_cast<uint32_t>(value) + 1
+                                       : s;
+      for (uint32_t i = 0; i < probes; ++i) {
+        const Bucket& b = table_[cand.idx[members[i]]];
+        if (b.key == key) {
+          if (out != nullptr) *out = b.value;
+          return true;
+        }
+        if (!b.stash_flag) read_flag_zero = true;
+      }
+    }
+    // Stash screen, mirroring ShouldProbeStash.
+    if (stash_.empty()) return false;
+    if (opts_.stash_kind == StashKind::kOnchipChs) return stash_.Find(key, out);
+    if (opts_.stash_screen_enabled) {
+      if (opts_.deletion_mode == DeletionMode::kDisabled &&
+          (any_zero || any_gt1)) {
+        return false;
+      }
+      if (opts_.deletion_mode == DeletionMode::kTombstone && any_zero) {
+        return false;
+      }
+      if (read_flag_zero) return false;
+    }
+    return stash_.Find(key, out);
+  }
+
+  /// Deletes `key`. Requires a deletion-enabled mode; in multi-copy tables
+  /// this performs zero off-chip writes (only counters change, §III.B.3).
+  bool Erase(const Key& key) {
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      std::fprintf(stderr,
+                   "McCuckooTable::Erase called with DeletionMode::kDisabled; "
+                   "construct the table with kResetCounters or kTombstone\n");
+      std::abort();
+    }
+    CandidateView view;
+    const int64_t found = FindInMain(key, nullptr, &view);
+    if (found >= 0) {
+      const size_t fidx = static_cast<size_t>(found);
+      const uint64_t v = view.counter[FindSlot(view, found)];
+      CopySet copies = LocateAllCopies(key, fidx, v);
+      for (uint32_t i = 0; i < copies.count; ++i) {
+        if (opts_.deletion_mode == DeletionMode::kTombstone) {
+          counters_.MarkDeleted(copies.idx[i]);
+        } else {
+          counters_.Set(copies.idx[i], 0);
+        }
+      }
+      --size_;
+      return true;
+    }
+    if (ShouldProbeStash(view)) {
+      ChargeStashProbe();
+      if (stash_.Erase(key)) {
+        ChargeStashWrite();
+        // Flags are Bloom-like and not cleared (§III.F); false positives
+        // accumulate until RebuildStashFlags().
+        ++stale_stash_flag_keys_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Full rehash into a table of `new_buckets_per_table` buckets per
+  /// sub-table under a fresh hash family seeded by `new_seed` — the costly
+  /// remedy for insertion failures that the stash exists to avoid (§I.2),
+  /// provided for completeness and for growing a long-lived table. Reads
+  /// out every live item (charged: one read per old bucket plus the
+  /// re-insertion traffic) and rebuilds; stashed items are re-tried first.
+  /// Fails without touching the table if the new capacity cannot hold the
+  /// current items.
+  Status Rehash(uint64_t new_buckets_per_table, uint64_t new_seed) {
+    TableOptions new_opts = opts_;
+    new_opts.buckets_per_table = new_buckets_per_table;
+    new_opts.seed = new_seed;
+    Status s = new_opts.Validate();
+    if (!s.ok()) return s;
+    if (new_opts.capacity() < TotalItems()) {
+      return Status::InvalidArgument(
+          "rehash target smaller than the current item count");
+    }
+    // "Reading out all inserted items and using a different set of hash
+    // functions to put them into a bigger table" (§I.2).
+    std::vector<std::pair<Key, Value>> items;
+    items.reserve(TotalItems());
+    std::unordered_map<Key, bool> seen;
+    for (size_t idx = 0; idx < table_.size(); ++idx) {
+      ++stats_->offchip_reads;  // full scan of the old table
+      if (counters_.PeekCounter(idx) == 0) continue;
+      const Bucket& b = table_[idx];
+      if (seen.emplace(b.key, true).second) {
+        items.emplace_back(b.key, b.value);
+      }
+    }
+    for (const auto& [k, v] : stash_.Items()) {
+      ++stats_->offchip_reads;
+      items.emplace_back(k, v);
+    }
+
+    McCuckooTable rebuilt(new_opts);
+    for (const auto& [k, v] : items) {
+      rebuilt.Insert(k, v);
+    }
+    // Keep cumulative statistics and lifetime counters across the rebuild.
+    *rebuilt.stats_ += *stats_;
+    rebuilt.redundant_writes_ += redundant_writes_;
+    rebuilt.first_collision_items_ = first_collision_items_;
+    rebuilt.first_failure_items_ = first_failure_items_;
+    *this = std::move(rebuilt);
+    return Status::OK();
+  }
+
+  // --- Stash maintenance (§III.E/F) -------------------------------------
+
+  /// Attempts to move stashed items back into the main table (no new
+  /// kick-out chains are started: only free/redundant buckets are used).
+  /// Returns how many items left the stash. Flags are left set (sticky).
+  size_t TryDrainStash() {
+    size_t drained = 0;
+    for (const auto& [k, v] : stash_.Items()) {
+      Candidates cand = ComputeCandidates(k);
+      const uint32_t placed = TryPlace(k, v, cand);
+      if (placed > 0) {
+        stash_.Erase(k);
+        ChargeStashWrite();
+        ++size_;
+        ++drained;
+      }
+    }
+    return drained;
+  }
+
+  /// Resets every stash flag and re-marks the candidates of the items
+  /// currently stashed, re-synchronizing the screen after stash deletions
+  /// (§III.F). Charges one off-chip write per flag actually changed.
+  void RebuildStashFlags() {
+    for (auto& b : table_) {
+      if (b.stash_flag) {
+        b.stash_flag = false;
+        ++stats_->offchip_writes;
+      }
+    }
+    for (const auto& [k, v] : stash_.Items()) {
+      (void)v;
+      Candidates cand = ComputeCandidates(k);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
+    }
+    stale_stash_flag_keys_ = 0;
+  }
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Live keys resident in the main table (excludes the stash).
+  size_t size() const { return size_; }
+
+  /// Keys currently parked in the stash.
+  size_t stash_size() const { return stash_.size(); }
+
+  /// Live keys anywhere (main table + stash).
+  size_t TotalItems() const { return size_ + stash_.size(); }
+
+  /// Total buckets (= key capacity for the single-slot layout).
+  uint64_t capacity() const { return table_.size(); }
+
+  /// Distinct-items-to-buckets ratio, the paper's "load ratio".
+  double load_factor() const {
+    return static_cast<double>(TotalItems()) / static_cast<double>(capacity());
+  }
+
+  const TableOptions& options() const { return opts_; }
+  const AccessStats& stats() const { return *stats_; }
+  void ResetStats() { *stats_ = AccessStats{}; }
+
+  /// Items present when the first real collision happened (0 = none yet) —
+  /// Table I's metric.
+  uint64_t first_collision_items() const { return first_collision_items_; }
+
+  /// Items present when the first insertion failure (stash spill) happened
+  /// (0 = none yet) — Fig 11's metric.
+  uint64_t first_failure_items() const { return first_failure_items_; }
+
+  /// Total proactive redundant copy writes so far (copies beyond each
+  /// item's first). Theorem 2 bounds this by capacity * (1 + sum_{t=3..d}
+  /// 1/t); for d = 3: 5/6 of the bucket count.
+  uint64_t redundant_writes() const { return redundant_writes_; }
+
+  /// Keys erased from the stash whose flags are now stale (false-positive
+  /// pressure on the screen; see RebuildStashFlags).
+  uint64_t stale_stash_flag_keys() const { return stale_stash_flag_keys_; }
+
+  /// Times a CHS-style on-chip stash exceeded its capacity — events where a
+  /// real deployment would have had to rehash (§II.B).
+  uint64_t forced_rehash_events() const { return forced_rehash_events_; }
+
+  /// Bytes of modeled on-chip memory (copy counters, plus MinCounter's
+  /// kick-history array when that policy is active).
+  size_t onchip_memory_bytes() const {
+    return counters_.counter_bytes() + kick_history_.memory_bytes();
+  }
+
+  /// Invokes `fn(key, value)` once per live key (main table + stash), in
+  /// unspecified order. Uncharged maintenance/snapshot path.
+  template <typename Fn>
+  void ForEachItem(Fn&& fn) const {
+    std::unordered_map<Key, bool> seen;
+    for (size_t idx = 0; idx < table_.size(); ++idx) {
+      if (counters_.PeekCounter(idx) == 0) continue;
+      const Bucket& b = table_[idx];
+      if (seen.emplace(b.key, true).second) fn(b.key, b.value);
+    }
+    for (const auto& [k, v] : stash_.Items()) fn(k, v);
+  }
+
+  /// Number of live copies of `key` in the main table (uncharged; testing).
+  uint32_t CountCopies(const Key& key) const {
+    Candidates cand = ComputeCandidates(key);
+    uint32_t copies = 0;
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      const size_t idx = cand.idx[t];
+      if (counters_.PeekCounter(idx) > 0 && table_[idx].key == key) ++copies;
+    }
+    return copies;
+  }
+
+  /// Exhaustively checks the structural invariants (uncharged; testing):
+  /// every live bucket's occupant hashes to that bucket; all copies of a
+  /// key are identical; every copy's counter equals the key's copy count;
+  /// tombstones only exist in kTombstone mode.
+  Status ValidateInvariants() const {
+    std::unordered_map<Key, std::vector<size_t>> copies;
+    for (size_t idx = 0; idx < table_.size(); ++idx) {
+      const uint64_t c = counters_.PeekCounter(idx);
+      if (counters_.PeekTombstone(idx)) {
+        if (opts_.deletion_mode != DeletionMode::kTombstone) {
+          return Status::Internal("tombstone outside kTombstone mode at " +
+                                  std::to_string(idx));
+        }
+        if (c != 0) {
+          return Status::Internal("tombstone with non-zero counter at " +
+                                  std::to_string(idx));
+        }
+        continue;
+      }
+      if (c == 0) continue;
+      if (c > opts_.num_hashes) {
+        return Status::Internal("counter exceeds d at " + std::to_string(idx));
+      }
+      const Key& k = table_[idx].key;
+      const uint32_t t = static_cast<uint32_t>(idx / opts_.buckets_per_table);
+      const uint64_t b = idx % opts_.buckets_per_table;
+      if (family_.Bucket(k, t) != b) {
+        return Status::Internal("occupant does not hash to bucket " +
+                                std::to_string(idx));
+      }
+      copies[k].push_back(idx);
+    }
+    for (const auto& [k, positions] : copies) {
+      for (size_t idx : positions) {
+        if (counters_.PeekCounter(idx) != positions.size()) {
+          return Status::Internal("counter != copy count at " +
+                                  std::to_string(idx));
+        }
+        if (!(table_[idx].value == table_[positions.front()].value)) {
+          return Status::Internal("diverged copy values for a key");
+        }
+      }
+    }
+    if (copies.size() != size_) {
+      return Status::Internal("size_ does not match live distinct keys: " +
+                              std::to_string(size_) + " vs " +
+                              std::to_string(copies.size()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Charges one stash probe: an off-chip read for the paper's off-chip
+  /// stash, an on-chip read for the classic CHS stash.
+  void ChargeStashProbe() {
+    ++stats_->stash_probes;
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_reads;
+    } else {
+      ++stats_->onchip_reads;
+    }
+  }
+
+  /// Charges one stash mutation (store/erase).
+  void ChargeStashWrite() {
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      ++stats_->offchip_writes;
+    } else {
+      ++stats_->onchip_writes;
+    }
+  }
+
+  /// The d global bucket indices of a key (index = t * buckets_per_table +
+  /// h_t(key); distinct across sub-tables by construction).
+  struct Candidates {
+    std::array<size_t, kMaxHashes> idx;
+  };
+
+  /// Candidate indices plus their counters/tombstones as read (once, all
+  /// charged) at the start of an operation, and which were bucket-read.
+  struct CandidateView {
+    std::array<size_t, kMaxHashes> idx{};
+    std::array<uint64_t, kMaxHashes> counter{};
+    std::array<bool, kMaxHashes> tombstone{};
+    std::array<bool, kMaxHashes> bucket_read{};  // flag available?
+    std::array<bool, kMaxHashes> flag_value{};
+    uint32_t d = 0;
+  };
+
+  /// Up to d global indices holding copies of one key.
+  struct CopySet {
+    std::array<size_t, kMaxHashes> idx;
+    uint32_t count = 0;
+  };
+
+  static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
+  Candidates ComputeCandidates(const Key& key) const {
+    Candidates c{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      c.idx[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
+                 family_.Bucket(key, t);
+    }
+    return c;
+  }
+
+  // --- charged memory choke points --------------------------------------
+
+  const Bucket& LoadBucket(size_t idx) {
+    ++stats_->offchip_reads;
+    return table_[idx];
+  }
+
+  void StoreBucket(size_t idx, const Key& key, const Value& value) {
+    ++stats_->offchip_writes;
+    Bucket& b = table_[idx];
+    b.key = key;
+    b.value = value;
+    // stash_flag is sticky: preserved across occupant changes.
+  }
+
+  void SetFlag(size_t idx) {
+    ++stats_->offchip_writes;
+    table_[idx].stash_flag = true;
+  }
+
+  // --- insertion ---------------------------------------------------------
+
+  /// Applies insertion principles 1-3: fills empty candidates, then
+  /// overwrites redundant copies in decreasing counter order while
+  /// V >= placed + 2. Returns the number of copies placed (0 = collision).
+  /// Updates counters of placed copies and of every displaced victim.
+  uint32_t TryPlace(const Key& key, const Value& value,
+                    const Candidates& cand) {
+    const uint32_t d = opts_.num_hashes;
+    std::array<uint64_t, kMaxHashes> cnt{};
+    std::array<bool, kMaxHashes> taken{};
+    for (uint32_t t = 0; t < d; ++t) {
+      cnt[t] = counters_.Get(cand.idx[t]);
+      // Tombstoned entries read as counter 0: "treated as zero for
+      // insertion" (§III.B.3), so principle 1 recycles them transparently.
+    }
+
+    std::array<size_t, kMaxHashes> placed{};
+    uint32_t n_placed = 0;
+
+    // Principle 1: occupy all the empty candidate buckets.
+    for (uint32_t t = 0; t < d; ++t) {
+      if (cnt[t] == 0) {
+        StoreBucket(cand.idx[t], key, value);
+        placed[n_placed++] = cand.idx[t];
+        taken[t] = true;
+      }
+    }
+
+    // Principles 2+3: overwrite occupied candidates in decreasing counter
+    // order while the victim keeps a lead of two copies; never touch value
+    // 1. Counters are re-read each round: one insertion can displace two
+    // copies of the *same* victim, whose counter drops in between.
+    while (n_placed < d) {
+      int best = -1;
+      uint64_t best_v = 0;
+      for (uint32_t t = 0; t < d; ++t) {
+        if (taken[t]) continue;
+        const uint64_t cur = counters_.Get(cand.idx[t]);
+        if (cur > best_v) {
+          best_v = cur;
+          best = static_cast<int>(t);
+        }
+      }
+      if (best < 0 || best_v < 2 || best_v < n_placed + 2) break;
+      OverwriteRedundantCopy(cand.idx[best], best_v, key, value);
+      placed[n_placed++] = cand.idx[best];
+      taken[best] = true;
+    }
+
+    if (n_placed == 0) return 0;
+    for (uint32_t i = 0; i < n_placed; ++i) {
+      counters_.Set(placed[i], n_placed);
+    }
+    redundant_writes_ += n_placed - 1;
+    return n_placed;
+  }
+
+  /// Displaces the redundant copy at `victim_idx` (counter `v` >= 2) with
+  /// (key, value), decrementing the victim item's other copies' counters.
+  void OverwriteRedundantCopy(size_t victim_idx, uint64_t v, const Key& key,
+                              const Value& value) {
+    assert(v >= 2);
+    const Key victim_key = LoadBucket(victim_idx).key;  // the Fig-10a read
+    CopySet others = LocateOtherCopies(victim_key, victim_idx, v);
+    for (uint32_t i = 0; i < others.count; ++i) {
+      counters_.Set(others.idx[i], v - 1);
+    }
+    StoreBucket(victim_idx, key, value);
+  }
+
+  /// Finds the v-1 buckets other than `known_idx` holding copies of `key`
+  /// (whose counter value is `v`). All of them lie in the value-v partition
+  /// of key's candidates; when the partition has exactly v members no reads
+  /// are needed, otherwise members are read until the unread remainder must
+  /// be the key's by pigeonhole.
+  CopySet LocateOtherCopies(const Key& key, size_t known_idx, uint64_t v) {
+    Candidates cand = ComputeCandidates(key);
+    std::array<size_t, kMaxHashes> group{};
+    uint32_t n_group = 0;
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      const size_t idx = cand.idx[t];
+      if (idx == known_idx) continue;
+      if (counters_.Get(idx) == v) group[n_group++] = idx;
+    }
+    const uint32_t need = static_cast<uint32_t>(v) - 1;
+    assert(n_group >= need);
+
+    CopySet out{};
+    uint32_t confirmed = 0;
+    for (uint32_t i = 0; i < n_group && confirmed < need; ++i) {
+      const uint32_t unread = n_group - i;
+      if (unread == need - confirmed) {
+        // Pigeonhole: every remaining partition member must be a copy.
+        for (uint32_t j = i; j < n_group; ++j) {
+          out.idx[out.count++] = group[j];
+          ++confirmed;
+        }
+        break;
+      }
+      if (LoadBucket(group[i]).key == key) {
+        out.idx[out.count++] = group[i];
+        ++confirmed;
+      }
+    }
+    assert(confirmed == need);
+    return out;
+  }
+
+  /// As LocateOtherCopies but includes `known_idx`, for erase/update.
+  CopySet LocateAllCopies(const Key& key, size_t known_idx, uint64_t v) {
+    CopySet out = LocateOtherCopies(key, known_idx, v);
+    out.idx[out.count++] = known_idx;
+    return out;
+  }
+
+  /// Counter-guided random walk (§III.D): at each step, if the in-hand item
+  /// has any empty or redundant candidate the counters reveal it and the
+  /// chain ends immediately; otherwise a random sole-copy occupant (never
+  /// the bucket just written) is evicted. On maxloop overrun the in-hand
+  /// item is stashed and its candidates' flags are set (§III.E).
+  InsertResult RandomWalkInsert(Key key, Value value) {
+    size_t exclude = kNoBucket;
+    for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
+      Candidates cand = ComputeCandidates(key);
+      if (loop > 0) {
+        const uint32_t placed = TryPlace(key, value, cand);
+        if (placed > 0) {
+          ++size_;  // net effect of the whole chain: the original key is in
+          return InsertResult::kInserted;
+        }
+      }
+      // All candidates hold sole copies: evict per the configured policy
+      // (uniform random, or MinCounter's coldest bucket), avoiding the
+      // bucket we just wrote (no immediate ping-pong).
+      const uint32_t t = PickVictim(cand.idx, opts_.num_hashes, exclude,
+                                    kick_history_, rng_);
+      const size_t idx = cand.idx[t];
+      const Bucket& victim = LoadBucket(idx);
+      Key vk = victim.key;
+      Value vv = victim.value;
+      StoreBucket(idx, key, value);
+      // Counter stays 1: the bucket still holds a sole copy.
+      ++stats_->kickouts;
+      if (kick_history_.enabled()) kick_history_.Increment(idx);
+      exclude = idx;
+      key = std::move(vk);
+      value = std::move(vv);
+    }
+    // Insertion failure: park the in-hand item in the stash.
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      Candidates cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
+    } else if (stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+  }
+
+  // --- lookup ------------------------------------------------------------
+
+  static uint32_t FindSlot(const CandidateView& view, int64_t idx) {
+    for (uint32_t t = 0; t < view.d; ++t) {
+      if (view.idx[t] == static_cast<size_t>(idx)) return t;
+    }
+    assert(false && "index not a candidate");
+    return 0;
+  }
+
+  /// Main-table probe implementing the lookup principles. Returns the
+  /// global index where the key was found (its value copied to `out`), or
+  /// -1 on a miss. Fills `*view` for the stash-screening decision.
+  int64_t FindInMain(const Key& key, Value* out, CandidateView* view) {
+    const uint32_t d = opts_.num_hashes;
+    Candidates cand = ComputeCandidates(key);
+    CandidateView& v = *view;
+    v.d = d;
+    bool any_zero = false;
+    for (uint32_t t = 0; t < d; ++t) {
+      v.idx[t] = cand.idx[t];
+      v.counter[t] = counters_.Get(cand.idx[t]);
+      v.tombstone[t] = (opts_.deletion_mode == DeletionMode::kTombstone) &&
+                       counters_.IsTombstone(cand.idx[t]);
+      v.bucket_read[t] = false;
+      v.flag_value[t] = false;
+      if (v.counter[t] == 0 && !v.tombstone[t]) any_zero = true;
+    }
+
+    // Principle 1 (Bloom rule): sound whenever counters cannot silently
+    // return to true zero, i.e. in kDisabled and kTombstone modes.
+    if (opts_.lookup_pruning_enabled && any_zero &&
+        opts_.deletion_mode != DeletionMode::kResetCounters) {
+      return -1;
+    }
+
+    auto probe = [&](uint32_t t) -> bool {
+      const Bucket& b = LoadBucket(cand.idx[t]);
+      v.bucket_read[t] = true;
+      v.flag_value[t] = b.stash_flag;
+      if (b.key == key) {
+        if (out != nullptr) *out = b.value;
+        return true;
+      }
+      return false;
+    };
+
+    if (!opts_.lookup_pruning_enabled) {
+      for (uint32_t t = 0; t < d; ++t) {
+        if (v.counter[t] == 0) continue;  // empty / tombstoned: no live copy
+        if (probe(t)) return static_cast<int64_t>(cand.idx[t]);
+      }
+      return -1;
+    }
+
+    // Principles 2+3: per-value partitions; skip impossible ones; probe at
+    // most S - V + 1 members of the rest.
+    for (uint64_t value = d; value >= 1; --value) {
+      uint32_t members[kMaxHashes];
+      uint32_t s = 0;
+      for (uint32_t t = 0; t < d; ++t) {
+        if (!v.tombstone[t] && v.counter[t] == value) members[s++] = t;
+      }
+      if (s < value) continue;  // impossible partition
+      const uint32_t probes = s - static_cast<uint32_t>(value) + 1;
+      for (uint32_t i = 0; i < probes; ++i) {
+        if (probe(members[i])) {
+          return static_cast<int64_t>(cand.idx[members[i]]);
+        }
+      }
+    }
+    return -1;
+  }
+
+  /// Decides whether a main-table miss warrants a stash probe (§III.E/F).
+  bool ShouldProbeStash(const CandidateView& v) const {
+    if (stash_.empty()) return false;  // stash size is an on-chip register
+    if (opts_.stash_kind == StashKind::kOnchipChs) return true;  // free probe
+    if (!opts_.stash_screen_enabled) return true;
+
+    bool any_zero = false, any_gt1 = false;
+    for (uint32_t t = 0; t < v.d; ++t) {
+      if (v.counter[t] == 0 && !v.tombstone[t]) any_zero = true;
+      if (v.counter[t] > 1) any_gt1 = true;
+    }
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      // A stashed key saw all-ones counters, and without deletions a
+      // counter can never fall back to 0 nor a sole copy gain copies.
+      if (any_zero || any_gt1) return false;
+      for (uint32_t t = 0; t < v.d; ++t) {
+        if (v.bucket_read[t] && !v.flag_value[t]) return false;
+      }
+      return true;
+    }
+    if (opts_.deletion_mode == DeletionMode::kTombstone && any_zero) {
+      // True zeros still prove "never inserted, never stashed".
+      return false;
+    }
+    // Deletion-enabled: only the flags of buckets actually read are
+    // trustworthy (§III.F); any 0 among them vetoes the probe.
+    for (uint32_t t = 0; t < v.d; ++t) {
+      if (v.bucket_read[t] && !v.flag_value[t]) return false;
+    }
+    return true;
+  }
+
+  TableOptions opts_;
+  Family family_;
+  std::vector<Bucket> table_;
+  // Heap-allocated so the pointer handed to CounterArray /
+  // KickHistory stays valid when the table is moved (Rehash,
+  // snapshot loading, factory returns).
+  mutable std::unique_ptr<AccessStats> stats_ =
+      std::make_unique<AccessStats>();
+  CounterArray counters_;
+  KickHistory kick_history_;
+  Stash<Key, Value> stash_;
+  Xoshiro256 rng_;
+
+  size_t size_ = 0;
+  uint64_t first_collision_items_ = 0;
+  uint64_t first_failure_items_ = 0;
+  uint64_t redundant_writes_ = 0;
+  uint64_t stale_stash_flag_keys_ = 0;
+  uint64_t forced_rehash_events_ = 0;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_MCCUCKOO_TABLE_H_

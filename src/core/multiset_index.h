@@ -1,0 +1,117 @@
+// Multiset support on top of McCuckoo (paper §III.H).
+//
+// McCuckoo cannot represent duplicate keys by spreading them over a key's
+// copies — all copies of a key must stay identical — so the paper
+// prescribes using the table "as an indexing structure pointing to the
+// address where all those items are actually stored". This adapter does
+// exactly that: records live in an append-only arena (the modeled bulk
+// store), each key's records form an intrusive chain through the arena, and
+// the McCuckoo value is the chain head. Adding a record under an existing
+// key updates every copy of the key to the new head (InsertOrAssign), so
+// the table's copy invariants are untouched.
+
+#ifndef MCCUCKOO_CORE_MULTISET_INDEX_H_
+#define MCCUCKOO_CORE_MULTISET_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/mccuckoo_table.h"
+
+namespace mccuckoo {
+
+/// A key -> {record, record, ...} index backed by a McCuckoo table.
+template <typename Key, typename Record, typename Hasher = BobHasher>
+class MultisetIndex {
+ public:
+  explicit MultisetIndex(const TableOptions& options) : index_(options) {}
+
+  /// Validating factory (mirrors the underlying table's checks).
+  static Result<MultisetIndex> Create(const TableOptions& options) {
+    Status s = options.Validate();
+    if (!s.ok()) return s;
+    if (options.slots_per_bucket != 1) {
+      return Status::InvalidArgument("MultisetIndex is single-slot");
+    }
+    return MultisetIndex(options);
+  }
+
+  /// Appends a record under `key`. Returns the insertion outcome of the
+  /// underlying table (kUpdated when the key already had records).
+  InsertResult Add(const Key& key, const Record& record) {
+    uint64_t head = kNil;
+    const bool existing = index_.Find(key, &head);
+    arena_.push_back(Entry{record, existing ? head : kNil});
+    const uint64_t new_head = arena_.size() - 1;
+    ++records_;
+    if (existing) {
+      return index_.InsertOrAssign(key, new_head);
+    }
+    return index_.Insert(key, new_head);
+  }
+
+  /// All records stored under `key`, most recently added first.
+  std::vector<Record> FindAll(const Key& key) const {
+    std::vector<Record> out;
+    uint64_t head = kNil;
+    if (!index_.Find(key, &head)) return out;
+    for (uint64_t at = head; at != kNil; at = arena_[at].next) {
+      out.push_back(arena_[at].record);
+    }
+    return out;
+  }
+
+  /// Number of records under `key` (0 when absent).
+  size_t Count(const Key& key) const {
+    size_t n = 0;
+    uint64_t head = kNil;
+    if (!index_.Find(key, &head)) return 0;
+    for (uint64_t at = head; at != kNil; at = arena_[at].next) ++n;
+    return n;
+  }
+
+  bool Contains(const Key& key) const { return index_.Contains(key); }
+
+  /// Removes the key and all its records. The arena entries become garbage
+  /// (the arena is append-only, as a log-structured bulk store would be);
+  /// returns how many records were dropped.
+  size_t EraseAll(const Key& key) {
+    const size_t n = Count(key);
+    if (n > 0) {
+      index_.Erase(key);
+      records_ -= n;
+    }
+    return n;
+  }
+
+  /// Distinct keys in the index.
+  size_t distinct_keys() const { return index_.TotalItems(); }
+
+  /// Live records across all keys.
+  size_t total_records() const { return records_; }
+
+  /// Arena entries including garbage from EraseAll (bulk-store footprint).
+  size_t arena_size() const { return arena_.size(); }
+
+  /// Access statistics of the underlying index table.
+  const AccessStats& stats() const { return index_.stats(); }
+
+  /// Underlying table (testing / advanced use).
+  const McCuckooTable<Key, uint64_t, Hasher>& table() const { return index_; }
+
+ private:
+  static constexpr uint64_t kNil = ~0ull;
+
+  struct Entry {
+    Record record;
+    uint64_t next;
+  };
+
+  McCuckooTable<Key, uint64_t, Hasher> index_;
+  std::vector<Entry> arena_;
+  size_t records_ = 0;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_MULTISET_INDEX_H_

@@ -1,0 +1,140 @@
+// Table snapshots: save a table's configuration and live items to a byte
+// stream and rebuild an equivalent table from it.
+//
+// The snapshot stores the *logical* contents (options + key/value pairs),
+// not the physical layout: Load re-inserts every item, so the rebuilt table
+// holds exactly the same mapping while its internal placement may differ
+// (fresh RNG state). This keeps the format trivial, versionable and valid
+// across layout changes. Works with any of the four tables (anything with
+// options(), TotalItems(), ForEachItem() and Insert()); keys and values
+// must be trivially copyable for the binary encoding.
+
+#ifndef MCCUCKOO_CORE_SNAPSHOT_H_
+#define MCCUCKOO_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+#include "src/common/status.h"
+#include "src/core/config.h"
+
+namespace mccuckoo {
+
+namespace snapshot_internal {
+
+inline constexpr uint64_t kMagic = 0x4D43434B534E4150ull;  // "MCCKSNAP"
+inline constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+inline void WriteOptions(std::ostream& os, const TableOptions& o) {
+  WritePod(os, o.num_hashes);
+  WritePod(os, o.buckets_per_table);
+  WritePod(os, o.slots_per_bucket);
+  WritePod(os, o.maxloop);
+  WritePod(os, o.seed);
+  WritePod(os, static_cast<uint32_t>(o.deletion_mode));
+  WritePod(os, static_cast<uint32_t>(o.eviction_policy));
+  WritePod(os, o.kick_counter_bits);
+  WritePod(os, o.stash_enabled);
+  WritePod(os, static_cast<uint32_t>(o.stash_kind));
+  WritePod(os, o.onchip_stash_capacity);
+  WritePod(os, o.stash_screen_enabled);
+  WritePod(os, o.lookup_pruning_enabled);
+}
+
+inline bool ReadOptions(std::istream& is, TableOptions* o) {
+  uint32_t deletion = 0, eviction = 0, stash_kind = 0;
+  bool ok = ReadPod(is, &o->num_hashes) &&
+            ReadPod(is, &o->buckets_per_table) &&
+            ReadPod(is, &o->slots_per_bucket) && ReadPod(is, &o->maxloop) &&
+            ReadPod(is, &o->seed) && ReadPod(is, &deletion) &&
+            ReadPod(is, &eviction) && ReadPod(is, &o->kick_counter_bits) &&
+            ReadPod(is, &o->stash_enabled) && ReadPod(is, &stash_kind) &&
+            ReadPod(is, &o->onchip_stash_capacity) &&
+            ReadPod(is, &o->stash_screen_enabled) &&
+            ReadPod(is, &o->lookup_pruning_enabled);
+  if (!ok || deletion > 2 || eviction > 2 || stash_kind > 1) return false;
+  o->deletion_mode = static_cast<DeletionMode>(deletion);
+  o->eviction_policy = static_cast<EvictionPolicy>(eviction);
+  o->stash_kind = static_cast<StashKind>(stash_kind);
+  return true;
+}
+
+}  // namespace snapshot_internal
+
+/// Writes `table`'s options and live items to `os`.
+template <typename Table>
+Status SaveSnapshot(const Table& table, std::ostream& os) {
+  using Key = typename Table::KeyType;
+  using Value = typename Table::ValueType;
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                    std::is_trivially_copyable_v<Value>,
+                "snapshot encoding requires trivially copyable key/value");
+  namespace si = snapshot_internal;
+  si::WritePod(os, si::kMagic);
+  si::WritePod(os, si::kVersion);
+  si::WriteOptions(os, table.options());
+  si::WritePod(os, static_cast<uint64_t>(table.TotalItems()));
+  table.ForEachItem([&os](const Key& k, const Value& v) {
+    si::WritePod(os, k);
+    si::WritePod(os, v);
+  });
+  if (!os) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+/// Rebuilds a table from a snapshot written by SaveSnapshot<Table>.
+template <typename Table>
+Result<Table> LoadSnapshot(std::istream& is) {
+  using Key = typename Table::KeyType;
+  using Value = typename Table::ValueType;
+  namespace si = snapshot_internal;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!si::ReadPod(is, &magic) || magic != si::kMagic) {
+    return Status::InvalidArgument("not a McCuckoo snapshot");
+  }
+  if (!si::ReadPod(is, &version) || version != si::kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  TableOptions options;
+  if (!si::ReadOptions(is, &options)) {
+    return Status::InvalidArgument("corrupt snapshot header");
+  }
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  uint64_t count = 0;
+  if (!si::ReadPod(is, &count)) {
+    return Status::InvalidArgument("corrupt snapshot item count");
+  }
+  Table table(options);
+  for (uint64_t i = 0; i < count; ++i) {
+    Key k{};
+    Value v{};
+    if (!si::ReadPod(is, &k) || !si::ReadPod(is, &v)) {
+      return Status::InvalidArgument("snapshot truncated at item " +
+                                     std::to_string(i));
+    }
+    table.Insert(k, v);
+  }
+  return table;
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_SNAPSHOT_H_

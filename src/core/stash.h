@@ -1,0 +1,61 @@
+// Off-chip stash for insertion failures (paper §III.E).
+//
+// When a kick-out chain exceeds maxloop, the in-hand item is parked in the
+// stash instead of triggering a full rehash. McCuckoo's stash lives in
+// abundant off-chip memory, so unlike the classic on-chip 4-entry stash it
+// can absorb large insertion surges; the cost of probing it is contained by
+// the screening rules in the table (counters + per-bucket flags). The stash
+// itself is hash-organized ("more advanced hash techniques", §III.E), so one
+// probe costs one off-chip access — the table charges that access.
+
+#ifndef MCCUCKOO_CORE_STASH_H_
+#define MCCUCKOO_CORE_STASH_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mccuckoo {
+
+/// Hash-organized overflow store. Uncharged: callers (the tables) account
+/// the off-chip accesses so screening decisions stay in one place.
+template <typename Key, typename Value>
+class Stash {
+ public:
+  /// Adds (key, value). Returns false if the key was already stashed (the
+  /// existing value is replaced).
+  bool Insert(const Key& key, const Value& value) {
+    auto [it, inserted] = items_.insert_or_assign(key, value);
+    (void)it;
+    return inserted;
+  }
+
+  /// Looks `key` up; copies the value into `*out` (if non-null) when found.
+  bool Find(const Key& key, Value* out) const {
+    auto it = items_.find(key);
+    if (it == items_.end()) return false;
+    if (out != nullptr) *out = it->second;
+    return true;
+  }
+
+  /// Removes `key`. Returns whether it was present.
+  bool Erase(const Key& key) { return items_.erase(key) > 0; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Snapshot of the stashed pairs (for draining / flag rebuilds).
+  std::vector<std::pair<Key, Value>> Items() const {
+    return {items_.begin(), items_.end()};
+  }
+
+  void Clear() { items_.clear(); }
+
+ private:
+  std::unordered_map<Key, Value> items_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_STASH_H_

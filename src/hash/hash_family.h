@@ -1,0 +1,117 @@
+// A family of d independent bucket-index functions.
+//
+// Cuckoo hashing needs h_1..h_d : Key -> [0, n). HashFamily derives them
+// from one seedable Hasher with d decorrelated per-table seeds, and maps the
+// 64-bit hash onto [0, n) with the multiply-shift reduction so n can be any
+// size (no power-of-two restriction).
+
+#ifndef MCCUCKOO_HASH_HASH_FAMILY_H_
+#define MCCUCKOO_HASH_HASH_FAMILY_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+#include "src/hash/hashers.h"
+
+namespace mccuckoo {
+
+/// Maximum number of hash functions supported by the tables. d = 3 suffices
+/// for >90% load (paper §III.B); 4 is exposed for sensitivity experiments.
+inline constexpr uint32_t kMaxHashes = 4;
+
+/// d decorrelated bucket-index functions over one Hasher.
+template <typename Key, typename Hasher = BobHasher>
+class HashFamily {
+ public:
+  /// Creates a family of `d` functions onto [0, buckets_per_table), with all
+  /// per-table seeds derived from `seed`.
+  HashFamily(uint32_t d, uint64_t buckets_per_table, uint64_t seed)
+      : d_(d), buckets_per_table_(buckets_per_table) {
+    assert(d >= 2 && d <= kMaxHashes);
+    assert(buckets_per_table > 0);
+    for (uint32_t t = 0; t < kMaxHashes; ++t) {
+      seeds_[t] = SplitMix64(seed + 0x517CC1B727220A95ull * (t + 1));
+    }
+  }
+
+  /// Number of hash functions.
+  uint32_t d() const { return d_; }
+
+  /// Buckets per sub-table.
+  uint64_t buckets_per_table() const { return buckets_per_table_; }
+
+  /// Bucket index of `key` in sub-table `t` (0-based, t < d).
+  uint64_t Bucket(const Key& key, uint32_t t) const {
+    assert(t < d_);
+    return FastRange64(hasher_(key, seeds_[t]), buckets_per_table_);
+  }
+
+  /// All d bucket indices of `key`. Entries past d() are unspecified.
+  std::array<uint64_t, kMaxHashes> Buckets(const Key& key) const {
+    std::array<uint64_t, kMaxHashes> out{};
+    for (uint32_t t = 0; t < d_; ++t) out[t] = Bucket(key, t);
+    return out;
+  }
+
+ private:
+  uint32_t d_;
+  uint64_t buckets_per_table_;
+  std::array<uint64_t, kMaxHashes> seeds_{};
+  Hasher hasher_;
+};
+
+/// Double-hashing family [21]: h_t(x) = h1(x) + t * h2(x) (mod n), with
+/// h2 forced non-zero mod n. Computes two hashes total instead of d — the
+/// hash-cost reduction of Mitzenmacher et al., who show cuckoo load
+/// thresholds are unaffected. Drop-in replacement for HashFamily via the
+/// tables' Family template parameter.
+template <typename Key, typename Hasher = BobHasher>
+class DoubleHashFamily {
+ public:
+  DoubleHashFamily(uint32_t d, uint64_t buckets_per_table, uint64_t seed)
+      : d_(d), buckets_per_table_(buckets_per_table) {
+    assert(d >= 2 && d <= kMaxHashes);
+    assert(buckets_per_table > 0);
+    seed1_ = SplitMix64(seed + 0x6A09E667F3BCC909ull);
+    seed2_ = SplitMix64(seed + 0xBB67AE8584CAA73Bull);
+  }
+
+  uint32_t d() const { return d_; }
+  uint64_t buckets_per_table() const { return buckets_per_table_; }
+
+  /// Bucket index of `key` in sub-table `t`.
+  uint64_t Bucket(const Key& key, uint32_t t) const {
+    assert(t < d_);
+    const uint64_t n = buckets_per_table_;
+    const uint64_t h1 = hasher_(key, seed1_) % n;
+    const uint64_t h2 =
+        n > 1 ? hasher_(key, seed2_) % (n - 1) + 1 : 0;  // non-zero mod n
+    return (h1 + static_cast<uint64_t>(t) * h2) % n;
+  }
+
+  /// All d bucket indices (two hash evaluations total).
+  std::array<uint64_t, kMaxHashes> Buckets(const Key& key) const {
+    const uint64_t n = buckets_per_table_;
+    const uint64_t h1 = hasher_(key, seed1_) % n;
+    const uint64_t h2 = n > 1 ? hasher_(key, seed2_) % (n - 1) + 1 : 0;
+    std::array<uint64_t, kMaxHashes> out{};
+    for (uint32_t t = 0; t < d_; ++t) {
+      out[t] = (h1 + static_cast<uint64_t>(t) * h2) % n;
+    }
+    return out;
+  }
+
+ private:
+  uint32_t d_;
+  uint64_t buckets_per_table_;
+  uint64_t seed1_;
+  uint64_t seed2_;
+  Hasher hasher_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_HASH_HASH_FAMILY_H_

@@ -1,0 +1,33 @@
+// Bob Jenkins' hash functions.
+//
+// The paper uses "BOB Hash" (burtleburtle.net/bob/hash/evahash.html), which
+// is Jenkins' 1996 `lookup2` hash. We provide a faithful reimplementation of
+// lookup2 plus the stronger 2006 `lookup3` (hashlittle2) variant, both
+// seedable, so a d-hash family can be derived from one algorithm with d
+// seeds exactly as the paper's experiments do.
+
+#ifndef MCCUCKOO_HASH_JENKINS_H_
+#define MCCUCKOO_HASH_JENKINS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// Jenkins lookup2 ("evahash", 1996) over an arbitrary byte string.
+/// Returns a 32-bit hash; `seed` is the `initval` of the original code.
+uint32_t JenkinsLookup2(const void* data, size_t len, uint32_t seed);
+
+/// Jenkins lookup3 `hashlittle2` (2006): computes two independent 32-bit
+/// hashes in one pass, returned packed as (pc | pb << 32). `seed` seeds both
+/// lanes.
+uint64_t JenkinsLookup3(const void* data, size_t len, uint64_t seed);
+
+/// 64-bit convenience built from two lookup2 passes with decorrelated
+/// seeds. This mirrors the common practice of deriving wide hashes from BOB
+/// hash on 32-bit hardware.
+uint64_t JenkinsLookup2x64(const void* data, size_t len, uint64_t seed);
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_HASH_JENKINS_H_

@@ -1,0 +1,26 @@
+// MurmurHash3 x64_128 (Austin Appleby, public domain) — another alternative
+// Hasher. The 128-bit result is returned as two 64-bit halves; the table
+// hashers use the low half.
+
+#ifndef MCCUCKOO_HASH_MURMUR3_H_
+#define MCCUCKOO_HASH_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace mccuckoo {
+
+/// MurmurHash3 x64_128 of `len` bytes at `data` under `seed`; returns
+/// (h1, h2).
+std::pair<uint64_t, uint64_t> Murmur3x64_128(const void* data, size_t len,
+                                             uint64_t seed);
+
+/// Convenience 64-bit form (low half of the 128-bit hash).
+inline uint64_t Murmur3x64(const void* data, size_t len, uint64_t seed) {
+  return Murmur3x64_128(data, len, seed).first;
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_HASH_MURMUR3_H_

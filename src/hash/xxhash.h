@@ -1,0 +1,19 @@
+// XXH64 — a fast modern 64-bit hash, provided as an alternative Hasher for
+// the tables (the paper's access-count results are hash-agnostic as long as
+// the family is uniform; wall-clock microbenchmarks are not).
+
+#ifndef MCCUCKOO_HASH_XXHASH_H_
+#define MCCUCKOO_HASH_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// XXH64 of `len` bytes at `data` under `seed`. Faithful reimplementation
+/// of the reference algorithm (Yann Collet, BSD).
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_HASH_XXHASH_H_

@@ -1,0 +1,58 @@
+// Memory-hierarchy access accounting.
+//
+// The paper's headline metrics (Figs 9-14, Tables I-III) are *counts of
+// memory accesses* on a two-level hierarchy: a small fast on-chip memory
+// holding the counter array, and a large slow off-chip memory holding the
+// buckets and the stash. Every table in this library funnels its memory
+// traffic through single choke points that bump these counters, so the
+// experiment harness measures by taking deltas around operation batches.
+//
+// Granularity follows the paper (and [33]): touching a bucket — no matter
+// how many of its slots — costs one off-chip access, because the whole
+// bucket is fetched/written in one memory transaction.
+
+#ifndef MCCUCKOO_MEM_ACCESS_STATS_H_
+#define MCCUCKOO_MEM_ACCESS_STATS_H_
+
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// Running access counters for one table instance.
+struct AccessStats {
+  uint64_t offchip_reads = 0;   ///< Bucket / stash reads from slow memory.
+  uint64_t offchip_writes = 0;  ///< Bucket / stash / flag writes.
+  uint64_t onchip_reads = 0;    ///< Counter-array reads (SRAM).
+  uint64_t onchip_writes = 0;   ///< Counter-array writes (SRAM).
+  uint64_t kickouts = 0;        ///< Item relocations (evictions of a live sole copy).
+  uint64_t stash_probes = 0;    ///< Lookups/deletes that had to consult the stash.
+
+  /// Total off-chip traffic.
+  uint64_t offchip_total() const { return offchip_reads + offchip_writes; }
+
+  /// Component-wise difference (this - earlier); used to measure one batch.
+  AccessStats operator-(const AccessStats& earlier) const {
+    AccessStats d;
+    d.offchip_reads = offchip_reads - earlier.offchip_reads;
+    d.offchip_writes = offchip_writes - earlier.offchip_writes;
+    d.onchip_reads = onchip_reads - earlier.onchip_reads;
+    d.onchip_writes = onchip_writes - earlier.onchip_writes;
+    d.kickouts = kickouts - earlier.kickouts;
+    d.stash_probes = stash_probes - earlier.stash_probes;
+    return d;
+  }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    offchip_reads += other.offchip_reads;
+    offchip_writes += other.offchip_writes;
+    onchip_reads += other.onchip_reads;
+    onchip_writes += other.onchip_writes;
+    kickouts += other.kickouts;
+    stash_probes += other.stash_probes;
+    return *this;
+  }
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_MEM_ACCESS_STATS_H_

@@ -1,0 +1,54 @@
+#include "src/mem/latency_model.h"
+
+#include <cassert>
+
+#include "src/common/bits.h"
+
+namespace mccuckoo {
+
+LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {
+  assert(config_.logic_clock_hz > 0 && config_.mem_clock_hz > 0);
+  logic_ns_ = 1e9 / config_.logic_clock_hz;
+  mem_ns_ = 1e9 / config_.mem_clock_hz;
+}
+
+double LatencyModel::OperationNanos(const AccessStats& trace,
+                                    uint32_t record_bytes) const {
+  assert(record_bytes > 0);
+  // Bursts beyond the first add transfer clocks to every off-chip access.
+  const uint64_t extra_bursts =
+      CeilDiv(record_bytes, config_.burst_bytes) - 1;
+  const double read_ns =
+      (config_.offchip_read_clks + extra_bursts * config_.burst_clks) *
+      mem_ns_;
+  const double write_ns =
+      (config_.offchip_write_clks + extra_bursts * config_.burst_clks) *
+      mem_ns_;
+
+  double ns = 0.0;
+  ns += config_.logic_clks_per_op * logic_ns_;
+  ns += trace.onchip_reads * config_.onchip_read_clks * logic_ns_;
+  ns += trace.onchip_writes * config_.onchip_write_clks * logic_ns_;
+  ns += trace.offchip_reads * read_ns;
+  ns += trace.offchip_writes * write_ns;
+  return ns;
+}
+
+double LatencyModel::AverageNanos(const AccessStats& trace, uint64_t num_ops,
+                                  uint32_t record_bytes) const {
+  assert(num_ops > 0);
+  // Logic cost is per operation; access costs are already totals.
+  AccessStats per = trace;
+  const double total =
+      OperationNanos(per, record_bytes) +
+      (num_ops - 1) * config_.logic_clks_per_op * (1e9 / config_.logic_clock_hz);
+  return total / static_cast<double>(num_ops);
+}
+
+double LatencyModel::ThroughputMops(const AccessStats& trace, uint64_t num_ops,
+                                    uint32_t record_bytes) const {
+  const double avg_ns = AverageNanos(trace, num_ops, record_bytes);
+  return avg_ns > 0 ? 1e3 / avg_ns : 0.0;
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,45 @@
+#include "src/sim/reporter.h"
+
+#include <cstdio>
+
+namespace mccuckoo {
+
+void PrintRunHeader(
+    const std::string& experiment,
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  for (const auto& [k, v] : params) {
+    std::printf("  %s = %s\n", k.c_str(), v.c_str());
+  }
+  std::printf("\n");
+}
+
+Status EmitTable(const TextTable& table, const Flags& flags,
+                 const std::string& suffix) {
+  std::fputs(table.ToAligned().c_str(), stdout);
+  std::printf("\n");
+
+  const std::string path = flags.GetString("csv", "");
+  if (path.empty()) return Status::OK();
+
+  std::string target = path;
+  if (!suffix.empty()) {
+    const size_t dot = target.rfind('.');
+    if (dot == std::string::npos) {
+      target += "_" + suffix;
+    } else {
+      target = target.substr(0, dot) + "_" + suffix + target.substr(dot);
+    }
+  }
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + target);
+  }
+  const std::string csv = table.ToCsv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  std::printf("(csv written to %s)\n\n", target.c_str());
+  return Status::OK();
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,31 @@
+// Uniform experiment output: a run header echoing the configuration, the
+// aligned results table on stdout, and an optional CSV mirror (--csv=PATH).
+
+#ifndef MCCUCKOO_SIM_REPORTER_H_
+#define MCCUCKOO_SIM_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/format.h"
+#include "src/common/status.h"
+
+namespace mccuckoo {
+
+/// Prints "=== <experiment> ===" plus one "key = value" line per parameter
+/// pair, so every run is self-describing and reproducible.
+void PrintRunHeader(const std::string& experiment,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        params);
+
+/// Prints the aligned table to stdout; if --csv=PATH was given, also writes
+/// the CSV form there (appending "_<suffix>" before the extension when a
+/// suffix is provided — for multi-table experiments). Returns a Status for
+/// the file I/O.
+Status EmitTable(const TextTable& table, const Flags& flags,
+                 const std::string& suffix = "");
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_SIM_REPORTER_H_

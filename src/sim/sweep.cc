@@ -1,0 +1,88 @@
+#include "src/sim/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mccuckoo {
+
+PhaseStats FillToLoad(SchemeTable& table, const std::vector<uint64_t>& keys,
+                      double target_load, size_t* cursor) {
+  PhaseStats phase;
+  const AccessStats before = table.stats();
+  const uint64_t target_items =
+      static_cast<uint64_t>(target_load * static_cast<double>(table.capacity()));
+  while (table.TotalItems() < target_items && *cursor < keys.size()) {
+    const uint64_t key = keys[(*cursor)++];
+    table.Insert(key, ValueFor(key));
+    ++phase.ops;
+  }
+  phase.delta = table.stats() - before;
+  return phase;
+}
+
+PhaseStats MeasureLookups(SchemeTable& table,
+                          const std::vector<uint64_t>& keys, uint64_t count,
+                          bool expect_hit, uint64_t* hits) {
+  PhaseStats phase;
+  uint64_t found = 0;
+  const AccessStats before = table.stats();
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = keys[i % keys.size()];
+    uint64_t value = 0;
+    const bool hit = table.Find(key, &value);
+    if (hit) {
+      ++found;
+      if (expect_hit && value != ValueFor(key)) {
+        std::fprintf(stderr, "MeasureLookups: corrupted value for key %llu\n",
+                     static_cast<unsigned long long>(key));
+        std::abort();
+      }
+    } else if (expect_hit) {
+      std::fprintf(stderr, "MeasureLookups: lost key %llu\n",
+                   static_cast<unsigned long long>(key));
+      std::abort();
+    }
+    ++phase.ops;
+  }
+  phase.delta = table.stats() - before;
+  if (hits != nullptr) *hits = found;
+  return phase;
+}
+
+PhaseStats MeasureLookupHistogram(SchemeTable& table,
+                                  const std::vector<uint64_t>& keys,
+                                  uint64_t count, bool expect_hit,
+                                  AccessHistogram* hist) {
+  PhaseStats phase;
+  const AccessStats before = table.stats();
+  uint64_t last_reads = before.offchip_reads;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = keys[i % keys.size()];
+    const bool hit = table.Find(key, nullptr);
+    if (expect_hit && !hit) {
+      std::fprintf(stderr, "MeasureLookupHistogram: lost key %llu\n",
+                   static_cast<unsigned long long>(key));
+      std::abort();
+    }
+    const uint64_t now = table.stats().offchip_reads;
+    hist->Record(now - last_reads);
+    last_reads = now;
+    ++phase.ops;
+  }
+  phase.delta = table.stats() - before;
+  return phase;
+}
+
+PhaseStats MeasureErases(SchemeTable& table,
+                         const std::vector<uint64_t>& keys) {
+  PhaseStats phase;
+  const AccessStats before = table.stats();
+  for (const uint64_t key : keys) {
+    table.Erase(key);
+    ++phase.ops;
+  }
+  phase.delta = table.stats() - before;
+  return phase;
+}
+
+}  // namespace mccuckoo

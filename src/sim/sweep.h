@@ -1,0 +1,97 @@
+// Experiment-sweep helpers shared by the bench binaries.
+//
+// Every figure in §IV is some combination of: fill a table to a target
+// load while measuring per-insertion costs, then probe it with
+// existing/missing keys or delete from it while measuring per-operation
+// costs. These helpers implement those phases once, over the SchemeTable
+// façade, so each bench binary is just parameters + printing.
+
+#ifndef MCCUCKOO_SIM_SWEEP_H_
+#define MCCUCKOO_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/access_stats.h"
+#include "src/sim/schemes.h"
+
+namespace mccuckoo {
+
+/// Access-stat delta over a counted batch of operations.
+struct PhaseStats {
+  AccessStats delta;
+  uint64_t ops = 0;
+
+  double ReadsPerOp() const {
+    return ops ? static_cast<double>(delta.offchip_reads) / ops : 0.0;
+  }
+  double WritesPerOp() const {
+    return ops ? static_cast<double>(delta.offchip_writes) / ops : 0.0;
+  }
+  double AccessesPerOp() const { return ReadsPerOp() + WritesPerOp(); }
+  double KickoutsPerOp() const {
+    return ops ? static_cast<double>(delta.kickouts) / ops : 0.0;
+  }
+  double StashProbesPerOp() const {
+    return ops ? static_cast<double>(delta.stash_probes) / ops : 0.0;
+  }
+
+  PhaseStats& operator+=(const PhaseStats& other) {
+    delta += other.delta;
+    ops += other.ops;
+    return *this;
+  }
+};
+
+/// Inserts keys[*cursor..] until TotalItems reaches `target_load` *
+/// capacity (or the keys run out). Advances *cursor and returns the phase's
+/// stats. Insertion failures (stash spills) still count as one op.
+PhaseStats FillToLoad(SchemeTable& table, const std::vector<uint64_t>& keys,
+                      double target_load, size_t* cursor);
+
+/// Looks up `count` keys drawn round-robin from `keys`; values are
+/// verified to be key-derived when `expect_hit` is true. Returns the
+/// phase's stats; `hits` (optional) receives the number found.
+PhaseStats MeasureLookups(SchemeTable& table,
+                          const std::vector<uint64_t>& keys, uint64_t count,
+                          bool expect_hit, uint64_t* hits = nullptr);
+
+/// Erases the given keys (each once). Returns the phase's stats.
+PhaseStats MeasureErases(SchemeTable& table,
+                         const std::vector<uint64_t>& keys);
+
+/// Distribution of per-operation off-chip read counts. Bin i holds the
+/// number of operations that needed exactly i reads; the last bin
+/// aggregates everything >= kBins - 1.
+struct AccessHistogram {
+  static constexpr size_t kBins = 8;
+  uint64_t bin[kBins] = {};
+  uint64_t total = 0;
+
+  void Record(uint64_t reads) {
+    ++bin[reads < kBins - 1 ? reads : kBins - 1];
+    ++total;
+  }
+  /// Fraction of operations that used exactly `i` reads (i < kBins - 1) or
+  /// at least kBins - 1 reads (i == kBins - 1).
+  double Fraction(size_t i) const {
+    return total ? static_cast<double>(bin[i]) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// As MeasureLookups but additionally bins each lookup's off-chip read
+/// count into `*hist` — used to verify the paper's claim that a large
+/// portion of queries complete with zero or one access.
+PhaseStats MeasureLookupHistogram(SchemeTable& table,
+                                  const std::vector<uint64_t>& keys,
+                                  uint64_t count, bool expect_hit,
+                                  AccessHistogram* hist);
+
+/// The conventional value stored for a key in all experiments (lets
+/// lookups verify integrity cheaply).
+inline uint64_t ValueFor(uint64_t key) { return key * 2654435761u + 1; }
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_SIM_SWEEP_H_

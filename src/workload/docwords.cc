@@ -1,0 +1,53 @@
+#include "src/workload/docwords.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/workload/zipf.h"
+
+namespace mccuckoo {
+
+std::vector<uint64_t> GenerateDocWordsKeys(uint64_t count,
+                                           const DocWordsConfig& config) {
+  assert(config.vocabulary >= 1 && config.vocabulary < (1ull << 20));
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+
+  Xoshiro256 rng(config.seed);
+  ZipfGenerator zipf(config.vocabulary, config.zipf_theta);
+
+  // Log-normal document length with the requested mean:
+  // mean = exp(mu + sigma^2 / 2)  =>  mu = ln(mean) - sigma^2 / 2.
+  const double sigma = config.doc_length_sigma;
+  const double mu = std::log(config.mean_words_per_doc) - sigma * sigma / 2;
+
+  uint64_t doc_id = 0;
+  std::unordered_set<uint32_t> words_in_doc;
+  while (keys.size() < count) {
+    // Box-Muller normal sample for the document's log-length.
+    const double u1 = rng.NextDouble();
+    const double u2 = rng.NextDouble();
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1 + 1e-18)) * std::cos(6.283185307179586 * u2);
+    uint64_t doc_len =
+        static_cast<uint64_t>(std::llround(std::exp(mu + sigma * normal)));
+    if (doc_len < 1) doc_len = 1;
+    // A document cannot contain more distinct words than the vocabulary;
+    // very skewed Zipf also makes large distinct sets slow to fill, so cap
+    // at half the vocabulary.
+    if (doc_len > config.vocabulary / 2 + 1) doc_len = config.vocabulary / 2 + 1;
+
+    words_in_doc.clear();
+    while (words_in_doc.size() < doc_len && keys.size() < count) {
+      const uint32_t word = static_cast<uint32_t>(zipf.Sample(rng));
+      if (!words_in_doc.insert(word).second) continue;  // bag-of-words dedup
+      keys.push_back((doc_id << 20) | word);
+    }
+    ++doc_id;
+  }
+  return keys;
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,40 @@
+// Synthetic DocWords workload (documented substitution, see DESIGN.md §3).
+//
+// The paper inserts the NYTimes collection of the UCI "DocWords"
+// bag-of-words dataset: each item is a (DocID, WordID) pair combined into
+// one key. That dataset is not redistributable offline, so this generator
+// produces the closest synthetic equivalent: documents of log-normally
+// distributed length drawing WordIDs from a Zipf(theta) vocabulary, with
+// per-document de-duplication (bag-of-words lists each (doc, word) pair at
+// most once). Keys are unique by construction — DocID occupies the high
+// bits — which is the only property the hash tables can observe after BOB
+// hashing: every experiment's behaviour is a function of distinct-key count
+// vs table size, not of the key values themselves.
+
+#ifndef MCCUCKOO_WORKLOAD_DOCWORDS_H_
+#define MCCUCKOO_WORKLOAD_DOCWORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mccuckoo {
+
+/// Generator parameters; defaults approximate the NYTimes collection
+/// (vocabulary ~102k words, ~70M pairs over ~300k documents means ~230
+/// distinct words per document).
+struct DocWordsConfig {
+  uint64_t vocabulary = 102'660;   ///< Distinct WordIDs.
+  double zipf_theta = 1.0;         ///< Word-popularity skew.
+  double mean_words_per_doc = 230; ///< Mean distinct words per document.
+  double doc_length_sigma = 0.6;   ///< Log-normal sigma of document length.
+  uint64_t seed = 0xD0C;           ///< Generator seed.
+};
+
+/// Produces `count` unique (DocID << 20 | WordID) keys. Deterministic for a
+/// given config.
+std::vector<uint64_t> GenerateDocWordsKeys(uint64_t count,
+                                           const DocWordsConfig& config = {});
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_WORKLOAD_DOCWORDS_H_

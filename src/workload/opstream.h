@@ -1,0 +1,74 @@
+// Mixed operation streams for integration tests and examples.
+//
+// Produces a deterministic sequence of insert/lookup/erase operations over
+// a key universe, with configurable mix ratios — the kind of read-heavy
+// workload (§III.H) a KV cache or flow table sees in production.
+
+#ifndef MCCUCKOO_WORKLOAD_OPSTREAM_H_
+#define MCCUCKOO_WORKLOAD_OPSTREAM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mccuckoo {
+
+/// One operation of a generated stream.
+struct Op {
+  enum class Kind { kInsert, kLookup, kErase };
+  Kind kind;
+  uint64_t key;
+};
+
+/// Stream configuration; fractions must sum to <= 1, the remainder becomes
+/// lookups of never-inserted keys (negative lookups).
+struct OpStreamConfig {
+  double insert_fraction = 0.10;
+  double lookup_fraction = 0.80;  ///< Lookups of (probably) present keys.
+  double erase_fraction = 0.05;
+  uint64_t seed = 42;
+};
+
+/// Generates `count` operations. Inserts draw fresh unique keys; lookups
+/// and erases target previously inserted keys (erased keys are not
+/// re-targeted); the residual fraction produces negative lookups on a
+/// disjoint key range.
+inline std::vector<Op> GenerateOpStream(uint64_t count,
+                                        const OpStreamConfig& config) {
+  assert(config.insert_fraction + config.lookup_fraction +
+             config.erase_fraction <=
+         1.0 + 1e-9);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Xoshiro256 rng(config.seed);
+  std::vector<uint64_t> live;
+  uint64_t next_insert = 0;
+  uint64_t next_negative = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble();
+    if (u < config.insert_fraction || live.empty()) {
+      const uint64_t key = SplitMix64(next_insert++);  // stream 0
+      live.push_back(key);
+      ops.push_back({Op::Kind::kInsert, key});
+    } else if (u < config.insert_fraction + config.lookup_fraction) {
+      ops.push_back({Op::Kind::kLookup, live[rng.Below(live.size())]});
+    } else if (u < config.insert_fraction + config.lookup_fraction +
+                       config.erase_fraction) {
+      const size_t pick = rng.Below(live.size());
+      ops.push_back({Op::Kind::kErase, live[pick]});
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      // Negative lookup: disjoint key stream (high bit set).
+      ops.push_back(
+          {Op::Kind::kLookup, SplitMix64((1ull << 40) + next_negative++)});
+    }
+  }
+  return ops;
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_WORKLOAD_OPSTREAM_H_

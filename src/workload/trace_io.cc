@@ -1,0 +1,58 @@
+#include "src/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace mccuckoo {
+
+Result<std::vector<uint64_t>> ParseDocWordsStream(std::istream& in,
+                                                  uint64_t limit) {
+  uint64_t num_docs = 0, vocab = 0, nnz = 0;
+  if (!(in >> num_docs >> vocab >> nnz)) {
+    return Status::InvalidArgument(
+        "bad DocWords header (want: D, W, NNZ on three lines)");
+  }
+  if (vocab >= (1ull << 20)) {
+    return Status::OutOfRange("vocabulary too large for the 20-bit WordID "
+                              "packing (max 1048575)");
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(limit ? limit : nnz);
+  std::unordered_set<uint64_t> seen;
+
+  uint64_t doc = 0, word = 0, count = 0;
+  uint64_t line = 0;
+  while (in >> doc >> word >> count) {
+    ++line;
+    if (word == 0 || word > vocab) {
+      return Status::OutOfRange("wordID " + std::to_string(word) +
+                                " outside [1, W] at triple " +
+                                std::to_string(line));
+    }
+    if (doc == 0 || doc > num_docs) {
+      return Status::OutOfRange("docID " + std::to_string(doc) +
+                                " outside [1, D] at triple " +
+                                std::to_string(line));
+    }
+    const uint64_t key = (doc << 20) | word;
+    if (!seen.insert(key).second) continue;  // tolerate repeated pairs
+    keys.push_back(key);
+    if (limit != 0 && keys.size() >= limit) break;
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("no (doc, word) triples found");
+  }
+  return keys;
+}
+
+Result<std::vector<uint64_t>> LoadDocWordsFile(const std::string& path,
+                                               uint64_t limit) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  return ParseDocWordsStream(in, limit);
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,34 @@
+// Reading real workload traces.
+//
+// The paper's dataset is the UCI "DocWords" bag-of-words collection
+// (docword.nytimes.txt): three header lines (D, W, NNZ) followed by
+// "docID wordID count" triples. This parser turns such a file into the
+// combined (DocID << 20 | WordID) keys the experiments insert, so anyone
+// with the real dataset can swap out the synthetic generator
+// (bench flag: --trace=PATH).
+
+#ifndef MCCUCKOO_WORKLOAD_TRACE_IO_H_
+#define MCCUCKOO_WORKLOAD_TRACE_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mccuckoo {
+
+/// Parses a UCI bag-of-words stream into combined 64-bit keys. Duplicate
+/// (doc, word) pairs are dropped if the file repeats them (the format
+/// shouldn't, but real dumps sometimes do); `limit` = 0 means "all".
+Result<std::vector<uint64_t>> ParseDocWordsStream(std::istream& in,
+                                                  uint64_t limit = 0);
+
+/// Opens and parses `path`; IOError if the file cannot be read.
+Result<std::vector<uint64_t>> LoadDocWordsFile(const std::string& path,
+                                               uint64_t limit = 0);
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_WORKLOAD_TRACE_IO_H_

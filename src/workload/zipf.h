@@ -1,0 +1,54 @@
+// Zipf-distributed integer sampling.
+//
+// Word frequencies in bag-of-words corpora (the paper's DocWords dataset)
+// are famously Zipfian; the synthetic generator uses this sampler to give
+// the combined DocID/WordID keys a realistic popularity skew. Sampling is
+// by inverse-CDF binary search over a precomputed table: exact, O(log n)
+// per sample, and perfectly deterministic.
+
+#ifndef MCCUCKOO_WORKLOAD_ZIPF_H_
+#define MCCUCKOO_WORKLOAD_ZIPF_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mccuckoo {
+
+/// Samples ranks 0..n-1 with P(rank = k) proportional to 1 / (k+1)^theta.
+class ZipfGenerator {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (0 = uniform, 1 = classic Zipf).
+  ZipfGenerator(uint64_t n, double theta) : cdf_(n) {
+    assert(n >= 1);
+    double acc = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = acc;
+    }
+    const double total = cdf_.back();
+    for (double& v : cdf_) v /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  /// Number of ranks.
+  uint64_t n() const { return cdf_.size(); }
+
+  /// Draws one rank using `rng`.
+  uint64_t Sample(Xoshiro256& rng) const {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_WORKLOAD_ZIPF_H_

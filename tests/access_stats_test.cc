@@ -1,0 +1,44 @@
+#include "src/mem/access_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mccuckoo {
+namespace {
+
+TEST(AccessStatsTest, DefaultZero) {
+  AccessStats s;
+  EXPECT_EQ(s.offchip_reads, 0u);
+  EXPECT_EQ(s.offchip_writes, 0u);
+  EXPECT_EQ(s.onchip_reads, 0u);
+  EXPECT_EQ(s.onchip_writes, 0u);
+  EXPECT_EQ(s.kickouts, 0u);
+  EXPECT_EQ(s.offchip_total(), 0u);
+}
+
+TEST(AccessStatsTest, DeltaSubtraction) {
+  AccessStats before{10, 5, 100, 50, 2, 1};
+  AccessStats after{15, 9, 130, 60, 5, 4};
+  const AccessStats d = after - before;
+  EXPECT_EQ(d.offchip_reads, 5u);
+  EXPECT_EQ(d.offchip_writes, 4u);
+  EXPECT_EQ(d.onchip_reads, 30u);
+  EXPECT_EQ(d.onchip_writes, 10u);
+  EXPECT_EQ(d.kickouts, 3u);
+  EXPECT_EQ(d.stash_probes, 3u);
+  EXPECT_EQ(d.offchip_total(), 9u);
+}
+
+TEST(AccessStatsTest, Accumulation) {
+  AccessStats a{1, 2, 3, 4, 5, 6};
+  AccessStats b{10, 20, 30, 40, 50, 60};
+  a += b;
+  EXPECT_EQ(a.offchip_reads, 11u);
+  EXPECT_EQ(a.offchip_writes, 22u);
+  EXPECT_EQ(a.onchip_reads, 33u);
+  EXPECT_EQ(a.onchip_writes, 44u);
+  EXPECT_EQ(a.kickouts, 55u);
+  EXPECT_EQ(a.stash_probes, 66u);
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,63 @@
+#include "src/common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace mccuckoo {
+namespace {
+
+TEST(FastRangeTest, StaysInRange) {
+  Xoshiro256 rng(1);
+  for (uint64_t n : {1ull, 2ull, 7ull, 100ull, 1ull << 33}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(FastRange64(rng.Next(), n), n);
+    }
+  }
+}
+
+TEST(FastRangeTest, CoversWholeRangeRoughlyUniformly) {
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  Xoshiro256 rng(7);
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[FastRange64(rng.Next(), kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.10) << "bucket " << b;
+  }
+}
+
+TEST(FastRangeTest, ExtremesMapToEnds) {
+  EXPECT_EQ(FastRange64(0, 1000), 0u);
+  EXPECT_EQ(FastRange64(~0ull, 1000), 999u);
+}
+
+TEST(BitWidthForTest, KnownValues) {
+  EXPECT_EQ(BitWidthFor(0), 1u);
+  EXPECT_EQ(BitWidthFor(1), 1u);
+  EXPECT_EQ(BitWidthFor(2), 2u);
+  EXPECT_EQ(BitWidthFor(3), 2u);  // d = 3 counters are 2 bits (§III.C)
+  EXPECT_EQ(BitWidthFor(4), 3u);
+  EXPECT_EQ(BitWidthFor(255), 8u);
+  EXPECT_EQ(BitWidthFor(256), 9u);
+}
+
+TEST(RoundUpTest, Multiples) {
+  EXPECT_EQ(RoundUp(0, 9), 0u);
+  EXPECT_EQ(RoundUp(1, 9), 9u);
+  EXPECT_EQ(RoundUp(9, 9), 9u);
+  EXPECT_EQ(RoundUp(10, 9), 18u);
+}
+
+TEST(CeilDivTest, KnownValues) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,84 @@
+#include "src/core/counter_array.h"
+
+#include <gtest/gtest.h>
+
+namespace mccuckoo {
+namespace {
+
+TEST(CounterArrayTest, StartsEmpty) {
+  AccessStats stats;
+  CounterArray c(100, 3, &stats);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.PeekCounter(i), 0u);
+    EXPECT_FALSE(c.PeekTombstone(i));
+  }
+}
+
+TEST(CounterArrayTest, SetGetRoundTrip) {
+  AccessStats stats;
+  CounterArray c(10, 3, &stats);
+  c.Set(4, 3);
+  EXPECT_EQ(c.Get(4), 3u);
+  c.Set(4, 1);
+  EXPECT_EQ(c.Get(4), 1u);
+}
+
+TEST(CounterArrayTest, ChargesOnchipAccesses) {
+  AccessStats stats;
+  CounterArray c(10, 3, &stats);
+  c.Set(0, 2);
+  c.Get(0);
+  c.Get(1);
+  EXPECT_EQ(stats.onchip_writes, 1u);
+  EXPECT_EQ(stats.onchip_reads, 2u);
+  EXPECT_EQ(stats.offchip_reads, 0u);
+}
+
+TEST(CounterArrayTest, PeekDoesNotCharge) {
+  AccessStats stats;
+  CounterArray c(10, 3, &stats);
+  c.PeekCounter(0);
+  c.PeekTombstone(0);
+  EXPECT_EQ(stats.onchip_reads, 0u);
+}
+
+TEST(CounterArrayTest, NullStatsSafe) {
+  CounterArray c(10, 3, nullptr);
+  c.Set(1, 2);
+  EXPECT_EQ(c.Get(1), 2u);
+}
+
+TEST(CounterArrayTest, TombstoneReadsAsZero) {
+  AccessStats stats;
+  CounterArray c(10, 3, &stats);
+  c.Set(5, 2);
+  c.MarkDeleted(5);
+  EXPECT_EQ(c.Get(5), 0u);
+  EXPECT_TRUE(c.IsTombstone(5));
+}
+
+TEST(CounterArrayTest, SetClearsTombstone) {
+  AccessStats stats;
+  CounterArray c(10, 3, &stats);
+  c.MarkDeleted(7);
+  c.Set(7, 3);
+  EXPECT_FALSE(c.IsTombstone(7));
+  EXPECT_EQ(c.Get(7), 3u);
+}
+
+TEST(CounterArrayTest, TwoBitsForDThree) {
+  AccessStats stats;
+  CounterArray c(1'000'000, 3, &stats);
+  // 2 bits per counter -> 250 KB (plus word rounding).
+  EXPECT_NEAR(static_cast<double>(c.counter_bytes()), 250'000.0, 16.0);
+}
+
+TEST(CounterArrayTest, ThreeBitsForDFour) {
+  AccessStats stats;
+  CounterArray c(1000, 4, &stats);
+  c.Set(0, 4);
+  EXPECT_EQ(c.Get(0), 4u);
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,130 @@
+// Differential testing: all four schemes process the *same* operation
+// stream side by side and must agree with each other and with a reference
+// model at every step — any divergence pinpoints the scheme and operation.
+// Parameterized over op mixes, deletion modes, eviction policies and table
+// pressure (overfull streams included).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/opstream.h"
+
+namespace mccuckoo {
+namespace {
+
+struct Param {
+  uint64_t total_slots;
+  uint32_t maxloop;
+  DeletionMode deletion_mode;
+  EvictionPolicy eviction_policy;
+  OpStreamConfig mix;
+  uint64_t ops;
+  const char* name;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  return info.param.name;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DifferentialTest, AllSchemesAgreeEverywhere) {
+  const Param& p = GetParam();
+  SchemeConfig c;
+  c.total_slots = p.total_slots;
+  c.maxloop = p.maxloop;
+  c.deletion_mode = p.deletion_mode;
+  c.eviction_policy = p.eviction_policy;
+  c.seed = 0xD1FF;
+
+  std::vector<std::unique_ptr<SchemeTable>> tables;
+  for (SchemeKind kind : kAllSchemes) tables.push_back(MakeScheme(kind, c));
+  std::unordered_map<uint64_t, uint64_t> model;
+
+  const auto ops = GenerateOpStream(p.ops, p.mix);
+  uint64_t step = 0;
+  for (const Op& op : ops) {
+    ++step;
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        model[op.key] = ValueFor(op.key);
+        for (size_t i = 0; i < tables.size(); ++i) {
+          ASSERT_NE(tables[i]->Insert(op.key, ValueFor(op.key)),
+                    InsertResult::kFailed)
+              << SchemeName(kAllSchemes[i]) << " step " << step;
+        }
+        break;
+      case Op::Kind::kLookup: {
+        const auto it = model.find(op.key);
+        for (size_t i = 0; i < tables.size(); ++i) {
+          uint64_t v = 0;
+          const bool hit = tables[i]->Find(op.key, &v);
+          ASSERT_EQ(hit, it != model.end())
+              << SchemeName(kAllSchemes[i]) << " step " << step << " key "
+              << op.key;
+          if (hit) {
+            ASSERT_EQ(v, it->second)
+                << SchemeName(kAllSchemes[i]) << " step " << step;
+          }
+        }
+        break;
+      }
+      case Op::Kind::kErase: {
+        const bool in_model = model.erase(op.key) > 0;
+        for (size_t i = 0; i < tables.size(); ++i) {
+          ASSERT_EQ(tables[i]->Erase(op.key), in_model)
+              << SchemeName(kAllSchemes[i]) << " step " << step;
+        }
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < tables.size(); ++i) {
+    EXPECT_EQ(tables[i]->TotalItems(), model.size())
+        << SchemeName(kAllSchemes[i]);
+    EXPECT_TRUE(tables[i]->ValidateInvariants().ok())
+        << SchemeName(kAllSchemes[i]) << ": "
+        << tables[i]->ValidateInvariants().ToString();
+  }
+}
+
+OpStreamConfig Mix(double ins, double look, double er, uint64_t seed) {
+  OpStreamConfig m;
+  m.insert_fraction = ins;
+  m.lookup_fraction = look;
+  m.erase_fraction = er;
+  m.seed = seed;
+  return m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialTest,
+    ::testing::Values(
+        Param{9 * 512, 200, DeletionMode::kResetCounters,
+              EvictionPolicy::kRandomWalk, Mix(0.3, 0.5, 0.1, 1), 15000,
+              "churn_reset_walk"},
+        Param{9 * 512, 200, DeletionMode::kTombstone,
+              EvictionPolicy::kRandomWalk, Mix(0.3, 0.5, 0.1, 2), 15000,
+              "churn_tombstone_walk"},
+        Param{9 * 512, 200, DeletionMode::kResetCounters,
+              EvictionPolicy::kMinCounter, Mix(0.3, 0.5, 0.1, 3), 15000,
+              "churn_reset_mincounter"},
+        Param{9 * 64, 20, DeletionMode::kResetCounters,
+              EvictionPolicy::kRandomWalk, Mix(0.6, 0.3, 0.05, 4), 4000,
+              "overfull_tiny_table"},
+        Param{9 * 256, 100, DeletionMode::kResetCounters,
+              EvictionPolicy::kRandomWalk, Mix(0.1, 0.6, 0.05, 5), 20000,
+              "read_heavy"},
+        Param{9 * 256, 100, DeletionMode::kTombstone,
+              EvictionPolicy::kMinCounter, Mix(0.4, 0.2, 0.35, 6), 12000,
+              "delete_heavy_tombstone"}),
+    ParamName);
+
+}  // namespace
+}  // namespace mccuckoo

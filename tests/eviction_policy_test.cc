@@ -1,0 +1,196 @@
+// Tests of the pluggable eviction policies (§III.D): MinCounter [17] for
+// all four tables and BFS [3] for the single-copy baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/bcht_table.h"
+#include "src/baseline/cuckoo_table.h"
+#include "src/core/blocked_mccuckoo_table.h"
+#include "src/core/eviction.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+TableOptions BaseOptions() {
+  TableOptions o;
+  o.buckets_per_table = 512;
+  o.maxloop = 200;
+  o.seed = 0xE71C;
+  return o;
+}
+
+TEST(KickHistoryTest, DisabledByDefault) {
+  KickHistory h;
+  EXPECT_FALSE(h.enabled());
+  EXPECT_EQ(h.memory_bytes(), 0u);
+}
+
+TEST(KickHistoryTest, CountsAndSaturates) {
+  AccessStats stats;
+  KickHistory h(10, 2, &stats);  // 2-bit: saturates at 3
+  EXPECT_TRUE(h.enabled());
+  for (int i = 0; i < 10; ++i) h.Increment(5);
+  EXPECT_EQ(h.Get(5), 3u);
+  EXPECT_EQ(h.Get(4), 0u);
+  EXPECT_GT(stats.onchip_writes, 0u);
+  EXPECT_GT(stats.onchip_reads, 0u);
+}
+
+TEST(KickHistoryTest, FiveBitDefaultWidth) {
+  AccessStats stats;
+  KickHistory h(1000, 5, &stats);
+  for (int i = 0; i < 40; ++i) h.Increment(0);
+  EXPECT_EQ(h.Get(0), 31u);  // 5-bit saturation, as in MinCounter [17]
+}
+
+TEST(PickVictimTest, RandomPolicyExcludesPreviousBucket) {
+  Xoshiro256 rng(3);
+  KickHistory disabled;
+  const std::array<size_t, kMaxHashes> buckets = {10, 20, 30, 0};
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t t = PickVictim(buckets, 3, /*exclude=*/20, disabled, rng);
+    EXPECT_NE(buckets[t], 20u);
+  }
+}
+
+TEST(PickVictimTest, MinCounterPrefersColdBuckets) {
+  Xoshiro256 rng(4);
+  AccessStats stats;
+  KickHistory h(100, 5, &stats);
+  h.Increment(10);
+  h.Increment(10);
+  h.Increment(20);
+  const std::array<size_t, kMaxHashes> buckets = {10, 20, 30, 0};
+  // Bucket 30 has count 0 -> always chosen.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(PickVictim(buckets, 3, static_cast<size_t>(-1), h, rng), 2u);
+  }
+}
+
+TEST(PickVictimTest, MinCounterBreaksTiesAmongMins) {
+  Xoshiro256 rng(5);
+  AccessStats stats;
+  KickHistory h(100, 5, &stats);
+  h.Increment(10);  // bucket 10 hot; 20 and 30 tied at 0
+  const std::array<size_t, kMaxHashes> buckets = {10, 20, 30, 0};
+  bool saw1 = false, saw2 = false;
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t t = PickVictim(buckets, 3, static_cast<size_t>(-1), h, rng);
+    EXPECT_NE(t, 0u);
+    saw1 |= (t == 1);
+    saw2 |= (t == 2);
+  }
+  EXPECT_TRUE(saw1 && saw2);
+}
+
+// Every table type must stay correct under MinCounter at high load.
+template <typename Table>
+void RoundTripWithPolicy(TableOptions o) {
+  Table t(o);
+  const auto keys = MakeUniqueKeys(t.capacity() * 85 / 100, o.seed, 0);
+  for (uint64_t k : keys) {
+    ASSERT_NE(t.Insert(k, k * 5), InsertResult::kFailed);
+  }
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k * 5);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok()) << t.ValidateInvariants().ToString();
+}
+
+TEST(MinCounterPolicyTest, McCuckooRoundTrip) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kMinCounter;
+  RoundTripWithPolicy<McCuckooTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(MinCounterPolicyTest, CuckooRoundTrip) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kMinCounter;
+  RoundTripWithPolicy<CuckooTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(MinCounterPolicyTest, BlockedRoundTrip) {
+  TableOptions o = BaseOptions();
+  o.slots_per_bucket = 3;
+  o.eviction_policy = EvictionPolicy::kMinCounter;
+  RoundTripWithPolicy<BlockedMcCuckooTable<uint64_t, uint64_t>>(o);
+  RoundTripWithPolicy<BchtTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(MinCounterPolicyTest, AddsOnchipMemory) {
+  TableOptions o = BaseOptions();
+  McCuckooTable<uint64_t, uint64_t> random_walk(o);
+  o.eviction_policy = EvictionPolicy::kMinCounter;
+  McCuckooTable<uint64_t, uint64_t> min_counter(o);
+  EXPECT_GT(min_counter.onchip_memory_bytes(),
+            random_walk.onchip_memory_bytes());
+}
+
+TEST(BfsPolicyTest, CuckooRoundTripAtHighLoad) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kBfs;
+  RoundTripWithPolicy<CuckooTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(BfsPolicyTest, FindsShortPathsWhereWalkWanders) {
+  // BFS finds the *shortest* path, so its kick count per insertion is no
+  // larger than the walk's on the same fill.
+  TableOptions o = BaseOptions();
+  uint64_t walk_kicks = 0, bfs_kicks = 0;
+  {
+    CuckooTable<uint64_t, uint64_t> t(o);
+    for (uint64_t k : MakeUniqueKeys(t.capacity() * 88 / 100, 1, 0)) {
+      t.Insert(k, k);
+    }
+    walk_kicks = t.stats().kickouts;
+  }
+  {
+    TableOptions ob = o;
+    ob.eviction_policy = EvictionPolicy::kBfs;
+    CuckooTable<uint64_t, uint64_t> t(ob);
+    for (uint64_t k : MakeUniqueKeys(t.capacity() * 88 / 100, 1, 0)) {
+      t.Insert(k, k);
+    }
+    bfs_kicks = t.stats().kickouts;
+  }
+  EXPECT_LT(bfs_kicks, walk_kicks);
+}
+
+TEST(BfsPolicyTest, RejectedByMultiCopyTables) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kBfs;
+  EXPECT_FALSE((McCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
+  o.slots_per_bucket = 3;
+  EXPECT_FALSE((BlockedMcCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
+  EXPECT_FALSE((BchtTable<uint64_t, uint64_t>::Create(o).ok()));
+}
+
+TEST(BfsPolicyTest, OverflowStillGoesToStash) {
+  TableOptions o = BaseOptions();
+  o.buckets_per_table = 64;
+  o.maxloop = 16;
+  o.eviction_policy = EvictionPolicy::kBfs;
+  CuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(192, 2, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  EXPECT_GT(t.stash_size(), 0u);
+  for (uint64_t k : keys) EXPECT_TRUE(t.Contains(k)) << k;
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(OptionsTest, KickCounterBitsValidated) {
+  TableOptions o = BaseOptions();
+  o.kick_counter_bits = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.kick_counter_bits = 17;
+  EXPECT_FALSE(o.Validate().ok());
+  o.kick_counter_bits = 5;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,61 @@
+#include "src/common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace mccuckoo {
+namespace {
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.0815), "0.0815");
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+}
+
+TEST(FormatPercentTest, PaperStyle) {
+  EXPECT_EQ(FormatPercent(0.2320), "23.20%");
+  EXPECT_EQ(FormatPercent(0.000037, 4), "0.0037%");
+  EXPECT_EQ(FormatPercent(0.0), "0.00%");
+}
+
+TEST(TextTableTest, AlignedOutputHasHeaderRule) {
+  TextTable t;
+  t.Add("load", "kickouts");
+  t.Add("0.85", 1.25);
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("load | kickouts"), std::string::npos);
+  EXPECT_NE(out.find("-----+---------"), std::string::npos);
+  EXPECT_NE(out.find("0.85 | 1.25"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t;
+  t.Add("a", "b");
+  t.Add(1, 2);
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, MixedCellTypes) {
+  TextTable t;
+  t.Add("x");
+  t.Add(static_cast<unsigned long long>(1ull << 40));
+  EXPECT_NE(t.ToCsv().find("1099511627776"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable t;
+  EXPECT_EQ(t.ToAligned(), "");
+  EXPECT_EQ(t.ToCsv(), "");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TextTableTest, RaggedRowsPadded) {
+  TextTable t;
+  t.Add("a", "b", "c");
+  t.Add("1");
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mccuckoo

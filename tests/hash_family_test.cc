@@ -1,0 +1,71 @@
+#include "src/hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mccuckoo {
+namespace {
+
+TEST(HashFamilyTest, BucketsWithinRange) {
+  HashFamily<uint64_t> f(3, 1000, 1);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    for (uint32_t t = 0; t < 3; ++t) {
+      EXPECT_LT(f.Bucket(k, t), 1000u);
+    }
+  }
+}
+
+TEST(HashFamilyTest, Deterministic) {
+  HashFamily<uint64_t> a(3, 1 << 16, 99), b(3, 1 << 16, 99);
+  for (uint64_t k = 0; k < 100; ++k) {
+    for (uint32_t t = 0; t < 3; ++t) EXPECT_EQ(a.Bucket(k, t), b.Bucket(k, t));
+  }
+}
+
+TEST(HashFamilyTest, TablesAreDecorrelated) {
+  HashFamily<uint64_t> f(3, 1 << 16, 5);
+  int equal01 = 0, equal12 = 0;
+  constexpr int kKeys = 20000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const auto b = f.Buckets(k);
+    equal01 += (b[0] == b[1]);
+    equal12 += (b[1] == b[2]);
+  }
+  // Chance collision rate is kKeys / 65536 ≈ 0.3 expected per pair-of-keys…
+  // i.e. about kKeys/65536 per key; allow generous slack.
+  EXPECT_LT(equal01, kKeys / 1000);
+  EXPECT_LT(equal12, kKeys / 1000);
+}
+
+TEST(HashFamilyTest, SeedsChangeMapping) {
+  HashFamily<uint64_t> a(2, 1 << 16, 1), b(2, 1 << 16, 2);
+  int same = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    same += (a.Bucket(k, 0) == b.Bucket(k, 0));
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(HashFamilyTest, RoughlyUniformOccupancy) {
+  constexpr uint64_t kBuckets = 64;
+  HashFamily<uint64_t> f(2, kBuckets, 3);
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kKeys = 64000;
+  for (uint64_t k = 0; k < kKeys; ++k) ++counts[f.Bucket(k, 0)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kKeys / kBuckets, kKeys / kBuckets * 0.2) << b;
+  }
+}
+
+TEST(HashFamilyTest, SupportsDifferentD) {
+  for (uint32_t d = 2; d <= kMaxHashes; ++d) {
+    HashFamily<uint64_t> f(d, 100, 1);
+    EXPECT_EQ(f.d(), d);
+    const auto b = f.Buckets(12345);
+    for (uint32_t t = 0; t < d; ++t) EXPECT_LT(b[t], 100u);
+  }
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,141 @@
+// Focused tests of InsertOrAssign across table states the main suites
+// don't isolate: updating stashed keys, updating through deletions, long
+// update churn on a hot key, and result-code contracts.
+
+#include <gtest/gtest.h>
+
+#include "src/core/blocked_mccuckoo_table.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+using Table = McCuckooTable<uint64_t, uint64_t>;
+using Blocked = BlockedMcCuckooTable<uint64_t, uint64_t>;
+
+TEST(InsertOrAssignTest, UpdatesStashedKey) {
+  TableOptions o;
+  o.buckets_per_table = 64;
+  o.maxloop = 8;
+  Table t(o);
+  const auto keys = MakeUniqueKeys(192, 1, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  ASSERT_GT(t.stash_size(), 0u);
+  // Update every key; stashed ones must be updated in place, not duplicated.
+  for (uint64_t k : keys) {
+    EXPECT_EQ(t.InsertOrAssign(k, k + 1000), InsertResult::kUpdated) << k;
+  }
+  EXPECT_EQ(t.TotalItems(), keys.size());
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k + 1000);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(InsertOrAssignTest, ReinsertAfterEraseIsInsert) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  Table t(o);
+  EXPECT_EQ(t.InsertOrAssign(5, 50), InsertResult::kInserted);
+  EXPECT_TRUE(t.Erase(5));
+  EXPECT_EQ(t.InsertOrAssign(5, 51), InsertResult::kInserted);
+  uint64_t v = 0;
+  ASSERT_TRUE(t.Find(5, &v));
+  EXPECT_EQ(v, 51u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(InsertOrAssignTest, HotKeyUpdateChurn) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  Table t(o);
+  const auto keys = MakeUniqueKeys(500, 2, 0);
+  for (uint64_t k : keys) t.Insert(k, 0);
+  for (uint64_t round = 1; round <= 200; ++round) {
+    EXPECT_EQ(t.InsertOrAssign(keys[7], round), InsertResult::kUpdated);
+  }
+  uint64_t v = 0;
+  ASSERT_TRUE(t.Find(keys[7], &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(t.size(), keys.size());
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(InsertOrAssignTest, UpdateKeepsAllCopiesIdenticalUnderLoad) {
+  TableOptions o;
+  o.buckets_per_table = 512;
+  Table t(o);
+  const auto keys = MakeUniqueKeys(1200, 3, 0);
+  for (uint64_t k : keys) t.Insert(k, 0);
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    t.InsertOrAssign(keys[i], keys[i] * 9);
+  }
+  // ValidateInvariants checks copy-value identity.
+  EXPECT_TRUE(t.ValidateInvariants().ok())
+      << t.ValidateInvariants().ToString();
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(keys[i], &v));
+    EXPECT_EQ(v, keys[i] * 9);
+  }
+}
+
+TEST(InsertOrAssignTest, BlockedUpdatesPreserveHints) {
+  TableOptions o;
+  o.buckets_per_table = 128;
+  o.slots_per_bucket = 3;
+  Blocked t(o);
+  const auto keys = MakeUniqueKeys(t.capacity() * 70 / 100, 4, 0);
+  for (uint64_t k : keys) t.Insert(k, 0);
+  for (uint64_t k : keys) {
+    EXPECT_EQ(t.InsertOrAssign(k, k ^ 7), InsertResult::kUpdated);
+  }
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k ^ 7);
+  }
+  // Keep filling past the update churn: hint-guided copy location must
+  // still work (ValidateInvariants would catch counter corruption).
+  for (uint64_t k : MakeUniqueKeys(t.capacity() * 25 / 100, 4, 2)) {
+    ASSERT_NE(t.Insert(k, k), InsertResult::kFailed);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(InsertOrAssignTest, MixedWithPlainInsertStaysConsistent) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  o.deletion_mode = DeletionMode::kTombstone;
+  Table t(o);
+  Xoshiro256 rng(99);
+  std::unordered_map<uint64_t, uint64_t> model;
+  const auto keys = MakeUniqueKeys(400, 5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = keys[rng.Below(keys.size())];
+    const double u = rng.NextDouble();
+    if (u < 0.5) {
+      const uint64_t v = rng.Next();
+      t.InsertOrAssign(k, v);
+      model[k] = v;
+    } else if (u < 0.75 && model.count(k)) {
+      EXPECT_TRUE(t.Erase(k));
+      model.erase(k);
+    } else {
+      uint64_t v = 0;
+      EXPECT_EQ(t.Find(k, &v), model.count(k) > 0);
+      if (model.count(k)) {
+        EXPECT_EQ(v, model[k]);
+      }
+    }
+  }
+  EXPECT_EQ(t.TotalItems(), model.size());
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,85 @@
+#include "src/mem/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mccuckoo {
+namespace {
+
+constexpr double kLogicNs = 1e9 / 333e6;  // ~3.0 ns
+constexpr double kMemNs = 1e9 / 200e6;    // 5.0 ns
+
+TEST(LatencyModelTest, LogicOnlyOperation) {
+  LatencyModel m;
+  AccessStats trace;  // no memory traffic
+  EXPECT_NEAR(m.OperationNanos(trace, 8), kLogicNs, 1e-9);
+}
+
+TEST(LatencyModelTest, OffchipReadDominates) {
+  LatencyModel m;
+  AccessStats trace;
+  trace.offchip_reads = 1;
+  // 18 controller clocks at 200 MHz = 90 ns, plus 1 logic clock.
+  EXPECT_NEAR(m.OperationNanos(trace, 8), kLogicNs + 18 * kMemNs, 1e-9);
+}
+
+TEST(LatencyModelTest, OnchipCostsMatchPaperClocks) {
+  LatencyModel m;
+  AccessStats trace;
+  trace.onchip_reads = 3;   // e.g. 3 counters
+  trace.onchip_writes = 2;
+  EXPECT_NEAR(m.OperationNanos(trace, 8),
+              kLogicNs + 3 * 3 * kLogicNs + 2 * 1 * kLogicNs, 1e-9);
+}
+
+TEST(LatencyModelTest, RecordSizeAddsBurstsBeyond16B) {
+  LatencyModel m;
+  AccessStats trace;
+  trace.offchip_reads = 1;
+  const double ns8 = m.OperationNanos(trace, 8);
+  const double ns16 = m.OperationNanos(trace, 16);
+  const double ns32 = m.OperationNanos(trace, 32);
+  const double ns64 = m.OperationNanos(trace, 64);
+  const double ns128 = m.OperationNanos(trace, 128);
+  EXPECT_DOUBLE_EQ(ns8, ns16);                   // single 16 B burst
+  EXPECT_NEAR(ns32 - ns16, 1 * kMemNs, 1e-9);    // +1 transfer clock
+  EXPECT_NEAR(ns64 - ns16, 3 * kMemNs, 1e-9);
+  EXPECT_NEAR(ns128 - ns64, 4 * kMemNs, 1e-9);
+}
+
+TEST(LatencyModelTest, ThroughputInverseOfLatency) {
+  LatencyModel m;
+  AccessStats trace;
+  trace.offchip_reads = 100;  // 100 ops x 1 read
+  const double avg = m.AverageNanos(trace, 100, 8);
+  EXPECT_NEAR(m.ThroughputMops(trace, 100, 8), 1e3 / avg, 1e-9);
+}
+
+TEST(LatencyModelTest, AverageAmortizesTrace) {
+  LatencyModel m;
+  AccessStats trace;
+  trace.offchip_reads = 10;
+  // 10 reads over 10 ops: each op should cost 1 read + logic.
+  EXPECT_NEAR(m.AverageNanos(trace, 10, 8), kLogicNs + 18 * kMemNs, 1e-9);
+}
+
+TEST(LatencyModelTest, CustomConfigRespected) {
+  LatencyModelConfig cfg;
+  cfg.logic_clock_hz = 1e9;   // 1 ns logic clock
+  cfg.mem_clock_hz = 1e9;     // 1 ns mem clock
+  cfg.offchip_read_clks = 10;
+  LatencyModel m(cfg);
+  AccessStats trace;
+  trace.offchip_reads = 2;
+  EXPECT_NEAR(m.OperationNanos(trace, 8), 1 + 2 * 10, 1e-9);
+}
+
+TEST(LatencyModelTest, WritesArePostedAndCheap) {
+  LatencyModel m;
+  AccessStats reads, writes;
+  reads.offchip_reads = 1;
+  writes.offchip_writes = 1;
+  EXPECT_GT(m.OperationNanos(reads, 8), m.OperationNanos(writes, 8));
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,125 @@
+#include "src/core/multiset_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+TableOptions SmallOptions() {
+  TableOptions o;
+  o.buckets_per_table = 1024;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  return o;
+}
+
+using Index = MultisetIndex<uint64_t, uint64_t>;
+
+TEST(MultisetTest, CreateValidates) {
+  TableOptions o = SmallOptions();
+  o.slots_per_bucket = 3;
+  EXPECT_FALSE(Index::Create(o).ok());
+  EXPECT_TRUE(Index::Create(SmallOptions()).ok());
+}
+
+TEST(MultisetTest, SingleRecordBehavesLikeMap) {
+  Index idx(SmallOptions());
+  EXPECT_EQ(idx.Add(7, 70), InsertResult::kInserted);
+  EXPECT_EQ(idx.FindAll(7), (std::vector<uint64_t>{70}));
+  EXPECT_EQ(idx.Count(7), 1u);
+  EXPECT_TRUE(idx.Contains(7));
+  EXPECT_FALSE(idx.Contains(8));
+}
+
+TEST(MultisetTest, DuplicateKeysChainMostRecentFirst) {
+  Index idx(SmallOptions());
+  EXPECT_EQ(idx.Add(7, 1), InsertResult::kInserted);
+  EXPECT_EQ(idx.Add(7, 2), InsertResult::kUpdated);
+  EXPECT_EQ(idx.Add(7, 3), InsertResult::kUpdated);
+  EXPECT_EQ(idx.FindAll(7), (std::vector<uint64_t>{3, 2, 1}));
+  EXPECT_EQ(idx.Count(7), 3u);
+  EXPECT_EQ(idx.distinct_keys(), 1u);
+  EXPECT_EQ(idx.total_records(), 3u);
+}
+
+TEST(MultisetTest, ManyKeysManyRecords) {
+  Index idx(SmallOptions());
+  const auto keys = MakeUniqueKeys(500, 1, 0);
+  for (uint64_t k : keys) {
+    const size_t copies = 1 + (k % 4);
+    for (size_t c = 0; c < copies; ++c) idx.Add(k, k + c);
+  }
+  for (uint64_t k : keys) {
+    const size_t copies = 1 + (k % 4);
+    const auto all = idx.FindAll(k);
+    ASSERT_EQ(all.size(), copies) << k;
+    // Most recent first: k+copies-1 ... k+0.
+    for (size_t c = 0; c < copies; ++c) {
+      EXPECT_EQ(all[c], k + copies - 1 - c);
+    }
+  }
+  EXPECT_EQ(idx.distinct_keys(), keys.size());
+  EXPECT_TRUE(idx.table().ValidateInvariants().ok());
+}
+
+TEST(MultisetTest, EraseAllDropsTheWholeChain) {
+  Index idx(SmallOptions());
+  idx.Add(9, 1);
+  idx.Add(9, 2);
+  idx.Add(10, 3);
+  EXPECT_EQ(idx.EraseAll(9), 2u);
+  EXPECT_FALSE(idx.Contains(9));
+  EXPECT_EQ(idx.Count(9), 0u);
+  EXPECT_EQ(idx.total_records(), 1u);
+  EXPECT_EQ(idx.FindAll(10), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(idx.EraseAll(9), 0u);  // second erase is a no-op
+}
+
+TEST(MultisetTest, ArenaIsAppendOnly) {
+  Index idx(SmallOptions());
+  idx.Add(1, 10);
+  idx.Add(1, 11);
+  idx.EraseAll(1);
+  EXPECT_EQ(idx.arena_size(), 2u);  // garbage retained (log-structured)
+  idx.Add(2, 20);
+  EXPECT_EQ(idx.arena_size(), 3u);
+}
+
+TEST(MultisetTest, ReAddAfterEraseStartsFresh) {
+  Index idx(SmallOptions());
+  idx.Add(5, 1);
+  idx.Add(5, 2);
+  idx.EraseAll(5);
+  EXPECT_EQ(idx.Add(5, 3), InsertResult::kInserted);
+  EXPECT_EQ(idx.FindAll(5), (std::vector<uint64_t>{3}));
+}
+
+TEST(MultisetTest, StressAgainstReferenceModel) {
+  Index idx(SmallOptions());
+  std::unordered_map<uint64_t, std::vector<uint64_t>> model;
+  Xoshiro256 rng(404);
+  const auto keys = MakeUniqueKeys(200, 2, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t k = keys[rng.Below(keys.size())];
+    const double u = rng.NextDouble();
+    if (u < 0.7) {
+      const uint64_t rec = rng.Next();
+      idx.Add(k, rec);
+      model[k].insert(model[k].begin(), rec);
+    } else if (u < 0.85) {
+      const auto got = idx.FindAll(k);
+      const auto& want = model[k];
+      ASSERT_EQ(got.size(), want.size()) << k;
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+    } else {
+      EXPECT_EQ(idx.EraseAll(k), model[k].size());
+      model[k].clear();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mccuckoo

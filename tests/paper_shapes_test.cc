@@ -1,0 +1,160 @@
+// Regression tests pinning the paper's qualitative results at test scale,
+// so a change that silently breaks a reproduced shape fails CI rather than
+// only showing up in bench output. Complements integration_test.cc (which
+// covers Fig 9's reduction, Table I's ordering, Fig 13's near-zero misses
+// and Table II's staging).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+SchemeConfig Config() {
+  SchemeConfig c;
+  c.total_slots = 9 * 2048;
+  c.maxloop = 500;
+  c.seed = 77;
+  return c;
+}
+
+// Fig 10a: McCuckoo inserts with ~zero reads at low load, far fewer than
+// Cuckoo at high load.
+TEST(PaperShapesTest, Fig10aInsertReads) {
+  double low[2], high[2];
+  const SchemeKind kinds[2] = {SchemeKind::kCuckoo, SchemeKind::kMcCuckoo};
+  for (int i = 0; i < 2; ++i) {
+    auto t = MakeScheme(kinds[i], Config());
+    const auto keys = MakeUniqueKeys(t->capacity(), 1, 0);
+    size_t cursor = 0;
+    low[i] = FillToLoad(*t, keys, 0.15, &cursor).ReadsPerOp();
+    FillToLoad(*t, keys, 0.75, &cursor);
+    high[i] = FillToLoad(*t, keys, 0.85, &cursor).ReadsPerOp();
+  }
+  EXPECT_GT(low[0], 1.0);   // Cuckoo must read to find empties
+  EXPECT_LT(low[1], 0.4);   // McCuckoo sees empties on-chip
+  EXPECT_LT(high[1], high[0] * 0.5);
+}
+
+// Fig 10b: multi-copy writes more at low load, less at high load — the
+// cross-over the paper puts around half load.
+TEST(PaperShapesTest, Fig10bWriteCrossover) {
+  double cuckoo_lo = 0, mc_lo = 0, cuckoo_hi = 0, mc_hi = 0;
+  {
+    auto t = MakeScheme(SchemeKind::kCuckoo, Config());
+    const auto keys = MakeUniqueKeys(t->capacity(), 2, 0);
+    size_t cursor = 0;
+    cuckoo_lo = FillToLoad(*t, keys, 0.20, &cursor).WritesPerOp();
+    FillToLoad(*t, keys, 0.80, &cursor);
+    cuckoo_hi = FillToLoad(*t, keys, 0.88, &cursor).WritesPerOp();
+  }
+  {
+    auto t = MakeScheme(SchemeKind::kMcCuckoo, Config());
+    const auto keys = MakeUniqueKeys(t->capacity(), 2, 0);
+    size_t cursor = 0;
+    mc_lo = FillToLoad(*t, keys, 0.20, &cursor).WritesPerOp();
+    FillToLoad(*t, keys, 0.80, &cursor);
+    mc_hi = FillToLoad(*t, keys, 0.88, &cursor).WritesPerOp();
+  }
+  EXPECT_GT(mc_lo, cuckoo_lo * 1.5);  // proactive copies cost writes early
+  EXPECT_LT(mc_hi, cuckoo_hi);        // repaid during kick-heavy fills
+}
+
+// Fig 14 text: deletion writes are exactly 1 (single-copy) and 0
+// (multi-copy); multi-copy deletions read at least as much.
+TEST(PaperShapesTest, Fig14DeletionCosts) {
+  SchemeConfig c = Config();
+  c.deletion_mode = DeletionMode::kResetCounters;
+  double reads[4];
+  int i = 0;
+  for (SchemeKind kind : kAllSchemes) {
+    auto t = MakeScheme(kind, c);
+    const auto keys = MakeUniqueKeys(t->capacity(), 3, 0);
+    size_t cursor = 0;
+    FillToLoad(*t, keys, 0.6, &cursor);
+    std::vector<uint64_t> victims(keys.begin(), keys.begin() + 2000);
+    const PhaseStats phase = MeasureErases(*t, victims);
+    EXPECT_DOUBLE_EQ(phase.WritesPerOp(), IsMultiCopy(kind) ? 0.0 : 1.0)
+        << SchemeName(kind);
+    reads[i++] = phase.ReadsPerOp();
+  }
+  EXPECT_GT(reads[1], reads[0] * 0.9);  // McCuckoo reads >= Cuckoo-ish
+  EXPECT_GT(reads[3], reads[2]);        // B-McCuckoo reads > BCHT
+}
+
+// §III.B.2's claim: at moderate load a large portion of negative lookups
+// finish with zero or one access.
+TEST(PaperShapesTest, ZeroOrOneAccessClaim) {
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, Config());
+  const auto keys = MakeUniqueKeys(t->capacity(), 4, 0);
+  size_t cursor = 0;
+  FillToLoad(*t, keys, 0.30, &cursor);
+  AccessHistogram hist;
+  const auto missing = MakeUniqueKeys(20000, 4, 7);
+  MeasureLookupHistogram(*t, missing, 20000, false, &hist);
+  EXPECT_GT(hist.Fraction(0) + hist.Fraction(1), 0.80);
+}
+
+// Table II/III shape: stash-visit rate for negative lookups stays near
+// zero even with a populated stash.
+TEST(PaperShapesTest, StashVisitRateNearZero) {
+  SchemeConfig c = Config();
+  c.maxloop = 200;
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, c);
+  const auto keys = MakeUniqueKeys(t->capacity(), 5, 0);
+  size_t cursor = 0;
+  FillToLoad(*t, keys, 0.93, &cursor);
+  ASSERT_GT(t->stash_size(), 0u);
+  const auto missing = MakeUniqueKeys(50000, 5, 7);
+  const PhaseStats phase = MeasureLookups(*t, missing, 50000, false);
+  EXPECT_LT(phase.StashProbesPerOp(), 0.01);
+}
+
+// Fig 11 shape: multi-copy reaches a higher failure-free load than its
+// single-copy counterpart at the same maxloop, for both layouts.
+TEST(PaperShapesTest, Fig11FailureFreeLoadOrdering) {
+  SchemeConfig c = Config();
+  c.maxloop = 100;
+  double load[4];
+  int i = 0;
+  for (SchemeKind kind : kAllSchemes) {
+    auto t = MakeScheme(kind, c);
+    const auto keys = MakeUniqueKeys(t->capacity(), 6, 0);
+    size_t cursor = 0;
+    while (t->first_failure_items() == 0 && cursor < keys.size()) {
+      const uint64_t k = keys[cursor++];
+      t->Insert(k, ValueFor(k));
+    }
+    const uint64_t items = t->first_failure_items() != 0
+                               ? t->first_failure_items()
+                               : t->TotalItems();
+    load[i++] = static_cast<double>(items) / t->capacity();
+  }
+  EXPECT_GT(load[1], load[0]);  // McCuckoo > Cuckoo
+  EXPECT_GT(load[3], load[2] - 0.005);  // B-McCuckoo >= BCHT (both ~99%)
+  EXPECT_GT(load[2], load[1]);  // blocked beats single-slot
+}
+
+// Theorem 3: pruning always helps before the table is extremely full —
+// McCuckoo existing-key lookups never read more than plain Cuckoo's at
+// matching moderate load.
+TEST(PaperShapesTest, LookupPruningNeverWorseAtModerateLoad) {
+  double reads[2];
+  const SchemeKind kinds[2] = {SchemeKind::kCuckoo, SchemeKind::kMcCuckoo};
+  for (int i = 0; i < 2; ++i) {
+    auto t = MakeScheme(kinds[i], Config());
+    const auto keys = MakeUniqueKeys(t->capacity(), 7, 0);
+    size_t cursor = 0;
+    FillToLoad(*t, keys, 0.4, &cursor);
+    std::vector<uint64_t> sample(keys.begin(),
+                                 keys.begin() + static_cast<long>(cursor));
+    reads[i] = MeasureLookups(*t, sample, 30000, true).ReadsPerOp();
+  }
+  EXPECT_LE(reads[1], reads[0] * 1.02);
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,124 @@
+// Tests of the full-rehash facility (the "costly remedy" of §I.2) on both
+// multi-copy layouts: items survive, the stash drains into the larger
+// table, invariants hold under the new hash family, and undersized targets
+// are rejected.
+
+#include <gtest/gtest.h>
+
+#include "src/core/blocked_mccuckoo_table.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+TEST(RehashTest, GrowPreservesAllItemsSingleSlot) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  o.maxloop = 100;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(700, 1, 0);  // ~91% load
+  for (uint64_t k : keys) t.Insert(k, k * 3);
+  ASSERT_TRUE(t.Rehash(1024, /*new_seed=*/999).ok());
+  EXPECT_EQ(t.capacity(), 3u * 1024);
+  EXPECT_EQ(t.TotalItems(), keys.size());
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k * 3);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(RehashTest, DrainsStashIntoBiggerTable) {
+  TableOptions o;
+  o.buckets_per_table = 64;
+  o.maxloop = 8;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(190, 2, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  ASSERT_GT(t.stash_size(), 0u);
+  ASSERT_TRUE(t.Rehash(512, 1234).ok());
+  EXPECT_EQ(t.stash_size(), 0u) << "8x table should absorb the stash";
+  for (uint64_t k : keys) EXPECT_TRUE(t.Contains(k)) << k;
+}
+
+TEST(RehashTest, RejectsUndersizedTarget) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(600, 3, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  const Status s = t.Rehash(100, 1);  // 300 slots < 600 items
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Table untouched.
+  EXPECT_EQ(t.capacity(), 3u * 256);
+  for (uint64_t k : keys) EXPECT_TRUE(t.Contains(k));
+}
+
+TEST(RehashTest, ShrinkWorksWhenItemsFit) {
+  TableOptions o;
+  o.buckets_per_table = 1024;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(300, 4, 0);
+  for (uint64_t k : keys) t.Insert(k, k + 1);
+  ASSERT_TRUE(t.Rehash(256, 77).ok());
+  EXPECT_EQ(t.capacity(), 3u * 256);
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k + 1);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(RehashTest, StatisticsAccumulateAcrossRebuild) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  for (uint64_t k : MakeUniqueKeys(200, 5, 0)) t.Insert(k, k);
+  const uint64_t writes_before = t.stats().offchip_writes;
+  const uint64_t reads_before = t.stats().offchip_reads;
+  ASSERT_TRUE(t.Rehash(512, 1).ok());
+  // The rehash itself costs at least one read per old bucket plus the
+  // re-insertion writes.
+  EXPECT_GE(t.stats().offchip_reads, reads_before + 3 * 256);
+  EXPECT_GT(t.stats().offchip_writes, writes_before);
+}
+
+TEST(RehashTest, GrowPreservesAllItemsBlocked) {
+  TableOptions o;
+  o.buckets_per_table = 64;
+  o.slots_per_bucket = 3;
+  o.maxloop = 100;
+  BlockedMcCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(t.capacity() * 95 / 100, 6, 0);
+  for (uint64_t k : keys) t.Insert(k, k * 7);
+  ASSERT_TRUE(t.Rehash(256, 2024).ok());
+  EXPECT_EQ(t.TotalItems(), keys.size());
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(t.Find(k, &v)) << k;
+    EXPECT_EQ(v, k * 7);
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(RehashTest, WorksWithDeletionModes) {
+  TableOptions o;
+  o.buckets_per_table = 256;
+  o.deletion_mode = DeletionMode::kTombstone;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(500, 7, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  for (size_t i = 0; i < 250; ++i) t.Erase(keys[i]);
+  ASSERT_TRUE(t.Rehash(512, 3).ok());
+  for (size_t i = 0; i < 250; ++i) EXPECT_FALSE(t.Contains(keys[i]));
+  for (size_t i = 250; i < keys.size(); ++i) EXPECT_TRUE(t.Contains(keys[i]));
+  EXPECT_EQ(t.TotalItems(), 250u);
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,77 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mccuckoo {
+namespace {
+
+TEST(SplitMixTest, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+}
+
+TEST(SplitMixTest, KnownVector) {
+  // Reference value from the canonical splitmix64.c (Vigna).
+  EXPECT_EQ(SplitMix64(0), 0xE220A8397B1DCDAFull);
+}
+
+TEST(XoshiroTest, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    EXPECT_NE(va, c.Next()) << "streams should diverge";
+  }
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.Below(n), n);
+  }
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  int counts[3] = {};
+  for (int i = 0; i < 90000; ++i) ++counts[rng.Below(3)];
+  for (int c : counts) EXPECT_NEAR(c, 30000, 1200);
+}
+
+TEST(XoshiroTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(XoshiroTest, BernoulliMatchesProbability) {
+  Xoshiro256 rng(6);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits, 25000, 800);
+}
+
+TEST(XoshiroTest, NoShortCycles) {
+  Xoshiro256 rng(77);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.Next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  Xoshiro256 rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,0 +1,140 @@
+#include "src/sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+SchemeConfig SmallConfig() {
+  SchemeConfig c;
+  c.total_slots = 9 * 256;
+  c.maxloop = 100;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SweepTest, FillToLoadReachesTarget) {
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, SmallConfig());
+  const auto keys = MakeUniqueKeys(t->capacity(), 1, 0);
+  size_t cursor = 0;
+  const PhaseStats phase = FillToLoad(*t, keys, 0.5, &cursor);
+  EXPECT_NEAR(t->load_factor(), 0.5, 0.01);
+  EXPECT_EQ(phase.ops, cursor);
+  EXPECT_GT(phase.WritesPerOp(), 0.0);
+}
+
+TEST(SweepTest, FillToLoadIsIncremental) {
+  auto t = MakeScheme(SchemeKind::kCuckoo, SmallConfig());
+  const auto keys = MakeUniqueKeys(t->capacity(), 2, 0);
+  size_t cursor = 0;
+  FillToLoad(*t, keys, 0.3, &cursor);
+  const size_t after_first = cursor;
+  FillToLoad(*t, keys, 0.6, &cursor);
+  EXPECT_GT(cursor, after_first);
+  EXPECT_NEAR(t->load_factor(), 0.6, 0.01);
+}
+
+TEST(SweepTest, FillStopsWhenKeysExhausted) {
+  auto t = MakeScheme(SchemeKind::kBcht, SmallConfig());
+  const auto keys = MakeUniqueKeys(100, 3, 0);
+  size_t cursor = 0;
+  const PhaseStats phase = FillToLoad(*t, keys, 0.9, &cursor);
+  EXPECT_EQ(phase.ops, 100u);
+  EXPECT_EQ(cursor, 100u);
+}
+
+TEST(SweepTest, MeasureLookupsCountsHits) {
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, SmallConfig());
+  const auto keys = MakeUniqueKeys(500, 4, 0);
+  for (uint64_t k : keys) t->Insert(k, ValueFor(k));
+  uint64_t hits = 0;
+  const PhaseStats phase = MeasureLookups(*t, keys, 1000, true, &hits);
+  EXPECT_EQ(phase.ops, 1000u);
+  EXPECT_EQ(hits, 1000u);
+}
+
+TEST(SweepTest, MeasureLookupsOnMissingKeys) {
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, SmallConfig());
+  for (uint64_t k : MakeUniqueKeys(500, 5, 0)) t->Insert(k, ValueFor(k));
+  uint64_t hits = 0;
+  const auto missing = MakeUniqueKeys(500, 5, 1);
+  MeasureLookups(*t, missing, 500, false, &hits);
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(SweepTest, MeasureErasesDrainsTable) {
+  SchemeConfig c = SmallConfig();
+  c.deletion_mode = DeletionMode::kResetCounters;
+  auto t = MakeScheme(SchemeKind::kBMcCuckoo, c);
+  const auto keys = MakeUniqueKeys(600, 6, 0);
+  for (uint64_t k : keys) t->Insert(k, ValueFor(k));
+  const PhaseStats phase = MeasureErases(*t, keys);
+  EXPECT_EQ(phase.ops, keys.size());
+  EXPECT_EQ(t->TotalItems(), 0u);
+  // Multi-copy deletion: zero off-chip writes.
+  EXPECT_EQ(phase.delta.offchip_writes, 0u);
+}
+
+TEST(SweepTest, HistogramBinsPerOpReads) {
+  auto t = MakeScheme(SchemeKind::kCuckoo, SmallConfig());
+  const auto keys = MakeUniqueKeys(200, 8, 0);
+  for (uint64_t k : keys) t->Insert(k, ValueFor(k));
+  AccessHistogram hist;
+  // Plain cuckoo misses always read exactly d = 3 buckets.
+  const auto missing = MakeUniqueKeys(500, 8, 1);
+  MeasureLookupHistogram(*t, missing, 500, false, &hist);
+  EXPECT_EQ(hist.total, 500u);
+  EXPECT_DOUBLE_EQ(hist.Fraction(3), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.0);
+}
+
+TEST(SweepTest, HistogramBloomRuleShowsZeroReads) {
+  auto t = MakeScheme(SchemeKind::kMcCuckoo, SmallConfig());
+  const auto keys = MakeUniqueKeys(50, 9, 0);  // ~2% load: mostly empty
+  for (uint64_t k : keys) t->Insert(k, ValueFor(k));
+  AccessHistogram hist;
+  const auto missing = MakeUniqueKeys(500, 9, 1);
+  MeasureLookupHistogram(*t, missing, 500, false, &hist);
+  EXPECT_GT(hist.Fraction(0), 0.9);  // Bloom rule: no off-chip access
+}
+
+TEST(SweepTest, HistogramOverflowBinAggregates) {
+  AccessHistogram hist;
+  hist.Record(0);
+  hist.Record(7);
+  hist.Record(12);
+  hist.Record(100);
+  EXPECT_EQ(hist.total, 4u);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(hist.Fraction(AccessHistogram::kBins - 1), 0.75);
+}
+
+TEST(SweepTest, EmptyHistogramFractionsAreZero) {
+  AccessHistogram hist;
+  for (size_t i = 0; i < AccessHistogram::kBins; ++i) {
+    EXPECT_DOUBLE_EQ(hist.Fraction(i), 0.0);
+  }
+}
+
+TEST(SweepTest, PhaseStatsArithmetic) {
+  PhaseStats a;
+  a.delta.offchip_reads = 10;
+  a.delta.offchip_writes = 4;
+  a.delta.kickouts = 2;
+  a.ops = 2;
+  EXPECT_DOUBLE_EQ(a.ReadsPerOp(), 5.0);
+  EXPECT_DOUBLE_EQ(a.WritesPerOp(), 2.0);
+  EXPECT_DOUBLE_EQ(a.AccessesPerOp(), 7.0);
+  EXPECT_DOUBLE_EQ(a.KickoutsPerOp(), 1.0);
+  PhaseStats b = a;
+  b += a;
+  EXPECT_EQ(b.ops, 4u);
+  EXPECT_DOUBLE_EQ(b.ReadsPerOp(), 5.0);
+  PhaseStats empty;
+  EXPECT_DOUBLE_EQ(empty.ReadsPerOp(), 0.0);
+}
+
+}  // namespace
+}  // namespace mccuckoo

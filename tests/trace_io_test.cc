@@ -1,0 +1,97 @@
+#include "src/workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mccuckoo {
+namespace {
+
+constexpr const char* kSample =
+    "3\n"
+    "10\n"
+    "5\n"
+    "1 4 12\n"
+    "1 7 1\n"
+    "2 4 2\n"
+    "3 1 9\n"
+    "3 10 3\n";
+
+TEST(TraceIoTest, ParsesWellFormedFile) {
+  std::stringstream in(kSample);
+  auto r = ParseDocWordsStream(in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& keys = r.value();
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys[0], (1ull << 20) | 4);
+  EXPECT_EQ(keys[3], (3ull << 20) | 1);
+  EXPECT_EQ(keys[4], (3ull << 20) | 10);
+}
+
+TEST(TraceIoTest, LimitTruncates) {
+  std::stringstream in(kSample);
+  auto r = ParseDocWordsStream(in, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(TraceIoTest, DropsRepeatedPairs) {
+  std::stringstream in(
+      "1\n5\n3\n"
+      "1 2 7\n"
+      "1 2 9\n"
+      "1 3 1\n");
+  auto r = ParseDocWordsStream(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream in("not numbers\n");
+  EXPECT_FALSE(ParseDocWordsStream(in).ok());
+}
+
+TEST(TraceIoTest, RejectsWordIdOutOfRange) {
+  std::stringstream in("1\n5\n1\n1 6 1\n");
+  const auto r = ParseDocWordsStream(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoTest, RejectsDocIdOutOfRange) {
+  std::stringstream in("2\n5\n1\n3 1 1\n");
+  EXPECT_FALSE(ParseDocWordsStream(in).ok());
+}
+
+TEST(TraceIoTest, RejectsOversizedVocabulary) {
+  std::stringstream in("1\n2000000\n1\n1 1 1\n");
+  EXPECT_FALSE(ParseDocWordsStream(in).ok());
+}
+
+TEST(TraceIoTest, RejectsEmptyBody) {
+  std::stringstream in("1\n5\n0\n");
+  EXPECT_FALSE(ParseDocWordsStream(in).ok());
+}
+
+TEST(TraceIoTest, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/trace_io_test.txt";
+  {
+    std::ofstream out(path);
+    out << kSample;
+  }
+  auto r = LoadDocWordsFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsIOError) {
+  const auto r = LoadDocWordsFile("/does/not/exist.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mccuckoo

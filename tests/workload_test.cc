@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/workload/docwords.h"
+#include "src/workload/keyset.h"
+#include "src/workload/opstream.h"
+#include "src/workload/zipf.h"
+
+namespace mccuckoo {
+namespace {
+
+TEST(ZipfTest, RanksInRange) {
+  ZipfGenerator z(100, 1.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator z(10, 0.0);
+  Xoshiro256 rng(2);
+  int counts[10] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfGenerator z(1000, 1.0);
+  Xoshiro256 rng(3);
+  int head = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) head += (z.Sample(rng) < 10);
+  // Under Zipf(1.0, n=1000): P(rank < 10) ≈ H(10)/H(1000) ≈ 0.39.
+  EXPECT_GT(head, kSamples / 4);
+  EXPECT_LT(head, kSamples / 2);
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator z(50, 0.8);
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Sample(a), z.Sample(b));
+}
+
+TEST(KeysetTest, KeysAreUnique) {
+  const auto keys = MakeUniqueKeys(200000, 1, 0);
+  std::unordered_set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), keys.size());
+}
+
+TEST(KeysetTest, StreamsAreDisjoint) {
+  const auto a = MakeUniqueKeys(50000, 1, 0);
+  const auto b = MakeUniqueKeys(50000, 1, 1);
+  std::unordered_set<uint64_t> sa(a.begin(), a.end());
+  for (uint64_t k : b) EXPECT_EQ(sa.count(k), 0u);
+}
+
+TEST(KeysetTest, SeedChangesKeys) {
+  const auto a = MakeUniqueKeys(100, 1, 0);
+  const auto b = MakeUniqueKeys(100, 2, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(DocWordsTest, ProducesRequestedCount) {
+  const auto keys = GenerateDocWordsKeys(10000);
+  EXPECT_EQ(keys.size(), 10000u);
+}
+
+TEST(DocWordsTest, KeysAreUniquePairs) {
+  const auto keys = GenerateDocWordsKeys(100000);
+  std::unordered_set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), keys.size());
+}
+
+TEST(DocWordsTest, WordIdsWithinVocabulary) {
+  DocWordsConfig cfg;
+  cfg.vocabulary = 1000;
+  const auto keys = GenerateDocWordsKeys(20000, cfg);
+  for (uint64_t k : keys) EXPECT_LT(k & 0xFFFFF, 1000u);
+}
+
+TEST(DocWordsTest, WordPopularityIsSkewed) {
+  const auto keys = GenerateDocWordsKeys(200000);
+  std::unordered_map<uint32_t, int> word_freq;
+  for (uint64_t k : keys) ++word_freq[static_cast<uint32_t>(k & 0xFFFFF)];
+  std::vector<int> freqs;
+  for (auto& [w, c] : word_freq) freqs.push_back(c);
+  std::sort(freqs.rbegin(), freqs.rend());
+  // Zipf head: the most frequent word appears far more often than median.
+  EXPECT_GT(freqs.front(), 20 * freqs[freqs.size() / 2]);
+}
+
+TEST(DocWordsTest, Deterministic) {
+  EXPECT_EQ(GenerateDocWordsKeys(5000), GenerateDocWordsKeys(5000));
+}
+
+TEST(OpStreamTest, RespectsApproximateMix) {
+  OpStreamConfig cfg;
+  cfg.insert_fraction = 0.3;
+  cfg.lookup_fraction = 0.5;
+  cfg.erase_fraction = 0.1;
+  const auto ops = GenerateOpStream(50000, cfg);
+  ASSERT_EQ(ops.size(), 50000u);
+  int inserts = 0, lookups = 0, erases = 0;
+  for (const Op& op : ops) {
+    inserts += op.kind == Op::Kind::kInsert;
+    lookups += op.kind == Op::Kind::kLookup;
+    erases += op.kind == Op::Kind::kErase;
+  }
+  EXPECT_NEAR(inserts, 15000, 1000);
+  EXPECT_NEAR(erases, 5000, 700);
+  EXPECT_NEAR(lookups, 30000, 1200);  // includes negative lookups
+}
+
+TEST(OpStreamTest, ErasesTargetLiveKeys) {
+  OpStreamConfig cfg;
+  cfg.insert_fraction = 0.4;
+  cfg.lookup_fraction = 0.2;
+  cfg.erase_fraction = 0.3;
+  const auto ops = GenerateOpStream(20000, cfg);
+  std::unordered_set<uint64_t> live;
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kInsert) {
+      EXPECT_EQ(live.count(op.key), 0u) << "re-inserted key";
+      live.insert(op.key);
+    } else if (op.kind == Op::Kind::kErase) {
+      EXPECT_EQ(live.count(op.key), 1u) << "erase of dead key";
+      live.erase(op.key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mccuckoo
