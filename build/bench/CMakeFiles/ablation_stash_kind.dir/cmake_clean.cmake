@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stash_kind.dir/ablation_stash_kind.cc.o"
+  "CMakeFiles/ablation_stash_kind.dir/ablation_stash_kind.cc.o.d"
+  "ablation_stash_kind"
+  "ablation_stash_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stash_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

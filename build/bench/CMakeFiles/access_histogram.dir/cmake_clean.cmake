@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_histogram.dir/access_histogram.cc.o"
+  "CMakeFiles/access_histogram.dir/access_histogram.cc.o.d"
+  "access_histogram"
+  "access_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kickouts.dir/fig09_kickouts.cc.o"
+  "CMakeFiles/fig09_kickouts.dir/fig09_kickouts.cc.o.d"
+  "fig09_kickouts"
+  "fig09_kickouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kickouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lookup_existing.dir/fig12_lookup_existing.cc.o"
+  "CMakeFiles/fig12_lookup_existing.dir/fig12_lookup_existing.cc.o.d"
+  "fig12_lookup_existing"
+  "fig12_lookup_existing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lookup_existing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

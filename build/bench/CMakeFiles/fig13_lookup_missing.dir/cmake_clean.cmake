@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lookup_missing.dir/fig13_lookup_missing.cc.o"
+  "CMakeFiles/fig13_lookup_missing.dir/fig13_lookup_missing.cc.o.d"
+  "fig13_lookup_missing"
+  "fig13_lookup_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lookup_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

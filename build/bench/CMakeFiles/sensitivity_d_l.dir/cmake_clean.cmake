@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_d_l.dir/sensitivity_d_l.cc.o"
+  "CMakeFiles/sensitivity_d_l.dir/sensitivity_d_l.cc.o.d"
+  "sensitivity_d_l"
+  "sensitivity_d_l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_d_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_first_collision.dir/table1_first_collision.cc.o"
+  "CMakeFiles/table1_first_collision.dir/table1_first_collision.cc.o.d"
+  "table1_first_collision"
+  "table1_first_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_first_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

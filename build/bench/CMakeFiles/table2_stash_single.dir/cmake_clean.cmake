@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stash_single.dir/table2_stash_single.cc.o"
+  "CMakeFiles/table2_stash_single.dir/table2_stash_single.cc.o.d"
+  "table2_stash_single"
+  "table2_stash_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stash_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_stash_blocked.dir/table3_stash_blocked.cc.o"
+  "CMakeFiles/table3_stash_blocked.dir/table3_stash_blocked.cc.o.d"
+  "table3_stash_blocked"
+  "table3_stash_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_stash_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

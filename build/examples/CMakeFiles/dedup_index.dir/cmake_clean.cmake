@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_index.dir/dedup_index.cpp.o"
+  "CMakeFiles/dedup_index.dir/dedup_index.cpp.o.d"
+  "dedup_index"
+  "dedup_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

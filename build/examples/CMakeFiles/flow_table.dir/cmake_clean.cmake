@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_table.dir/flow_table.cpp.o"
+  "CMakeFiles/flow_table.dir/flow_table.cpp.o.d"
+  "flow_table"
+  "flow_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

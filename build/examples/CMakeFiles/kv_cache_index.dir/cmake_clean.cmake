@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_index.dir/kv_cache_index.cpp.o"
+  "CMakeFiles/kv_cache_index.dir/kv_cache_index.cpp.o.d"
+  "kv_cache_index"
+  "kv_cache_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_persistence.dir/snapshot_persistence.cpp.o"
+  "CMakeFiles/snapshot_persistence.dir/snapshot_persistence.cpp.o.d"
+  "snapshot_persistence"
+  "snapshot_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/mccuckoo.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/format.cc" "src/CMakeFiles/mccuckoo.dir/common/format.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/common/format.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mccuckoo.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/common/status.cc.o.d"
+  "/root/repo/src/hash/jenkins.cc" "src/CMakeFiles/mccuckoo.dir/hash/jenkins.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/hash/jenkins.cc.o.d"
+  "/root/repo/src/hash/murmur3.cc" "src/CMakeFiles/mccuckoo.dir/hash/murmur3.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/hash/murmur3.cc.o.d"
+  "/root/repo/src/hash/xxhash.cc" "src/CMakeFiles/mccuckoo.dir/hash/xxhash.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/hash/xxhash.cc.o.d"
+  "/root/repo/src/mem/latency_model.cc" "src/CMakeFiles/mccuckoo.dir/mem/latency_model.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/mem/latency_model.cc.o.d"
+  "/root/repo/src/sim/reporter.cc" "src/CMakeFiles/mccuckoo.dir/sim/reporter.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/sim/reporter.cc.o.d"
+  "/root/repo/src/sim/schemes.cc" "src/CMakeFiles/mccuckoo.dir/sim/schemes.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/sim/schemes.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/mccuckoo.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/sim/sweep.cc.o.d"
+  "/root/repo/src/workload/docwords.cc" "src/CMakeFiles/mccuckoo.dir/workload/docwords.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/workload/docwords.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/mccuckoo.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/mccuckoo.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccuckoo.dir/common/flags.cc.o"
+  "CMakeFiles/mccuckoo.dir/common/flags.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/common/format.cc.o"
+  "CMakeFiles/mccuckoo.dir/common/format.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/common/status.cc.o"
+  "CMakeFiles/mccuckoo.dir/common/status.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/hash/jenkins.cc.o"
+  "CMakeFiles/mccuckoo.dir/hash/jenkins.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/hash/murmur3.cc.o"
+  "CMakeFiles/mccuckoo.dir/hash/murmur3.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/hash/xxhash.cc.o"
+  "CMakeFiles/mccuckoo.dir/hash/xxhash.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/mem/latency_model.cc.o"
+  "CMakeFiles/mccuckoo.dir/mem/latency_model.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/sim/reporter.cc.o"
+  "CMakeFiles/mccuckoo.dir/sim/reporter.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/sim/schemes.cc.o"
+  "CMakeFiles/mccuckoo.dir/sim/schemes.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/sim/sweep.cc.o"
+  "CMakeFiles/mccuckoo.dir/sim/sweep.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/workload/docwords.cc.o"
+  "CMakeFiles/mccuckoo.dir/workload/docwords.cc.o.d"
+  "CMakeFiles/mccuckoo.dir/workload/trace_io.cc.o"
+  "CMakeFiles/mccuckoo.dir/workload/trace_io.cc.o.d"
+  "libmccuckoo.a"
+  "libmccuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

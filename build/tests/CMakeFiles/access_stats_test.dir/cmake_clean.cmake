@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_stats_test.dir/access_stats_test.cc.o"
+  "CMakeFiles/access_stats_test.dir/access_stats_test.cc.o.d"
+  "access_stats_test"
+  "access_stats_test.pdb"
+  "access_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

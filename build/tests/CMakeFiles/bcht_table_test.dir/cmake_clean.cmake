@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcht_table_test.dir/bcht_table_test.cc.o"
+  "CMakeFiles/bcht_table_test.dir/bcht_table_test.cc.o.d"
+  "bcht_table_test"
+  "bcht_table_test.pdb"
+  "bcht_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcht_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_mccuckoo_test.dir/blocked_mccuckoo_test.cc.o"
+  "CMakeFiles/blocked_mccuckoo_test.dir/blocked_mccuckoo_test.cc.o.d"
+  "blocked_mccuckoo_test"
+  "blocked_mccuckoo_test.pdb"
+  "blocked_mccuckoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_mccuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_property_test.dir/blocked_property_test.cc.o"
+  "CMakeFiles/blocked_property_test.dir/blocked_property_test.cc.o.d"
+  "blocked_property_test"
+  "blocked_property_test.pdb"
+  "blocked_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_array_test.dir/counter_array_test.cc.o"
+  "CMakeFiles/counter_array_test.dir/counter_array_test.cc.o.d"
+  "counter_array_test"
+  "counter_array_test.pdb"
+  "counter_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

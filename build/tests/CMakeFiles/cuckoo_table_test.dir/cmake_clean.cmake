@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_table_test.dir/cuckoo_table_test.cc.o"
+  "CMakeFiles/cuckoo_table_test.dir/cuckoo_table_test.cc.o.d"
+  "cuckoo_table_test"
+  "cuckoo_table_test.pdb"
+  "cuckoo_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

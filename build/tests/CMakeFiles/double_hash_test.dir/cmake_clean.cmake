@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_hash_test.dir/double_hash_test.cc.o"
+  "CMakeFiles/double_hash_test.dir/double_hash_test.cc.o.d"
+  "double_hash_test"
+  "double_hash_test.pdb"
+  "double_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

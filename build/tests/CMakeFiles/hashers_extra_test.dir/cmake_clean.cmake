@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashers_extra_test.dir/hashers_extra_test.cc.o"
+  "CMakeFiles/hashers_extra_test.dir/hashers_extra_test.cc.o.d"
+  "hashers_extra_test"
+  "hashers_extra_test.pdb"
+  "hashers_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashers_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_or_assign_test.dir/insert_or_assign_test.cc.o"
+  "CMakeFiles/insert_or_assign_test.dir/insert_or_assign_test.cc.o.d"
+  "insert_or_assign_test"
+  "insert_or_assign_test.pdb"
+  "insert_or_assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_or_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for insert_or_assign_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenkins_test.dir/jenkins_test.cc.o"
+  "CMakeFiles/jenkins_test.dir/jenkins_test.cc.o.d"
+  "jenkins_test"
+  "jenkins_test.pdb"
+  "jenkins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenkins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

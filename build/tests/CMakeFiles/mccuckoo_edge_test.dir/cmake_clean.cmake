@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccuckoo_edge_test.dir/mccuckoo_edge_test.cc.o"
+  "CMakeFiles/mccuckoo_edge_test.dir/mccuckoo_edge_test.cc.o.d"
+  "mccuckoo_edge_test"
+  "mccuckoo_edge_test.pdb"
+  "mccuckoo_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccuckoo_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

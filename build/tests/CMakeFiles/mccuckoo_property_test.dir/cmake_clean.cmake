@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccuckoo_property_test.dir/mccuckoo_property_test.cc.o"
+  "CMakeFiles/mccuckoo_property_test.dir/mccuckoo_property_test.cc.o.d"
+  "mccuckoo_property_test"
+  "mccuckoo_property_test.pdb"
+  "mccuckoo_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccuckoo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

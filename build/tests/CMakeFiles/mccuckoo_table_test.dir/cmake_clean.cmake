@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccuckoo_table_test.dir/mccuckoo_table_test.cc.o"
+  "CMakeFiles/mccuckoo_table_test.dir/mccuckoo_table_test.cc.o.d"
+  "mccuckoo_table_test"
+  "mccuckoo_table_test.pdb"
+  "mccuckoo_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccuckoo_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

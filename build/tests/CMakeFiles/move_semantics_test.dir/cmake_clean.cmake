@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_semantics_test.dir/move_semantics_test.cc.o"
+  "CMakeFiles/move_semantics_test.dir/move_semantics_test.cc.o.d"
+  "move_semantics_test"
+  "move_semantics_test.pdb"
+  "move_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_array_test.dir/packed_array_test.cc.o"
+  "CMakeFiles/packed_array_test.dir/packed_array_test.cc.o.d"
+  "packed_array_test"
+  "packed_array_test.pdb"
+  "packed_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

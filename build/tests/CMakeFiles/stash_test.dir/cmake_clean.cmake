@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_test.dir/stash_test.cc.o"
+  "CMakeFiles/stash_test.dir/stash_test.cc.o.d"
+  "stash_test"
+  "stash_test.pdb"
+  "stash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
