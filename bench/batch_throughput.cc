@@ -1,0 +1,122 @@
+// Scalar vs batched (prefetch-pipelined) lookup throughput.
+//
+// The batched paths hash a whole tile of keys and issue prefetches for
+// every candidate bucket before resolving any of them, hiding DRAM latency
+// behind useful work. That only pays off when the table is bigger than the
+// last-level cache, so the default table is sized well past typical LLCs
+// (~650 MB at 27M slots); override with MCCUCKOO_BENCH_SLOTS for smoke
+// runs on small machines / CI.
+//
+// Sweeps the two multi-copy schemes over load 0.5–0.95 (0.95 only for the
+// blocked scheme — 3-slot buckets support it, single-slot tables do not)
+// and batch sizes {8, 16, 32, 64} against the scalar loop. Results merge
+// into BENCH_throughput.json under the "batch." prefix; items/sec counts
+// looked-up keys.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_reporter.h"
+#include "src/sim/schemes.h"
+#include "src/sim/sweep.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+uint64_t TotalSlots() {
+  return BenchSlotsOrDefault(9ull * 3'000'000);  // ~650 MB of buckets: > LLC
+}
+
+SchemeConfig Config() {
+  SchemeConfig c;
+  c.total_slots = TotalSlots();
+  c.maxloop = 500;
+  c.seed = 7;
+  return c;
+}
+
+/// One lazily-filled table per scheme, reused by every (load, batch-size)
+/// benchmark of that scheme. Benchmarks run in registration order with
+/// ascending loads, so the fill only ever moves forward.
+struct SchemeState {
+  std::unique_ptr<SchemeTable> table;
+  std::vector<uint64_t> keys;  // insertion stream; [0, cursor) are live
+  size_t cursor = 0;
+};
+
+SchemeState& StateFor(SchemeKind kind, double load) {
+  static std::map<SchemeKind, SchemeState> states;
+  SchemeState& s = states[kind];
+  if (s.table == nullptr) {
+    s.table = MakeScheme(kind, Config());
+    s.keys = MakeUniqueKeys(s.table->capacity(), 7, 0);
+  }
+  if (s.table->load_factor() < load) {
+    FillToLoad(*s.table, s.keys, load, &s.cursor);
+  }
+  return s;
+}
+
+void BM_ScalarLookupHit(benchmark::State& state, SchemeKind kind,
+                        double load) {
+  SchemeState& s = StateFor(kind, load);
+  const size_t live = s.cursor;
+  size_t i = 0;
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.table->Find(s.keys[i % live], &v));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BatchLookupHit(benchmark::State& state, SchemeKind kind, double load,
+                       size_t batch) {
+  SchemeState& s = StateFor(kind, load);
+  const size_t live = s.cursor - (s.cursor % batch);
+  std::vector<uint64_t> out(batch);
+  std::vector<uint8_t> found(batch);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.table->FindBatch(
+        std::span<const uint64_t>(&s.keys[i], batch), out.data(),
+        reinterpret_cast<bool*>(found.data())));
+    i = (i + batch) % live;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void RegisterAll() {
+  for (const SchemeKind kind :
+       {SchemeKind::kMcCuckoo, SchemeKind::kBMcCuckoo}) {
+    std::vector<int> loads = {50, 75, 90};
+    // 0.95 exceeds the d=3 single-slot cuckoo load threshold (~0.917);
+    // only the blocked scheme can reach it.
+    if (IsBlocked(kind)) loads.push_back(95);
+    for (const int load : loads) {
+      const std::string suffix =
+          std::string(".") + SchemeName(kind) + ".load" + std::to_string(load);
+      benchmark::RegisterBenchmark(("lookup_hit" + suffix + ".scalar").c_str(),
+                                   BM_ScalarLookupHit, kind, load / 100.0);
+      for (const size_t batch : {8, 16, 32, 64}) {
+        benchmark::RegisterBenchmark(
+            ("lookup_hit" + suffix + ".batch" + std::to_string(batch)).c_str(),
+            BM_BatchLookupHit, kind, load / 100.0, batch);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) {
+  mccuckoo::RegisterAll();
+  return mccuckoo::RunBenchmarksToJson(argc, argv, "batch.");
+}

@@ -1,0 +1,109 @@
+// Minimal flat-JSON persistence for the throughput benchmarks.
+//
+// All wall-clock benches merge their results into one machine-readable
+// file (BENCH_throughput.json): a single flat JSON object mapping
+// "<bench>.<case>" keys to numbers (items/sec). Each binary owns a key
+// prefix ("micro.", "batch.", "shard.") and replaces only its own keys on
+// rewrite, so the file accumulates results across binaries without any
+// external JSON dependency. The parser below only needs to read the flat
+// format the writer emits.
+
+#ifndef MCCUCKOO_BENCH_BENCH_JSON_H_
+#define MCCUCKOO_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace mccuckoo {
+
+/// Flat string -> number mapping (std::map keeps the file diff-stable).
+using FlatJson = std::map<std::string, double>;
+
+/// Table size for a throughput bench: $MCCUCKOO_BENCH_SLOTS, or
+/// `fallback` when unset. Rejects unparseable or zero values up front —
+/// they would otherwise surface as an abort deep inside table creation.
+inline uint64_t BenchSlotsOrDefault(uint64_t fallback) {
+  const char* env = std::getenv("MCCUCKOO_BENCH_SLOTS");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const uint64_t slots = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || slots == 0) {
+    std::fprintf(stderr,
+                 "invalid MCCUCKOO_BENCH_SLOTS='%s' (want a positive integer)\n",
+                 env);
+    std::exit(1);
+  }
+  return slots;
+}
+
+/// Reads a flat JSON object written by StoreFlatJson. Returns an empty map
+/// if the file does not exist or does not parse (best effort: results are
+/// regenerable).
+inline FlatJson LoadFlatJson(const std::string& path) {
+  FlatJson out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    const size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) break;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    if (end != text.c_str() + colon + 1) out[key] = value;
+    pos = key_end + 1;
+  }
+  return out;
+}
+
+/// Writes `data` as one flat JSON object, keys sorted.
+inline bool StoreFlatJson(const std::string& path, const FlatJson& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  size_t i = 0;
+  for (const auto& [key, value] : data) {
+    std::fprintf(f, "  \"%s\": %.10g%s\n", key.c_str(), value,
+                 ++i < data.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Replaces every key starting with `prefix` in the file with `entries`
+/// (which should all carry that prefix) and rewrites it. This is how the
+/// bench binaries share one results file.
+inline bool MergeFlatJson(const std::string& path, const std::string& prefix,
+                          const FlatJson& entries) {
+  FlatJson data = LoadFlatJson(path);
+  for (auto it = data.begin(); it != data.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = data.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, value] : entries) data[key] = value;
+  return StoreFlatJson(path, data);
+}
+
+/// Results file location: $MCCUCKOO_BENCH_JSON or ./BENCH_throughput.json.
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("MCCUCKOO_BENCH_JSON");
+  return env != nullptr ? env : "BENCH_throughput.json";
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_BENCH_BENCH_JSON_H_

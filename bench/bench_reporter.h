@@ -1,0 +1,71 @@
+// Console reporter that also captures items/sec into a FlatJson map.
+//
+// The google-benchmark binaries register benchmarks whose *names* are the
+// final JSON keys (dots instead of '/', e.g. "lookup_hit.McCuckoo.load90.
+// batch16"). This reporter keeps the normal console output and records, for
+// every completed per-iteration run, the maximum observed items_per_second
+// under the name up to the first '/' (stripping google-benchmark's
+// "/repeats:N"-style suffixes) — max over repetitions is the standard
+// "best of" throughput estimate, robust to scheduler noise on shared boxes.
+
+#ifndef MCCUCKOO_BENCH_BENCH_REPORTER_H_
+#define MCCUCKOO_BENCH_BENCH_REPORTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+
+#include "bench/bench_json.h"
+
+namespace mccuckoo {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(FlatJson* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      std::string key = run.benchmark_name();
+      const size_t slash = key.find('/');
+      if (slash != std::string::npos) key.resize(slash);
+      const double v = static_cast<double>(it->second);
+      auto [entry, inserted] = sink_->emplace(key, v);
+      if (!inserted) entry->second = std::max(entry->second, v);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  FlatJson* sink_;
+};
+
+/// Runs all registered benchmarks through a JsonCaptureReporter and merges
+/// the captured items/sec into BenchJsonPath() under `prefix` ("micro.",
+/// "batch.", ...). Returns the process exit code.
+inline int RunBenchmarksToJson(int argc, char** argv,
+                               const std::string& prefix) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  FlatJson captured;
+  JsonCaptureReporter reporter(&captured);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  FlatJson prefixed;
+  for (const auto& [key, value] : captured) prefixed[prefix + key] = value;
+  const std::string path = BenchJsonPath();
+  if (!MergeFlatJson(path, prefix, prefixed)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu '%s*' entries to %s\n", prefixed.size(),
+               prefix.c_str(), path.c_str());
+  return 0;
+}
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_BENCH_BENCH_REPORTER_H_

@@ -2,12 +2,17 @@
 // the four schemes plus a std::unordered_map reference. Not a paper figure
 // — the paper's end-to-end numbers are FPGA-based — but useful for judging
 // the pure-software cost of the counter logic.
+//
+// Results are merged into BENCH_throughput.json under the "micro." prefix
+// (see bench/bench_json.h); benchmark names double as the JSON keys.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "bench/bench_reporter.h"
 #include "src/sim/schemes.h"
 #include "src/sim/sweep.h"
 #include "src/workload/keyset.h"
@@ -33,9 +38,7 @@ std::unique_ptr<SchemeTable> FilledTable(SchemeKind kind, double load) {
   return t;
 }
 
-void BM_Insert(benchmark::State& state) {
-  const auto kind = static_cast<SchemeKind>(state.range(0));
-  const double load = static_cast<double>(state.range(1)) / 100.0;
+void BM_Insert(benchmark::State& state, SchemeKind kind, double load) {
   // Rebuild periodically: inserting past the target load would distort the
   // measurement, so insert in bounded bursts from the prefill point.
   auto table = FilledTable(kind, load);
@@ -53,12 +56,9 @@ void BM_Insert(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel(SchemeName(kind));
 }
 
-void BM_LookupHit(benchmark::State& state) {
-  const auto kind = static_cast<SchemeKind>(state.range(0));
-  const double load = static_cast<double>(state.range(1)) / 100.0;
+void BM_LookupHit(benchmark::State& state, SchemeKind kind, double load) {
   auto table = FilledTable(kind, load);
   const auto keys = MakeUniqueKeys(table->TotalItems(), 7, 0);
   size_t i = 0;
@@ -68,12 +68,9 @@ void BM_LookupHit(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel(SchemeName(kind));
 }
 
-void BM_LookupMiss(benchmark::State& state) {
-  const auto kind = static_cast<SchemeKind>(state.range(0));
-  const double load = static_cast<double>(state.range(1)) / 100.0;
+void BM_LookupMiss(benchmark::State& state, SchemeKind kind, double load) {
   auto table = FilledTable(kind, load);
   const auto missing = MakeUniqueKeys(100'000, 7, 7);
   size_t i = 0;
@@ -82,7 +79,6 @@ void BM_LookupMiss(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel(SchemeName(kind));
 }
 
 void BM_StdUnorderedMapLookup(benchmark::State& state) {
@@ -95,22 +91,30 @@ void BM_StdUnorderedMapLookup(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel("std::unordered_map");
 }
 
-void SchemeLoadArgs(benchmark::internal::Benchmark* b) {
-  for (int kind = 0; kind < 4; ++kind) {
-    b->Args({kind, 50});
-    b->Args({kind, 90});
+void RegisterAll() {
+  for (const SchemeKind kind : kAllSchemes) {
+    for (const int load : {50, 90}) {
+      const std::string suffix =
+          std::string(".") + SchemeName(kind) + ".load" + std::to_string(load);
+      benchmark::RegisterBenchmark(("insert" + suffix).c_str(), BM_Insert,
+                                   kind, load / 100.0)
+          ->Iterations(30000);
+      benchmark::RegisterBenchmark(("lookup_hit" + suffix).c_str(),
+                                   BM_LookupHit, kind, load / 100.0);
+      benchmark::RegisterBenchmark(("lookup_miss" + suffix).c_str(),
+                                   BM_LookupMiss, kind, load / 100.0);
+    }
   }
+  benchmark::RegisterBenchmark("lookup_hit.std_unordered_map",
+                               BM_StdUnorderedMapLookup);
 }
-
-BENCHMARK(BM_Insert)->Apply(SchemeLoadArgs)->Iterations(30000);
-BENCHMARK(BM_LookupHit)->Apply(SchemeLoadArgs);
-BENCHMARK(BM_LookupMiss)->Apply(SchemeLoadArgs);
-BENCHMARK(BM_StdUnorderedMapLookup);
 
 }  // namespace
 }  // namespace mccuckoo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mccuckoo::RegisterAll();
+  return mccuckoo::RunBenchmarksToJson(argc, argv, "micro.");
+}

@@ -10,10 +10,12 @@
 #ifndef MCCUCKOO_BASELINE_BCHT_TABLE_H_
 #define MCCUCKOO_BASELINE_BCHT_TABLE_H_
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@ class BchtTable {
   /// Exposed template parameters (used by wrappers/adapters).
   using KeyType = Key;
   using ValueType = Value;
+  using HasherType = Hasher;
 
   /// One record slot inside a bucket.
   struct Slot {
@@ -79,7 +82,92 @@ class BchtTable {
 
   /// Inserts a key assumed not to be present.
   InsertResult Insert(Key key, Value value) {
-    std::array<size_t, kMaxHashes> cand = CandidateBuckets(key);
+    const std::array<size_t, kMaxHashes> cand = CandidateBuckets(key);
+    return InsertWithCandidates(std::move(key), std::move(value), cand);
+  }
+
+  /// Inserts or updates the single copy of an existing key.
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    size_t bucket;
+    uint32_t slot;
+    if (FindInMain(key, CandidateBuckets(key), nullptr, &bucket, &slot)) {
+      StoreSlot(bucket, slot, key, value);
+      return InsertResult::kUpdated;
+    }
+    if (!stash_.empty()) {
+      ChargeStashProbe();
+      if (stash_.Find(key, nullptr)) {
+        ChargeStashWrite();
+        stash_.Insert(key, value);
+        return InsertResult::kUpdated;
+      }
+    }
+    return Insert(key, value);
+  }
+
+  /// Looks `key` up (candidate buckets in order, then the stash).
+  bool Find(const Key& key, Value* out = nullptr) const {
+    return FindImpl(key, CandidateBuckets(key), out);
+  }
+
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  // --- Batched operations --------------------------------------------------
+  //
+  // Software-pipelined equivalents of the scalar operations: stage 1 hashes
+  // a tile of keys and prefetches every candidate bucket's slot range;
+  // stage 2 replays the unchanged scalar logic against the warm lines.
+  // Results and AccessStats are identical to the scalar loop by
+  // construction.
+
+  /// Internal tile width for the batched paths.
+  static constexpr size_t kBatchTile = 64;
+
+  /// Batched Find: out[i]/found[i] mirror Find(keys[i], &out[i]).
+  /// Returns the number of hits. `out` may be nullptr.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    size_t hits = 0;
+    std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit = FindImpl(keys[base + i], cand[i],
+                                  out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched Contains: found[i] = Contains(keys[i]). Returns the hit count.
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Batched Insert of keys assumed not present. results[i] (optional)
+  /// receives the InsertResult for keys[i].
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    assert(keys.size() == values.size());
+    std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
+      for (size_t i = 0; i < n; ++i) {
+        const InsertResult r =
+            InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
+        if (results != nullptr) results[base + i] = r;
+      }
+    }
+  }
+
+ private:
+  /// Scalar Insert body operating on precomputed candidates. `cand` is
+  /// taken by value because the kick-out chain reuses it as scratch.
+  InsertResult InsertWithCandidates(Key key, Value value,
+                                    std::array<size_t, kMaxHashes> cand) {
     // Scan candidate buckets (one read each) for a free slot.
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       const int slot = FreeSlotIn(cand[t]);
@@ -131,29 +219,11 @@ class BchtTable {
     return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
   }
 
-  /// Inserts or updates the single copy of an existing key.
-  InsertResult InsertOrAssign(const Key& key, const Value& value) {
-    size_t bucket;
-    uint32_t slot;
-    if (FindInMain(key, nullptr, &bucket, &slot)) {
-      StoreSlot(bucket, slot, key, value);
-      return InsertResult::kUpdated;
-    }
-    if (!stash_.empty()) {
-      ChargeStashProbe();
-      if (stash_.Find(key, nullptr)) {
-        ChargeStashWrite();
-        stash_.Insert(key, value);
-        return InsertResult::kUpdated;
-      }
-    }
-    return Insert(key, value);
-  }
-
-  /// Looks `key` up (candidate buckets in order, then the stash).
-  bool Find(const Key& key, Value* out = nullptr) const {
+  /// Scalar Find body operating on precomputed candidates.
+  bool FindImpl(const Key& key, const std::array<size_t, kMaxHashes>& cand,
+                Value* out) const {
     auto* self = const_cast<BchtTable*>(this);
-    if (self->FindInMain(key, out, nullptr, nullptr)) return true;
+    if (self->FindInMain(key, cand, out, nullptr, nullptr)) return true;
     if (!stash_.empty()) {
       self->ChargeStashProbe();
       return stash_.Find(key, out);
@@ -161,13 +231,37 @@ class BchtTable {
     return false;
   }
 
-  bool Contains(const Key& key) const { return Find(key, nullptr); }
+  /// Stage 1 of the batched paths: hash `n` keys, compute their global
+  /// candidate bucket indices, and prefetch each candidate bucket's whole
+  /// slot range (l slots may straddle cache lines). Prefetching is a pure
+  /// hint — no AccessStats are charged here.
+  void StageCandidates(const Key* keys, size_t n,
+                       std::array<size_t, kMaxHashes>* cand,
+                       bool for_write) const {
+    std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
+    family_.BucketsBatch(keys, n, buckets.data());
+    const size_t bucket_bytes = opts_.slots_per_bucket * sizeof(Slot);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        const size_t b = static_cast<size_t>(t) * opts_.buckets_per_table +
+                         static_cast<size_t>(buckets[i][t]);
+        cand[i][t] = b;
+        const char* base =
+            reinterpret_cast<const char*>(&slots_[SlotIndex(b, 0)]);
+        for (size_t off = 0; off < bucket_bytes; off += 64) {
+          __builtin_prefetch(base + off, for_write ? 1 : 0,
+                             for_write ? 3 : 1);
+        }
+      }
+    }
+  }
 
+ public:
   /// Deletes `key`: one off-chip write to clear the slot's valid bit.
   bool Erase(const Key& key) {
     size_t bucket;
     uint32_t slot;
-    if (FindInMain(key, nullptr, &bucket, &slot)) {
+    if (FindInMain(key, CandidateBuckets(key), nullptr, &bucket, &slot)) {
       slots_[SlotIndex(bucket, slot)].occupied = false;
       ++stats_->offchip_writes;
       --size_;
@@ -292,9 +386,8 @@ class BchtTable {
 
   /// Probes candidate buckets in order. On a hit copies the value to `out`
   /// and reports the (bucket, slot) position when requested.
-  bool FindInMain(const Key& key, Value* out, size_t* bucket_out,
-                  uint32_t* slot_out) {
-    const std::array<size_t, kMaxHashes> cand = CandidateBuckets(key);
+  bool FindInMain(const Key& key, const std::array<size_t, kMaxHashes>& cand,
+                  Value* out, size_t* bucket_out, uint32_t* slot_out) {
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       ++stats_->offchip_reads;
       for (uint32_t s = 0; s < opts_.slots_per_bucket; ++s) {

@@ -12,12 +12,14 @@
 #ifndef MCCUCKOO_BASELINE_CUCKOO_TABLE_H_
 #define MCCUCKOO_BASELINE_CUCKOO_TABLE_H_
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +43,7 @@ class CuckooTable {
   /// Exposed template parameters (used by wrappers/adapters).
   using KeyType = Key;
   using ValueType = Value;
+  using HasherType = Hasher;
 
   /// One off-chip bucket. `occupied` models the valid bit stored with the
   /// record; reading it requires reading the bucket.
@@ -77,28 +80,13 @@ class CuckooTable {
 
   /// Inserts a key assumed not to be present.
   InsertResult Insert(Key key, Value value) {
-    // Scan candidates for an empty bucket (each check is an off-chip read).
     const std::array<size_t, kMaxHashes> cand = Candidates(key);
-    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-      if (!LoadBucket(cand[t]).occupied) {
-        StoreBucket(cand[t], key, value, true);
-        ++size_;
-        return InsertResult::kInserted;
-      }
-    }
-    // All candidates occupied: resolve per the configured policy.
-    if (first_collision_items_ == 0) {
-      first_collision_items_ = TotalItems() + 1;
-    }
-    if (opts_.eviction_policy == EvictionPolicy::kBfs) {
-      return BfsInsert(std::move(key), std::move(value), cand);
-    }
-    return WalkInsert(std::move(key), std::move(value), cand);
+    return InsertWithCandidates(std::move(key), std::move(value), cand);
   }
 
   /// Inserts or updates the single copy of an existing key.
   InsertResult InsertOrAssign(const Key& key, const Value& value) {
-    const int64_t idx = FindInMain(key, nullptr);
+    const int64_t idx = FindInMain(key, Candidates(key), nullptr);
     if (idx >= 0) {
       StoreBucket(static_cast<size_t>(idx), key, value, true);
       return InsertResult::kUpdated;
@@ -116,20 +104,64 @@ class CuckooTable {
 
   /// Looks `key` up (candidates in order, then the stash on a miss).
   bool Find(const Key& key, Value* out = nullptr) const {
-    auto* self = const_cast<CuckooTable*>(this);
-    if (self->FindInMain(key, out) >= 0) return true;
-    if (!stash_.empty()) {
-      self->ChargeStashProbe();
-      return stash_.Find(key, out);
-    }
-    return false;
+    return FindImpl(key, Candidates(key), out);
   }
 
   bool Contains(const Key& key) const { return Find(key, nullptr); }
 
+  // --- Batched operations --------------------------------------------------
+  //
+  // Software-pipelined equivalents of the scalar operations: stage 1 hashes
+  // a tile of keys and prefetches every candidate bucket; stage 2 replays
+  // the unchanged scalar logic against the warm lines. Results and
+  // AccessStats are identical to the scalar loop by construction.
+
+  /// Internal tile width for the batched paths.
+  static constexpr size_t kBatchTile = 64;
+
+  /// Batched Find: out[i]/found[i] mirror Find(keys[i], &out[i]).
+  /// Returns the number of hits. `out` may be nullptr.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    size_t hits = 0;
+    std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit = FindImpl(keys[base + i], cand[i],
+                                  out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched Contains: found[i] = Contains(keys[i]). Returns the hit count.
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Batched Insert of keys assumed not present. results[i] (optional)
+  /// receives the InsertResult for keys[i].
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    assert(keys.size() == values.size());
+    std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
+      for (size_t i = 0; i < n; ++i) {
+        const InsertResult r =
+            InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
+        if (results != nullptr) results[base + i] = r;
+      }
+    }
+  }
+
   /// Deletes `key`: one off-chip write to clear the record's valid bit.
   bool Erase(const Key& key) {
-    const int64_t idx = FindInMain(key, nullptr);
+    const int64_t idx = FindInMain(key, Candidates(key), nullptr);
     if (idx >= 0) {
       Bucket& b = table_[static_cast<size_t>(idx)];
       b.occupied = false;
@@ -222,6 +254,57 @@ class CuckooTable {
   }
 
   static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
+  /// Scalar Insert body operating on precomputed candidates.
+  InsertResult InsertWithCandidates(Key key, Value value,
+                                    const std::array<size_t, kMaxHashes>& cand) {
+    // Scan candidates for an empty bucket (each check is an off-chip read).
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      if (!LoadBucket(cand[t]).occupied) {
+        StoreBucket(cand[t], key, value, true);
+        ++size_;
+        return InsertResult::kInserted;
+      }
+    }
+    // All candidates occupied: resolve per the configured policy.
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    if (opts_.eviction_policy == EvictionPolicy::kBfs) {
+      return BfsInsert(std::move(key), std::move(value), cand);
+    }
+    return WalkInsert(std::move(key), std::move(value), cand);
+  }
+
+  /// Scalar Find body operating on precomputed candidates.
+  bool FindImpl(const Key& key, const std::array<size_t, kMaxHashes>& cand,
+                Value* out) const {
+    auto* self = const_cast<CuckooTable*>(this);
+    if (self->FindInMain(key, cand, out) >= 0) return true;
+    if (!stash_.empty()) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  /// Stage 1 of the batched paths: hash `n` keys, compute their global
+  /// candidate indices, and prefetch each candidate bucket. Prefetching is
+  /// a pure hint — no AccessStats are charged here.
+  void StageCandidates(const Key* keys, size_t n,
+                       std::array<size_t, kMaxHashes>* cand,
+                       bool for_write) const {
+    std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
+    family_.BucketsBatch(keys, n, buckets.data());
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        const size_t idx = static_cast<size_t>(t) * opts_.buckets_per_table +
+                           static_cast<size_t>(buckets[i][t]);
+        cand[i][t] = idx;
+        __builtin_prefetch(&table_[idx], for_write ? 1 : 0, for_write ? 3 : 1);
+      }
+    }
+  }
 
   /// Random-walk / MinCounter kick-out chain. `cand` are the (already read,
   /// all occupied) candidates of `key`.
@@ -344,8 +427,8 @@ class CuckooTable {
   }
 
   /// Probes candidates in table order; returns the hit's global index or -1.
-  int64_t FindInMain(const Key& key, Value* out) {
-    const std::array<size_t, kMaxHashes> cand = Candidates(key);
+  int64_t FindInMain(const Key& key,
+                     const std::array<size_t, kMaxHashes>& cand, Value* out) {
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       const Bucket& b = LoadBucket(cand[t]);
       if (b.occupied && b.key == key) {

@@ -73,6 +73,14 @@ class PackedArray {
   /// Zero-fills every entry.
   void Clear() { words_.assign(words_.size(), 0); }
 
+  /// Address of the 64-bit word holding (the start of) entry `i`, for
+  /// software prefetching. Not an accessor: reading through it would bypass
+  /// the charged Get/Set choke points.
+  const void* WordAddr(size_t i) const {
+    assert(i < size_);
+    return &words_[(i * bits_) >> 6];
+  }
+
  private:
   size_t size_ = 0;
   uint32_t bits_ = 0;

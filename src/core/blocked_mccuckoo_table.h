@@ -33,6 +33,7 @@
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,7 @@ class BlockedMcCuckooTable {
   /// Exposed template parameters (used by wrappers/adapters).
   using KeyType = Key;
   using ValueType = Value;
+  using HasherType = Hasher;
 
   /// Sentinel for "no copy in that sub-table" in a record's hint array.
   static constexpr uint8_t kNoHint = 0xFF;
@@ -70,6 +72,41 @@ class BlockedMcCuckooTable {
     std::array<uint8_t, kMaxHashes> hint{kNoHint, kNoHint, kNoHint, kNoHint};
   };
 
+ private:
+  // Nested aggregates are defined before the operations: the batched and
+  // candidate-reusing member signatures below mention them.
+
+  /// Global candidate bucket indices (bucket index space, not slot space).
+  struct Candidates {
+    std::array<size_t, kMaxHashes> bucket;
+  };
+
+  /// A (sub-table, bucket, slot) position, held as (bucket index, slot).
+  struct Position {
+    size_t bucket = 0;
+    uint32_t slot = 0;
+    bool operator==(const Position& o) const {
+      return bucket == o.bucket && slot == o.slot;
+    }
+  };
+
+  /// Counters and flags observed during an operation, for stash screening.
+  struct CandidateView {
+    std::array<size_t, kMaxHashes> bucket{};
+    std::array<uint64_t, kMaxHashes> sum{};        // counter sum per bucket
+    std::array<bool, kMaxHashes> bloom_nonzero{};  // any counter or tombstone
+    std::array<bool, kMaxHashes> all_ones{};       // every slot counter == 1
+    std::array<bool, kMaxHashes> bucket_read{};
+    std::array<bool, kMaxHashes> flag_value{};
+    uint32_t d = 0;
+  };
+
+  struct CopySet {
+    std::array<Position, kMaxHashes> pos;
+    uint32_t count = 0;
+  };
+
+ public:
   explicit BlockedMcCuckooTable(const TableOptions& options)
       : opts_(options),
         family_(options.num_hashes, options.buckets_per_table, options.seed),
@@ -108,23 +145,14 @@ class BlockedMcCuckooTable {
 
   /// Inserts a key assumed not to be present (see McCuckooTable::Insert).
   InsertResult Insert(const Key& key, const Value& value) {
-    Candidates cand = ComputeCandidates(key);
-    const uint32_t placed = TryPlace(key, value, cand);
-    if (placed > 0) {
-      ++size_;
-      return InsertResult::kInserted;
-    }
-    if (first_collision_items_ == 0) {
-      first_collision_items_ = TotalItems() + 1;
-    }
-    return RandomWalkInsert(key, value);
+    return InsertWithCandidates(key, value, ComputeCandidates(key));
   }
 
   /// Inserts or, if the key exists (main table or stash), updates every copy.
   InsertResult InsertOrAssign(const Key& key, const Value& value) {
     CandidateView view;
     Position pos;
-    if (FindInMain(key, nullptr, &view, &pos)) {
+    if (FindInMain(key, ComputeCandidates(key), nullptr, &view, &pos)) {
       CopySet copies = LocateAllCopies(key, pos, CounterAt(pos));
       for (uint32_t i = 0; i < copies.count; ++i) {
         WriteSlotValue(copies.pos[i], key, value);
@@ -144,25 +172,94 @@ class BlockedMcCuckooTable {
 
   /// Looks `key` up (Algorithm 2, Fig 7).
   bool Find(const Key& key, Value* out = nullptr) const {
-    auto* self = const_cast<BlockedMcCuckooTable*>(this);
-    CandidateView view;
-    Position pos;
-    if (self->FindInMain(key, out, &view, &pos)) return true;
-    if (self->ShouldProbeStash(view)) {
-      self->ChargeStashProbe();
-      return stash_.Find(key, out);
-    }
-    return false;
+    return FindImpl(key, ComputeCandidates(key), out);
   }
 
   bool Contains(const Key& key) const { return Find(key, nullptr); }
 
+  // --- Batched operations (software-pipelined) ---------------------------
+  //
+  // Same two-stage pipeline as McCuckooTable: stage 1 hashes a tile of
+  // keys and prefetches every candidate bucket's slot lines and counter
+  // words; stage 2 replays the unchanged scalar per-key logic. Algorithm
+  // 2's bucket-sum skipping and the AccessStats accounting are bit-
+  // identical to a scalar loop.
+
+  /// Internal pipeline depth (see McCuckooTable::kBatchTile).
+  static constexpr size_t kBatchTile = 64;
+
+  /// Batched lookup; equivalent to calling Find per key, in order. Returns
+  /// the number of keys found.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    size_t hits = 0;
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit =
+            FindImpl(keys[base + i], cand[i],
+                     out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched membership test.
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Batched mutation-free lookup (sharded/concurrent reader path).
+  size_t FindBatchNoStats(std::span<const Key> keys, Value* out,
+                          bool* found) const {
+    size_t hits = 0;
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit =
+            FindNoStatsImpl(keys[base + i], cand[i],
+                            out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched insertion; equivalent to calling Insert per key, in order.
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    assert(keys.size() == values.size());
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
+      for (size_t i = 0; i < n; ++i) {
+        const InsertResult r =
+            InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
+        if (results != nullptr) results[base + i] = r;
+      }
+    }
+  }
+
   /// Statistics-free const lookup (see McCuckooTable::FindNoStats): the
   /// ConcurrentMcCuckoo reader path. Performs no mutation.
   bool FindNoStats(const Key& key, Value* out = nullptr) const {
+    return FindNoStatsImpl(key, ComputeCandidates(key), out);
+  }
+
+ private:
+  /// FindNoStats body over precomputed candidates (shared with the batched
+  /// no-stats path).
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand,
+                       Value* out) const {
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
-    Candidates cand = ComputeCandidates(key);
     bool any_zero_bucket = false;
     bool all_buckets_all_ones = true;
     bool read_flag_zero = false;
@@ -208,6 +305,7 @@ class BlockedMcCuckooTable {
     return stash_.Find(key, out);
   }
 
+ public:
   /// Deletes `key` (Algorithm 3, Fig 8): zero off-chip writes.
   bool Erase(const Key& key) {
     if (opts_.deletion_mode == DeletionMode::kDisabled) {
@@ -218,7 +316,7 @@ class BlockedMcCuckooTable {
     }
     CandidateView view;
     Position pos;
-    if (FindInMain(key, nullptr, &view, &pos)) {
+    if (FindInMain(key, ComputeCandidates(key), nullptr, &view, &pos)) {
       CopySet copies = LocateAllCopies(key, pos, CounterAt(pos));
       for (uint32_t i = 0; i < copies.count; ++i) {
         const size_t idx = SlotIndex(copies.pos[i]);
@@ -450,36 +548,6 @@ class BlockedMcCuckooTable {
     }
   }
 
-  /// Global candidate bucket indices (bucket index space, not slot space).
-  struct Candidates {
-    std::array<size_t, kMaxHashes> bucket;
-  };
-
-  /// A (sub-table, bucket, slot) position, held as (bucket index, slot).
-  struct Position {
-    size_t bucket = 0;
-    uint32_t slot = 0;
-    bool operator==(const Position& o) const {
-      return bucket == o.bucket && slot == o.slot;
-    }
-  };
-
-  /// Counters and flags observed during an operation, for stash screening.
-  struct CandidateView {
-    std::array<size_t, kMaxHashes> bucket{};
-    std::array<uint64_t, kMaxHashes> sum{};        // counter sum per bucket
-    std::array<bool, kMaxHashes> bloom_nonzero{};  // any counter or tombstone
-    std::array<bool, kMaxHashes> all_ones{};       // every slot counter == 1
-    std::array<bool, kMaxHashes> bucket_read{};
-    std::array<bool, kMaxHashes> flag_value{};
-    uint32_t d = 0;
-  };
-
-  struct CopySet {
-    std::array<Position, kMaxHashes> pos;
-    uint32_t count = 0;
-  };
-
   static constexpr size_t kNoBucket = static_cast<size_t>(-1);
 
   Candidates ComputeCandidates(const Key& key) const {
@@ -489,6 +557,74 @@ class BlockedMcCuckooTable {
                     family_.Bucket(key, t);
     }
     return c;
+  }
+
+  // --- batching stage 1: hash + prefetch ---------------------------------
+
+  /// Hashes `n` keys via the family's batch entry point and prefetches
+  /// every candidate bucket's slot lines (a bucket spans l * sizeof(Slot)
+  /// bytes, possibly several cache lines) plus the bucket's counter words.
+  /// Pure hint stage; charges nothing.
+  void StageCandidates(const Key* keys, size_t n, Candidates* cand,
+                       bool for_write) const {
+    std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
+    family_.BucketsBatch(keys, n, buckets.data());
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        cand[i].bucket[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
+                            buckets[i][t];
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        // All l slot counters of a bucket share (at most two) words.
+        counters_.Prefetch(cand[i].bucket[t] * l);
+        counters_.Prefetch(cand[i].bucket[t] * l + (l - 1));
+      }
+    }
+    const size_t bucket_bytes = static_cast<size_t>(l) * sizeof(Slot);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        const char* base =
+            reinterpret_cast<const char*>(&slots_[cand[i].bucket[t] * l]);
+        for (size_t off = 0; off < bucket_bytes; off += 64) {
+          if (for_write) {
+            __builtin_prefetch(base + off, 1, 3);
+          } else {
+            __builtin_prefetch(base + off, 0, 1);
+          }
+        }
+      }
+    }
+  }
+
+  /// Scalar Find body over precomputed candidates.
+  bool FindImpl(const Key& key, const Candidates& cand, Value* out) const {
+    auto* self = const_cast<BlockedMcCuckooTable*>(this);
+    CandidateView view;
+    Position pos;
+    if (self->FindInMain(key, cand, out, &view, &pos)) return true;
+    if (self->ShouldProbeStash(view)) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  /// Scalar Insert body over precomputed candidates.
+  InsertResult InsertWithCandidates(const Key& key, const Value& value,
+                                    const Candidates& cand) {
+    const uint32_t placed = TryPlace(key, value, cand);
+    if (placed > 0) {
+      ++size_;
+      return InsertResult::kInserted;
+    }
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    return RandomWalkInsert(key, value);
   }
 
   size_t SlotIndex(const Position& p) const {
@@ -769,13 +905,13 @@ class BlockedMcCuckooTable {
 
   // --- lookup -----------------------------------------------------------------
 
-  /// Algorithm 2's main-table probe. On a hit, fills `*pos` and returns
-  /// true. Fills `*view` for stash screening either way.
-  bool FindInMain(const Key& key, Value* out, CandidateView* view,
-                  Position* pos) {
+  /// Algorithm 2's main-table probe, over precomputed candidates. On a
+  /// hit, fills `*pos` and returns true. Fills `*view` for stash screening
+  /// either way.
+  bool FindInMain(const Key& key, const Candidates& cand, Value* out,
+                  CandidateView* view, Position* pos) {
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
-    Candidates cand = ComputeCandidates(key);
     CandidateView& v = *view;
     v.d = d;
 

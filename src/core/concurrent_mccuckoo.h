@@ -22,6 +22,7 @@
 
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <utility>
 
 #include "src/core/config.h"
@@ -59,6 +60,24 @@ class OneWriterManyReaders {
     return table_.FindNoStats(key, out);
   }
   bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Batched writer-side insert: one exclusive lock span for the whole
+  /// batch amortizes the lock acquisition over keys.size() operations.
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    std::unique_lock lock(mutex_);
+    table_.InsertBatch(keys, values, results);
+  }
+
+  /// Batched reader-side lookup: one shared lock span, prefetch-pipelined
+  /// and mutation-free (uses the table's FindBatchNoStats). Returns hits.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    std::shared_lock lock(mutex_);
+    return table_.FindBatchNoStats(keys, out, found);
+  }
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
 
   size_t size() const {
     std::shared_lock lock(mutex_);

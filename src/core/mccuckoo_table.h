@@ -43,6 +43,7 @@
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +70,7 @@ class McCuckooTable {
   /// Exposed template parameters (used by wrappers/adapters).
   using KeyType = Key;
   using ValueType = Value;
+  using HasherType = Hasher;
 
   /// One off-chip bucket: the stored record plus the 1-bit stash flag that
   /// shares the bucket's memory word (§III.E). Occupancy is defined by the
@@ -79,6 +81,34 @@ class McCuckooTable {
     bool stash_flag = false;
   };
 
+ private:
+  // Nested aggregates are defined before the operations: the batched and
+  // candidate-reusing member signatures below mention them.
+
+  /// The d global bucket indices of a key (index = t * buckets_per_table +
+  /// h_t(key); distinct across sub-tables by construction).
+  struct Candidates {
+    std::array<size_t, kMaxHashes> idx;
+  };
+
+  /// Candidate indices plus their counters/tombstones as read (once, all
+  /// charged) at the start of an operation, and which were bucket-read.
+  struct CandidateView {
+    std::array<size_t, kMaxHashes> idx{};
+    std::array<uint64_t, kMaxHashes> counter{};
+    std::array<bool, kMaxHashes> tombstone{};
+    std::array<bool, kMaxHashes> bucket_read{};  // flag available?
+    std::array<bool, kMaxHashes> flag_value{};
+    uint32_t d = 0;
+  };
+
+  /// Up to d global indices holding copies of one key.
+  struct CopySet {
+    std::array<size_t, kMaxHashes> idx;
+    uint32_t count = 0;
+  };
+
+ public:
   /// Constructs a table; `options` must satisfy Validate() and
   /// slots_per_bucket must be 1 (use BlockedMcCuckooTable otherwise).
   explicit McCuckooTable(const TableOptions& options)
@@ -118,24 +148,14 @@ class McCuckooTable {
   /// paper's workloads; duplicate keys corrupt the copy invariants — use
   /// InsertOrAssign when presence is unknown).
   InsertResult Insert(const Key& key, const Value& value) {
-    Candidates cand = ComputeCandidates(key);
-    const uint32_t placed = TryPlace(key, value, cand);
-    if (placed > 0) {
-      ++size_;
-      return InsertResult::kInserted;
-    }
-    // All candidates hold sole copies: a real collision (§III.D).
-    if (first_collision_items_ == 0) {
-      first_collision_items_ = TotalItems() + 1;
-    }
-    return RandomWalkInsert(key, value);
+    return InsertWithCandidates(key, value, ComputeCandidates(key));
   }
 
   /// Inserts or, if the key exists (main table or stash), updates every
   /// copy of it.
   InsertResult InsertOrAssign(const Key& key, const Value& value) {
     CandidateView view;
-    int64_t found = FindInMain(key, nullptr, &view);
+    int64_t found = FindInMain(key, ComputeCandidates(key), nullptr, &view);
     if (found >= 0) {
       CopySet copies = LocateAllCopies(key, static_cast<size_t>(found),
                                        view.counter[FindSlot(view, found)]);
@@ -158,19 +178,91 @@ class McCuckooTable {
   /// Looks `key` up; writes the value through `out` when found (out may be
   /// null). Mutates only the access statistics.
   bool Find(const Key& key, Value* out = nullptr) const {
-    auto* self = const_cast<McCuckooTable*>(this);
-    CandidateView view;
-    const int64_t idx = self->FindInMain(key, out, &view);
-    if (idx >= 0) return true;
-    if (self->ShouldProbeStash(view)) {
-      self->ChargeStashProbe();
-      return stash_.Find(key, out);
-    }
-    return false;
+    return FindImpl(key, ComputeCandidates(key), out);
   }
 
   /// Convenience wrapper over Find.
   bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  // --- Batched operations (software-pipelined) ---------------------------
+  //
+  // The scalar operations above issue one dependent miss chain per key:
+  // hash -> counter word -> candidate bucket. The batched variants break
+  // the chain in two stages per tile of up to kBatchTile keys: stage 1
+  // hashes every key and __builtin_prefetch-es all candidate buckets and
+  // their on-chip counter words; stage 2 replays the *unchanged* scalar
+  // per-key logic against now-warm lines. The counter-partition
+  // probe-skipping rules, stash screening, and AccessStats accounting are
+  // bit-identical to a scalar loop over the same keys (differential-tested)
+  // — prefetching only hides latency, it never reads for the algorithm.
+
+  /// Internal pipeline depth: tiles bound the candidate scratch space and
+  /// keep the prefetch distance within what outstanding-miss buffers cover.
+  static constexpr size_t kBatchTile = 64;
+
+  /// Batched lookup. For key i, found[i] is set and, on a hit, out[i]
+  /// receives the value (out may be null; found must not be). Returns the
+  /// number of keys found. Equivalent to calling Find per key, in order.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    size_t hits = 0;
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit =
+            FindImpl(keys[base + i], cand[i],
+                     out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched membership test: FindBatch without value extraction.
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Batched mutation-free lookup (the sharded/concurrent reader path):
+  /// equivalent to calling FindNoStats per key, in order.
+  size_t FindBatchNoStats(std::span<const Key> keys, Value* out,
+                          bool* found) const {
+    size_t hits = 0;
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n; ++i) {
+        const bool hit =
+            FindNoStatsImpl(keys[base + i], cand[i],
+                            out != nullptr ? &out[base + i] : nullptr);
+        if (found != nullptr) found[base + i] = hit;
+        hits += hit ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+
+  /// Batched insertion of keys assumed not to be present; results[i] (when
+  /// results is non-null) receives the per-key outcome. Equivalent to
+  /// calling Insert per key, in order — kick-out chains and stash spills
+  /// behave exactly as in the scalar path.
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    assert(keys.size() == values.size());
+    std::array<Candidates, kBatchTile> cand;
+    for (size_t base = 0; base < keys.size(); base += kBatchTile) {
+      const size_t n = std::min(kBatchTile, keys.size() - base);
+      StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
+      for (size_t i = 0; i < n; ++i) {
+        const InsertResult r =
+            InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
+        if (results != nullptr) results[base + i] = r;
+      }
+    }
+  }
 
   /// Statistics-free const lookup: same candidate/partition/stash-screen
   /// logic as Find but through the uncharged accessors, so it performs no
@@ -179,8 +271,15 @@ class McCuckooTable {
   /// excluded (see src/core/concurrent_mccuckoo.h). Not meant for
   /// experiments: it records no access counts.
   bool FindNoStats(const Key& key, Value* out = nullptr) const {
+    return FindNoStatsImpl(key, ComputeCandidates(key), out);
+  }
+
+ private:
+  /// FindNoStats body over precomputed candidates (shared with the batched
+  /// no-stats path).
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand,
+                       Value* out) const {
     const uint32_t d = opts_.num_hashes;
-    Candidates cand = ComputeCandidates(key);
     uint64_t counter[kMaxHashes];
     bool tomb[kMaxHashes];
     bool any_zero = false, any_gt1 = false;
@@ -230,6 +329,7 @@ class McCuckooTable {
     return stash_.Find(key, out);
   }
 
+ public:
   /// Deletes `key`. Requires a deletion-enabled mode; in multi-copy tables
   /// this performs zero off-chip writes (only counters change, §III.B.3).
   bool Erase(const Key& key) {
@@ -240,7 +340,8 @@ class McCuckooTable {
       std::abort();
     }
     CandidateView view;
-    const int64_t found = FindInMain(key, nullptr, &view);
+    const int64_t found = FindInMain(key, ComputeCandidates(key), nullptr,
+                                     &view);
     if (found >= 0) {
       const size_t fidx = static_cast<size_t>(found);
       const uint64_t v = view.counter[FindSlot(view, found)];
@@ -501,29 +602,6 @@ class McCuckooTable {
     }
   }
 
-  /// The d global bucket indices of a key (index = t * buckets_per_table +
-  /// h_t(key); distinct across sub-tables by construction).
-  struct Candidates {
-    std::array<size_t, kMaxHashes> idx;
-  };
-
-  /// Candidate indices plus their counters/tombstones as read (once, all
-  /// charged) at the start of an operation, and which were bucket-read.
-  struct CandidateView {
-    std::array<size_t, kMaxHashes> idx{};
-    std::array<uint64_t, kMaxHashes> counter{};
-    std::array<bool, kMaxHashes> tombstone{};
-    std::array<bool, kMaxHashes> bucket_read{};  // flag available?
-    std::array<bool, kMaxHashes> flag_value{};
-    uint32_t d = 0;
-  };
-
-  /// Up to d global indices holding copies of one key.
-  struct CopySet {
-    std::array<size_t, kMaxHashes> idx;
-    uint32_t count = 0;
-  };
-
   static constexpr size_t kNoBucket = static_cast<size_t>(-1);
 
   Candidates ComputeCandidates(const Key& key) const {
@@ -533,6 +611,68 @@ class McCuckooTable {
                  family_.Bucket(key, t);
     }
     return c;
+  }
+
+  // --- batching stage 1: hash + prefetch ---------------------------------
+
+  /// Hashes `n` keys through the family's batch entry point and issues
+  /// prefetches for every candidate's counter word and bucket line. Pure
+  /// hint stage: no AccessStats are charged (hashing is on-chip work and
+  /// prefetches are not algorithmic reads).
+  void StageCandidates(const Key* keys, size_t n, Candidates* cand,
+                       bool for_write) const {
+    std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
+    family_.BucketsBatch(keys, n, buckets.data());
+    const uint32_t d = opts_.num_hashes;
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        cand[i].idx[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
+                         buckets[i][t];
+      }
+    }
+    // Counter words first: stage 2 consults them before any bucket, so
+    // they have the shortest deadline.
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) counters_.Prefetch(cand[i].idx[t]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        if (for_write) {
+          __builtin_prefetch(&table_[cand[i].idx[t]], 1, 3);
+        } else {
+          __builtin_prefetch(&table_[cand[i].idx[t]], 0, 1);
+        }
+      }
+    }
+  }
+
+  /// Scalar Find body over precomputed candidates (shared by Find and the
+  /// batched path; candidate computation itself is uncharged either way).
+  bool FindImpl(const Key& key, const Candidates& cand, Value* out) const {
+    auto* self = const_cast<McCuckooTable*>(this);
+    CandidateView view;
+    const int64_t idx = self->FindInMain(key, cand, out, &view);
+    if (idx >= 0) return true;
+    if (self->ShouldProbeStash(view)) {
+      self->ChargeStashProbe();
+      return stash_.Find(key, out);
+    }
+    return false;
+  }
+
+  /// Scalar Insert body over precomputed candidates.
+  InsertResult InsertWithCandidates(const Key& key, const Value& value,
+                                    const Candidates& cand) {
+    const uint32_t placed = TryPlace(key, value, cand);
+    if (placed > 0) {
+      ++size_;
+      return InsertResult::kInserted;
+    }
+    // All candidates hold sole copies: a real collision (§III.D).
+    if (first_collision_items_ == 0) {
+      first_collision_items_ = TotalItems() + 1;
+    }
+    return RandomWalkInsert(key, value);
   }
 
   // --- charged memory choke points --------------------------------------
@@ -727,12 +867,13 @@ class McCuckooTable {
     return 0;
   }
 
-  /// Main-table probe implementing the lookup principles. Returns the
-  /// global index where the key was found (its value copied to `out`), or
-  /// -1 on a miss. Fills `*view` for the stash-screening decision.
-  int64_t FindInMain(const Key& key, Value* out, CandidateView* view) {
+  /// Main-table probe implementing the lookup principles, over precomputed
+  /// candidates. Returns the global index where the key was found (its
+  /// value copied to `out`), or -1 on a miss. Fills `*view` for the
+  /// stash-screening decision.
+  int64_t FindInMain(const Key& key, const Candidates& cand, Value* out,
+                     CandidateView* view) {
     const uint32_t d = opts_.num_hashes;
-    Candidates cand = ComputeCandidates(key);
     CandidateView& v = *view;
     v.d = d;
     bool any_zero = false;

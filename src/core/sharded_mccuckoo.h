@@ -1,0 +1,303 @@
+// Sharded concurrent front-end over the multi-copy tables.
+//
+// OneWriterManyReaders (paper §III.H) serializes all writers behind one
+// readers-writer lock, so write throughput cannot scale. This wrapper
+// hash-partitions the key space over N independent shards — each a complete
+// table (own hash family, counters, stash) behind its own shared_mutex — so
+// writers to different shards proceed in parallel and readers only contend
+// with writers of their own shard.
+//
+// Routing uses the top bits of a dedicated routing hash. That hash MUST be
+// decorrelated from the bucket hashes: the tables reduce hashes to bucket
+// indices with the multiply-shift reduction (FastRange64), which consumes
+// the *high* bits, so reusing a bucket hash for routing would make every
+// key of a shard land in the same region of its table. A separate routing
+// seed (plus per-shard table seeds) keeps the two partitions independent.
+//
+// Batched operations group the batch by destination shard first and then
+// process one shard at a time under a single lock span, preserving the
+// per-shard prefetch pipeline (the underlying FindBatchNoStats/InsertBatch)
+// and never holding more than one shard lock at once — so no lock-order
+// deadlock is possible against concurrent batches.
+
+#ifndef MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
+#define MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/mem/access_stats.h"
+
+namespace mccuckoo {
+
+/// Hash-partitioned sharded wrapper; Table is McCuckooTable or
+/// BlockedMcCuckooTable (anything with FindNoStats + the batch API).
+template <typename Table>
+class ShardedMcCuckoo {
+ public:
+  using Key = typename Table::KeyType;
+  using Value = typename Table::ValueType;
+  using Hasher = typename Table::HasherType;
+
+  /// Builds `num_shards` (a power of two, >= 1) shards. `options` describes
+  /// the *aggregate* table: each shard gets ~1/num_shards of the buckets,
+  /// its own decorrelated seed, and the same policy knobs.
+  ShardedMcCuckoo(const TableOptions& options, size_t num_shards)
+      : shard_bits_(FloorLog2(num_shards)),
+        route_seed_(SplitMix64(options.seed ^ 0x9E3779B97F4A7C15ull)) {
+    assert(num_shards >= 1 && (num_shards & (num_shards - 1)) == 0);
+    shards_.reserve(num_shards);
+    TableOptions shard_opts = options;
+    shard_opts.buckets_per_table =
+        (options.buckets_per_table + num_shards - 1) / num_shards;
+    for (size_t i = 0; i < num_shards; ++i) {
+      shard_opts.seed =
+          SplitMix64(options.seed + 0xA24BAED4963EE407ull * (i + 1));
+      shards_.push_back(std::make_unique<Shard>(shard_opts));
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard index of `key` (top shard_bits_ of the routing hash).
+  size_t ShardOf(const Key& key) const {
+    if (shard_bits_ == 0) return 0;
+    return static_cast<size_t>(hasher_(key, route_seed_) >>
+                               (64 - shard_bits_));
+  }
+
+  // --- Scalar operations --------------------------------------------------
+
+  InsertResult Insert(const Key& key, const Value& value) {
+    Shard& s = *shards_[ShardOf(key)];
+    std::unique_lock lock(s.mutex);
+    return s.table.Insert(key, value);
+  }
+
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    Shard& s = *shards_[ShardOf(key)];
+    std::unique_lock lock(s.mutex);
+    return s.table.InsertOrAssign(key, value);
+  }
+
+  bool Erase(const Key& key) {
+    Shard& s = *shards_[ShardOf(key)];
+    std::unique_lock lock(s.mutex);
+    return s.table.Erase(key);
+  }
+
+  /// Mutation-free shared-lock lookup (not even stats are written).
+  bool Find(const Key& key, Value* out = nullptr) const {
+    const Shard& s = *shards_[ShardOf(key)];
+    std::shared_lock lock(s.mutex);
+    return s.table.FindNoStats(key, out);
+  }
+
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  // --- Batched operations -------------------------------------------------
+
+  /// Batched lookup: groups keys by shard, then runs each shard's group
+  /// through its prefetch-pipelined FindBatchNoStats under one shared-lock
+  /// span. out[i]/found[i] line up with keys[i]; returns the hit count.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    const ShardGroups g = GroupByShard(keys);
+    size_t hits = 0;
+    std::vector<Key> shard_keys;
+    std::vector<Value> shard_vals;
+    std::vector<uint8_t> shard_found;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t n = g.CountOf(s);
+      if (n == 0) continue;
+      shard_keys.clear();
+      for (size_t j = g.begin[s]; j < g.begin[s] + n; ++j) {
+        shard_keys.push_back(keys[g.order[j]]);
+      }
+      shard_vals.resize(n);
+      shard_found.resize(n);
+      {
+        const Shard& sh = *shards_[s];
+        std::shared_lock lock(sh.mutex);
+        hits += sh.table.FindBatchNoStats(
+            std::span<const Key>(shard_keys.data(), n),
+            out != nullptr ? shard_vals.data() : nullptr,
+            reinterpret_cast<bool*>(shard_found.data()));
+      }
+      for (size_t j = 0; j < n; ++j) {
+        const size_t i = g.order[g.begin[s] + j];
+        if (found != nullptr) found[i] = shard_found[j] != 0;
+        if (out != nullptr && shard_found[j] != 0) out[i] = shard_vals[j];
+      }
+    }
+    return hits;
+  }
+
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Batched insert: groups keys by shard, one exclusive-lock span per
+  /// shard, delegating to the shard table's pipelined InsertBatch.
+  /// results[i] (optional) lines up with keys[i].
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    assert(keys.size() == values.size());
+    const ShardGroups g = GroupByShard(keys);
+    std::vector<Key> shard_keys;
+    std::vector<Value> shard_vals;
+    std::vector<InsertResult> shard_results;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t n = g.CountOf(s);
+      if (n == 0) continue;
+      shard_keys.clear();
+      shard_vals.clear();
+      for (size_t j = g.begin[s]; j < g.begin[s] + n; ++j) {
+        shard_keys.push_back(keys[g.order[j]]);
+        shard_vals.push_back(values[g.order[j]]);
+      }
+      shard_results.resize(n);
+      {
+        Shard& sh = *shards_[s];
+        std::unique_lock lock(sh.mutex);
+        sh.table.InsertBatch(std::span<const Key>(shard_keys.data(), n),
+                             std::span<const Value>(shard_vals.data(), n),
+                             shard_results.data());
+      }
+      if (results != nullptr) {
+        for (size_t j = 0; j < n; ++j) {
+          results[g.order[g.begin[s] + j]] = shard_results[j];
+        }
+      }
+    }
+  }
+
+  // --- Merged introspection -----------------------------------------------
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      total += s->table.size();
+    }
+    return total;
+  }
+
+  size_t stash_size() const {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      total += s->table.stash_size();
+    }
+    return total;
+  }
+
+  size_t TotalItems() const {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      total += s->table.TotalItems();
+    }
+    return total;
+  }
+
+  uint64_t capacity() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s->table.capacity();
+    return total;
+  }
+
+  double load_factor() const {
+    return static_cast<double>(TotalItems()) /
+           static_cast<double>(capacity());
+  }
+
+  /// Component-wise sum of all shards' writer-side access statistics.
+  AccessStats stats_snapshot() const {
+    AccessStats merged;
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      merged += s->table.stats();
+    }
+    return merged;
+  }
+
+  /// Exclusive access to one shard's table (setup/validation only).
+  template <typename Fn>
+  auto WithExclusiveShard(size_t shard, Fn&& fn) {
+    Shard& s = *shards_[shard];
+    std::unique_lock lock(s.mutex);
+    return std::forward<Fn>(fn)(s.table);
+  }
+
+ private:
+  // Padded to its own cache line(s) so one shard's lock traffic does not
+  // false-share with its neighbours.
+  struct alignas(64) Shard {
+    explicit Shard(const TableOptions& options) : table(options) {}
+    mutable std::shared_mutex mutex;
+    Table table;
+  };
+
+  /// Stable grouping of batch positions by destination shard:
+  /// order[begin[s] .. begin[s] + CountOf(s)) are the indices routed to s,
+  /// in their original batch order.
+  struct ShardGroups {
+    std::vector<size_t> order;  // batch indices, grouped by shard
+    std::vector<size_t> begin;  // per-shard start offset into order
+    size_t CountOf(size_t s) const {
+      const size_t end = s + 1 < begin.size() ? begin[s + 1] : order.size();
+      return end - begin[s];
+    }
+  };
+
+  ShardGroups GroupByShard(std::span<const Key> keys) const {
+    const size_t n_shards = shards_.size();
+    std::vector<size_t> shard_of(keys.size());
+    std::vector<size_t> counts(n_shards, 0);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      shard_of[i] = ShardOf(keys[i]);
+      ++counts[shard_of[i]];
+    }
+    ShardGroups g;
+    g.begin.resize(n_shards);
+    size_t off = 0;
+    for (size_t s = 0; s < n_shards; ++s) {
+      g.begin[s] = off;
+      off += counts[s];
+    }
+    g.order.resize(keys.size());
+    std::vector<size_t> cursor = g.begin;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      g.order[cursor[shard_of[i]]++] = i;
+    }
+    return g;
+  }
+
+  static size_t FloorLog2(size_t n) {
+    size_t b = 0;
+    while (n > 1) {
+      n >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  size_t shard_bits_;
+  uint64_t route_seed_;
+  Hasher hasher_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_

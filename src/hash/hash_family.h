@@ -56,6 +56,21 @@ class HashFamily {
     return out;
   }
 
+  /// Batch entry point: all d bucket indices for `n` keys at once, written
+  /// to out[0..n). Keeping the n * d hash evaluations in one tight loop is
+  /// what lets the batched table paths hash a whole tile before the first
+  /// memory touch (software pipelining); values are identical to n calls of
+  /// Buckets().
+  void BucketsBatch(const Key* keys, size_t n,
+                    std::array<uint64_t, kMaxHashes>* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t t = 0; t < d_; ++t) {
+        out[i][t] = FastRange64(hasher_(keys[i], seeds_[t]),
+                                buckets_per_table_);
+      }
+    }
+  }
+
  private:
   uint32_t d_;
   uint64_t buckets_per_table_;
@@ -102,6 +117,13 @@ class DoubleHashFamily {
       out[t] = (h1 + static_cast<uint64_t>(t) * h2) % n;
     }
     return out;
+  }
+
+  /// Batch entry point (see HashFamily::BucketsBatch): 2n hash evaluations
+  /// for n keys, values identical to n calls of Buckets().
+  void BucketsBatch(const Key* keys, size_t n,
+                    std::array<uint64_t, kMaxHashes>* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Buckets(keys[i]);
   }
 
  private:

@@ -42,6 +42,12 @@ struct AccessStats {
     return d;
   }
 
+  /// Field-wise equality — the batched operation paths are required to
+  /// produce *identical* access accounting to their scalar equivalents
+  /// (prefetching warms caches, it never changes the algorithm), and the
+  /// differential tests enforce it with this.
+  bool operator==(const AccessStats&) const = default;
+
   AccessStats& operator+=(const AccessStats& other) {
     offchip_reads += other.offchip_reads;
     offchip_writes += other.offchip_writes;

@@ -30,6 +30,20 @@ class SchemeAdapter final : public SchemeTable {
   }
   bool Erase(uint64_t key) override { return table_.Erase(key); }
 
+  size_t FindBatch(std::span<const uint64_t> keys, uint64_t* out,
+                   bool* found) const override {
+    return table_.FindBatch(keys, out, found);
+  }
+  size_t ContainsBatch(std::span<const uint64_t> keys,
+                       bool* found) const override {
+    return table_.ContainsBatch(keys, found);
+  }
+  void InsertBatch(std::span<const uint64_t> keys,
+                   std::span<const uint64_t> values,
+                   InsertResult* results) override {
+    table_.InsertBatch(keys, values, results);
+  }
+
   size_t size() const override { return table_.size(); }
   size_t stash_size() const override { return table_.stash_size(); }
   size_t TotalItems() const override { return table_.TotalItems(); }

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "src/common/status.h"
@@ -69,6 +70,16 @@ class SchemeTable {
   virtual InsertResult InsertOrAssign(uint64_t key, uint64_t value) = 0;
   virtual bool Find(uint64_t key, uint64_t* out) const = 0;
   virtual bool Erase(uint64_t key) = 0;
+
+  // Batched (prefetch-pipelined) counterparts. Results and AccessStats are
+  // identical to the scalar loops; only wall-clock time differs.
+  virtual size_t FindBatch(std::span<const uint64_t> keys, uint64_t* out,
+                           bool* found) const = 0;
+  virtual size_t ContainsBatch(std::span<const uint64_t> keys,
+                               bool* found) const = 0;
+  virtual void InsertBatch(std::span<const uint64_t> keys,
+                           std::span<const uint64_t> values,
+                           InsertResult* results) = 0;
 
   virtual size_t size() const = 0;
   virtual size_t stash_size() const = 0;

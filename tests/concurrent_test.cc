@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "src/core/blocked_mccuckoo_table.h"
 #include "src/core/mccuckoo_table.h"
+#include "src/core/sharded_mccuckoo.h"
 #include "src/workload/keyset.h"
 
 namespace mccuckoo {
@@ -167,6 +171,167 @@ TEST(OneWriterManyReadersTest, ConcurrentErasesStayConsistent) {
   reader.join();
   EXPECT_EQ(reader_errors.load(), 0);
   EXPECT_EQ(table.size(), keys.size() / 2);
+}
+
+TEST(OneWriterManyReadersTest, BatchOpsUnderConcurrency) {
+  OneWriterManyReaders<McCuckooTable<uint64_t, uint64_t>> table(
+      SmallOptions(1));
+  const auto keys = MakeUniqueKeys(4000, 9, 0);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = keys[i] + 42;
+
+  std::atomic<size_t> committed{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      constexpr size_t kB = 16;
+      uint64_t out[kB];
+      bool found[kB];
+      uint64_t i = static_cast<uint64_t>(r) * 7919;
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t limit = committed.load(std::memory_order_acquire);
+        if (limit >= kB) {
+          const size_t base = i % (limit - kB + 1);
+          table.FindBatch(std::span<const uint64_t>(&keys[base], kB), out,
+                          found);
+          for (size_t j = 0; j < kB; ++j) {
+            if (!found[j] || out[j] != keys[base + j] + 42) {
+              reader_errors.fetch_add(1);
+            }
+          }
+        }
+        ++i;
+      }
+    });
+  }
+  constexpr size_t kChunk = 64;
+  for (size_t pos = 0; pos < keys.size(); pos += kChunk) {
+    const size_t n = std::min(kChunk, keys.size() - pos);
+    table.InsertBatch(std::span<const uint64_t>(&keys[pos], n),
+                      std::span<const uint64_t>(&values[pos], n));
+    committed.store(pos + n, std::memory_order_release);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(table.size() + table.stash_size(), keys.size());
+}
+
+// --- ShardedMcCuckoo: many concurrent writers AND readers ----------------
+//
+// The sharded front-end's whole point is parallel writers; this stress runs
+// several writers inserting disjoint key streams (mixing scalar Insert and
+// InsertBatch so both lock paths are exercised) against readers doing
+// scalar and batched lookups over the committed prefixes. Run under TSan
+// (-DMCCUCKOO_TSAN=ON) this doubles as the data-race check for the
+// per-shard locking and the one-shard-at-a-time batch grouping.
+template <typename Table>
+void RunShardedStress(uint32_t slots_per_bucket, size_t num_shards) {
+  TableOptions o = SmallOptions(slots_per_bucket);
+  o.buckets_per_table *= 4;  // room for all writers' keys
+  ShardedMcCuckoo<Table> table(o, num_shards);
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr size_t kPerWriter = 3000;
+  std::vector<std::vector<uint64_t>> streams;
+  for (int w = 0; w < kWriters; ++w) {
+    streams.push_back(MakeUniqueKeys(kPerWriter, 17, w));
+  }
+
+  std::array<std::atomic<size_t>, kWriters> committed{};
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      constexpr size_t kB = 16;
+      uint64_t out[kB];
+      bool found[kB];
+      uint64_t i = static_cast<uint64_t>(r) * 104729;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int w = static_cast<int>(i % kWriters);
+        const size_t limit = committed[w].load(std::memory_order_acquire);
+        if (limit > 0) {
+          // Scalar probe of one committed key.
+          const uint64_t k = streams[w][i % limit];
+          uint64_t v = 0;
+          if (!table.Find(k, &v) || v != k + 42) reader_errors.fetch_add(1);
+        }
+        if (limit >= kB) {
+          // Batched probe of a committed window.
+          const size_t base = i % (limit - kB + 1);
+          table.FindBatch(
+              std::span<const uint64_t>(&streams[w][base], kB), out, found);
+          for (size_t j = 0; j < kB; ++j) {
+            if (!found[j] || out[j] != streams[w][base + j] + 42) {
+              reader_errors.fetch_add(1);
+            }
+          }
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const auto& keys = streams[w];
+      std::vector<uint64_t> values(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) values[i] = keys[i] + 42;
+      size_t pos = 0;
+      while (pos < keys.size()) {
+        if ((pos / 32) % 2 == 0) {
+          // Batched stretch.
+          const size_t n = std::min<size_t>(32, keys.size() - pos);
+          table.InsertBatch(std::span<const uint64_t>(&keys[pos], n),
+                            std::span<const uint64_t>(&values[pos], n));
+          pos += n;
+        } else {
+          // Scalar stretch.
+          const size_t end = std::min(pos + 32, keys.size());
+          for (; pos < end; ++pos) table.Insert(keys[pos], values[pos]);
+        }
+        committed[w].store(pos, std::memory_order_release);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(table.TotalItems(), kWriters * kPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    for (uint64_t k : streams[w]) {
+      uint64_t v = 0;
+      ASSERT_TRUE(table.Find(k, &v)) << k;
+      ASSERT_EQ(v, k + 42);
+    }
+  }
+  for (size_t s = 0; s < table.num_shards(); ++s) {
+    EXPECT_TRUE(table.WithExclusiveShard(s, [](Table& t) {
+      return t.ValidateInvariants();
+    }).ok()) << "shard " << s;
+  }
+}
+
+TEST(ShardedStressTest, SingleSlotManyWritersManyReaders) {
+  RunShardedStress<McCuckooTable<uint64_t, uint64_t>>(1, 8);
+}
+
+TEST(ShardedStressTest, BlockedManyWritersManyReaders) {
+  RunShardedStress<BlockedMcCuckooTable<uint64_t, uint64_t>>(3, 4);
+}
+
+TEST(ShardedStressTest, OneShardStillSafe) {
+  RunShardedStress<McCuckooTable<uint64_t, uint64_t>>(1, 1);
 }
 
 TEST(OneWriterManyReadersTest, StatsSnapshotAndSizes) {

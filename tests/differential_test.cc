@@ -6,13 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/sim/schemes.h"
 #include "src/sim/sweep.h"
+#include "src/workload/keyset.h"
 #include "src/workload/opstream.h"
 
 namespace mccuckoo {
@@ -101,6 +104,78 @@ OpStreamConfig Mix(double ins, double look, double er, uint64_t seed) {
   m.erase_fraction = er;
   m.seed = seed;
   return m;
+}
+
+// Batch-vs-scalar differential: for every scheme, a batched instance
+// replaying the same inserts/lookups through InsertBatch/FindBatch must
+// produce identical results AND identical AccessStats — the batched paths
+// only prefetch (a pure hint), they never change the algorithm. Chunk
+// sizes are chosen to straddle the internal 64-key tile.
+TEST(BatchDifferentialTest, BatchPathsMatchScalarBitForBit) {
+  for (SchemeKind kind : kAllSchemes) {
+    SchemeConfig c;
+    c.total_slots = 9 * 512;
+    c.maxloop = 200;
+    c.seed = 0xD1FF;
+    auto scalar = MakeScheme(kind, c);
+    auto batched = MakeScheme(kind, c);
+
+    const auto keys = MakeUniqueKeys(3700, 31, 0);
+    const auto missing = MakeUniqueKeys(1200, 31, 7);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = ValueFor(keys[i]);
+
+    const size_t chunks[] = {1, 8, 37, 64, 129};
+    size_t pos = 0, ci = 0;
+    while (pos < keys.size()) {
+      const size_t n = std::min(chunks[ci++ % 5], keys.size() - pos);
+      std::vector<InsertResult> sr(n), br(n);
+      for (size_t i = 0; i < n; ++i) {
+        sr[i] = scalar->Insert(keys[pos + i], values[pos + i]);
+      }
+      batched->InsertBatch(std::span<const uint64_t>(&keys[pos], n),
+                           std::span<const uint64_t>(&values[pos], n),
+                           br.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(sr[i], br[i]) << SchemeName(kind) << " insert " << pos + i;
+      }
+      ASSERT_EQ(scalar->stats(), batched->stats())
+          << SchemeName(kind) << " stats diverged after insert chunk at "
+          << pos;
+      pos += n;
+    }
+    ASSERT_EQ(scalar->TotalItems(), batched->TotalItems()) << SchemeName(kind);
+
+    std::vector<uint64_t> out(keys.size());
+    std::vector<uint8_t> found(keys.size());
+    const size_t hits = batched->FindBatch(
+        std::span<const uint64_t>(keys.data(), keys.size()), out.data(),
+        reinterpret_cast<bool*>(found.data()));
+    EXPECT_EQ(hits, keys.size()) << SchemeName(kind);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      uint64_t v = 0;
+      ASSERT_TRUE(scalar->Find(keys[i], &v)) << SchemeName(kind) << " " << i;
+      ASSERT_TRUE(found[i]) << SchemeName(kind) << " " << i;
+      ASSERT_EQ(v, out[i]) << SchemeName(kind) << " " << i;
+    }
+    ASSERT_EQ(scalar->stats(), batched->stats())
+        << SchemeName(kind) << " stats diverged after hit lookups";
+
+    std::vector<uint8_t> miss_found(missing.size());
+    EXPECT_EQ(batched->ContainsBatch(
+                  std::span<const uint64_t>(missing.data(), missing.size()),
+                  reinterpret_cast<bool*>(miss_found.data())),
+              0u)
+        << SchemeName(kind);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      ASSERT_FALSE(scalar->Find(missing[i], nullptr))
+          << SchemeName(kind) << " " << i;
+      ASSERT_FALSE(miss_found[i]) << SchemeName(kind) << " " << i;
+    }
+    ASSERT_EQ(scalar->stats(), batched->stats())
+        << SchemeName(kind) << " stats diverged after miss lookups";
+    EXPECT_TRUE(batched->ValidateInvariants().ok()) << SchemeName(kind);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
