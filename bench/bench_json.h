@@ -39,9 +39,88 @@ inline uint64_t BenchSlotsOrDefault(uint64_t fallback) {
   return slots;
 }
 
+/// Escapes `s` for use inside a JSON string literal: backslash, double
+/// quote, and control characters (RFC 8259 §7). Everything else passes
+/// through byte-for-byte.
+inline std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace internal {
+
+/// Parses the JSON string literal starting at text[pos] (which must be the
+/// opening quote), honoring escape sequences. On success advances *end_pos
+/// past the closing quote and returns true with the decoded bytes in *out.
+inline bool ParseJsonString(const std::string& text, size_t pos,
+                            size_t* end_pos, std::string* out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  out->clear();
+  for (size_t i = pos + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') {
+      *end_pos = i + 1;
+      return true;
+    }
+    if (c != '\\') {
+      *out += c;
+      continue;
+    }
+    if (++i >= text.size()) return false;
+    switch (text[i]) {
+      case '"':  *out += '"';  break;
+      case '\\': *out += '\\'; break;
+      case '/':  *out += '/';  break;
+      case 'b':  *out += '\b'; break;
+      case 'f':  *out += '\f'; break;
+      case 'n':  *out += '\n'; break;
+      case 'r':  *out += '\r'; break;
+      case 't':  *out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) return false;
+        char* end = nullptr;
+        const std::string hex = text.substr(i + 1, 4);
+        const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4) return false;
+        // The writer only emits \u00XX for control bytes; decode the
+        // Latin-1 range and fall back to '?' for anything wider.
+        *out += cp <= 0xFF ? static_cast<char>(cp) : '?';
+        i += 4;
+        break;
+      }
+      default: return false;  // Invalid escape: bail on the whole string.
+    }
+  }
+  return false;  // Unterminated string.
+}
+
+}  // namespace internal
+
 /// Reads a flat JSON object written by StoreFlatJson. Returns an empty map
 /// if the file does not exist or does not parse (best effort: results are
-/// regenerable).
+/// regenerable). Escaped characters in keys are decoded; when the file
+/// holds the same key more than once, the last occurrence deterministically
+/// wins (matching standard JSON object semantics).
 inline FlatJson LoadFlatJson(const std::string& path) {
   FlatJson out;
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -53,28 +132,33 @@ inline FlatJson LoadFlatJson(const std::string& path) {
   std::fclose(f);
   size_t pos = 0;
   while ((pos = text.find('"', pos)) != std::string::npos) {
-    const size_t key_end = text.find('"', pos + 1);
-    if (key_end == std::string::npos) break;
-    const std::string key = text.substr(pos + 1, key_end - pos - 1);
-    const size_t colon = text.find(':', key_end);
-    if (colon == std::string::npos) break;
+    std::string key;
+    size_t key_end = 0;
+    if (!internal::ParseJsonString(text, pos, &key_end, &key)) break;
+    size_t colon = key_end;
+    while (colon < text.size() &&
+           (text[colon] == ' ' || text[colon] == '\t' || text[colon] == '\n' ||
+            text[colon] == '\r')) {
+      ++colon;
+    }
+    if (colon >= text.size() || text[colon] != ':') break;
     char* end = nullptr;
     const double value = std::strtod(text.c_str() + colon + 1, &end);
     if (end != text.c_str() + colon + 1) out[key] = value;
-    pos = key_end + 1;
+    pos = key_end;
   }
   return out;
 }
 
-/// Writes `data` as one flat JSON object, keys sorted.
+/// Writes `data` as one flat JSON object, keys escaped and sorted.
 inline bool StoreFlatJson(const std::string& path, const FlatJson& data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
   size_t i = 0;
   for (const auto& [key, value] : data) {
-    std::fprintf(f, "  \"%s\": %.10g%s\n", key.c_str(), value,
-                 ++i < data.size() ? "," : "");
+    std::fprintf(f, "  \"%s\": %.10g%s\n", EscapeJsonString(key).c_str(),
+                 value, ++i < data.size() ? "," : "");
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -83,7 +167,9 @@ inline bool StoreFlatJson(const std::string& path, const FlatJson& data) {
 
 /// Replaces every key starting with `prefix` in the file with `entries`
 /// (which should all carry that prefix) and rewrites it. This is how the
-/// bench binaries share one results file.
+/// bench binaries share one results file. A key present both on disk and
+/// in `entries` is deterministically overwritten with the entry value,
+/// whether or not it carries the prefix.
 inline bool MergeFlatJson(const std::string& path, const std::string& prefix,
                           const FlatJson& entries) {
   FlatJson data = LoadFlatJson(path);

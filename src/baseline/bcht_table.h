@@ -26,6 +26,8 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
 
@@ -96,7 +98,9 @@ class BchtTable {
     }
     if (!stash_.empty()) {
       ChargeStashProbe();
-      if (stash_.Find(key, nullptr)) {
+      const bool in_stash = stash_.Find(key, nullptr);
+      metrics_->RecordStashProbe(in_stash);
+      if (in_stash) {
         ChargeStashWrite();
         stash_.Insert(key, value);
         return InsertResult::kUpdated;
@@ -168,12 +172,14 @@ class BchtTable {
   /// taken by value because the kick-out chain reuses it as scratch.
   InsertResult InsertWithCandidates(Key key, Value value,
                                     std::array<size_t, kMaxHashes> cand) {
+    const uint64_t t0 = MetricsNowNs();
     // Scan candidate buckets (one read each) for a free slot.
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       const int slot = FreeSlotIn(cand[t]);
       if (slot >= 0) {
         StoreSlot(cand[t], static_cast<uint32_t>(slot), key, value);
         ++size_;
+        metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
         return InsertResult::kInserted;
       }
     }
@@ -182,6 +188,8 @@ class BchtTable {
     }
     // Kick-out chain over random slots.
     size_t exclude_bucket = kNoBucket;
+    uint32_t chain = 0;
+    KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       if (loop > 0) {
         cand = CandidateBuckets(key);
@@ -191,6 +199,13 @@ class BchtTable {
           if (slot >= 0) {
             StoreSlot(cand[t], static_cast<uint32_t>(slot), key, value);
             ++size_;
+            if constexpr (kMetricsEnabled) {
+              ev.chain_len = chain;
+              ev.n_steps = static_cast<uint32_t>(
+                  std::min<size_t>(chain, kMaxTraceSteps));
+              trace_.Record(ev);
+            }
+            metrics_->RecordInsert(chain, MetricsNowNs() - t0);
             return InsertResult::kInserted;
           }
         }
@@ -199,6 +214,12 @@ class BchtTable {
                                     kick_history_, rng_);
       const uint32_t s =
           static_cast<uint32_t>(rng_.Below(opts_.slots_per_bucket));
+      if constexpr (kMetricsEnabled) {
+        if (chain < kMaxTraceSteps) {
+          // No copy counters in the baseline: record counter 0.
+          ev.step[chain] = KickStep{static_cast<uint64_t>(cand[t]), 0};
+        }
+      }
       Slot& victim = slots_[SlotIndex(cand[t], s)];  // bucket already read
       Key vk = victim.key;
       Value vv = victim.value;
@@ -208,8 +229,18 @@ class BchtTable {
       exclude_bucket = cand[t];
       key = std::move(vk);
       value = std::move(vv);
+      ++chain;
     }
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      ev.stashed = true;
+      trace_.Record(ev);
+      trace_.NoteStashed();
+    }
+    metrics_->RecordInsert(chain, MetricsNowNs() - t0);
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOnchipChs &&
@@ -223,10 +254,20 @@ class BchtTable {
   bool FindImpl(const Key& key, const std::array<size_t, kMaxHashes>& cand,
                 Value* out) const {
     auto* self = const_cast<BchtTable*>(this);
-    if (self->FindInMain(key, cand, out, nullptr, nullptr)) return true;
+    uint32_t probes = 0;
+    const bool in_main = self->FindInMain(key, cand, out, nullptr, nullptr,
+                                          &probes);
+    if constexpr (kMetricsEnabled) {
+      metrics_->RecordLookup(probes);
+      metrics_->RecordPartitionProbes(0, probes);  // no partitions: slot 0
+      if (in_main) metrics_->RecordPartitionHit(0);
+    }
+    if (in_main) return true;
     if (!stash_.empty()) {
       self->ChargeStashProbe();
-      return stash_.Find(key, out);
+      const bool hit = stash_.Find(key, out);
+      metrics_->RecordStashProbe(hit);
+      return hit;
     }
     return false;
   }
@@ -265,12 +306,16 @@ class BchtTable {
       slots_[SlotIndex(bucket, slot)].occupied = false;
       ++stats_->offchip_writes;
       --size_;
+      metrics_->RecordErase();
       return true;
     }
     if (!stash_.empty()) {
       ChargeStashProbe();
-      if (stash_.Erase(key)) {
+      const bool hit = stash_.Erase(key);
+      metrics_->RecordStashProbe(hit);
+      if (hit) {
         ChargeStashWrite();
+        metrics_->RecordErase();
         return true;
       }
     }
@@ -289,6 +334,26 @@ class BchtTable {
   const TableOptions& options() const { return opts_; }
   const AccessStats& stats() const { return *stats_; }
   void ResetStats() { *stats_ = AccessStats{}; }
+
+  /// Point-in-time metrics copy with the occupancy/capacity gauges filled
+  /// (all zeros under -DMCCUCKOO_NO_METRICS). Partition metrics use slot 0:
+  /// the baseline has no counter partitions.
+  MetricsSnapshot SnapshotMetrics() const {
+    MetricsSnapshot s = metrics_->Snapshot();
+    s.occupancy_items = TotalItems();
+    s.capacity_slots = capacity();
+    return s;
+  }
+
+  /// Clears the metrics and the kick-chain trace ring.
+  void ResetMetrics() {
+    metrics_->Reset();
+    trace_.Clear();
+  }
+
+  /// Kick-chain trace ring (post-mortem inspection of recent chains).
+  const TraceRecorder& trace() const { return trace_; }
+
   uint64_t first_collision_items() const { return first_collision_items_; }
   uint64_t first_failure_items() const { return first_failure_items_; }
 
@@ -385,11 +450,14 @@ class BchtTable {
   }
 
   /// Probes candidate buckets in order. On a hit copies the value to `out`
-  /// and reports the (bucket, slot) position when requested.
+  /// and reports the (bucket, slot) position when requested. `probes_out`
+  /// (optional) receives the number of buckets read.
   bool FindInMain(const Key& key, const std::array<size_t, kMaxHashes>& cand,
-                  Value* out, size_t* bucket_out, uint32_t* slot_out) {
+                  Value* out, size_t* bucket_out, uint32_t* slot_out,
+                  uint32_t* probes_out = nullptr) {
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       ++stats_->offchip_reads;
+      if (probes_out != nullptr) ++*probes_out;
       for (uint32_t s = 0; s < opts_.slots_per_bucket; ++s) {
         const Slot& slot = slots_[SlotIndex(cand[t], s)];
         if (slot.occupied && slot.key == key) {
@@ -411,6 +479,11 @@ class BchtTable {
   // snapshot loading, factory returns).
   mutable std::unique_ptr<AccessStats> stats_ =
       std::make_unique<AccessStats>();
+  // Same pattern for the metrics: atomics are immovable, the unique_ptr
+  // keeps the table movable and lets const read paths record.
+  mutable std::unique_ptr<TableMetrics> metrics_ =
+      std::make_unique<TableMetrics>();
+  TraceRecorder trace_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;

@@ -31,6 +31,8 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
 
@@ -93,7 +95,9 @@ class CuckooTable {
     }
     if (!stash_.empty()) {
       ChargeStashProbe();
-      if (stash_.Find(key, nullptr)) {
+      const bool in_stash = stash_.Find(key, nullptr);
+      metrics_->RecordStashProbe(in_stash);
+      if (in_stash) {
         ChargeStashWrite();
         stash_.Insert(key, value);
         return InsertResult::kUpdated;
@@ -167,12 +171,16 @@ class CuckooTable {
       b.occupied = false;
       ++stats_->offchip_writes;
       --size_;
+      metrics_->RecordErase();
       return true;
     }
     if (!stash_.empty()) {
       ChargeStashProbe();
-      if (stash_.Erase(key)) {
+      const bool hit = stash_.Erase(key);
+      metrics_->RecordStashProbe(hit);
+      if (hit) {
         ChargeStashWrite();
+        metrics_->RecordErase();
         return true;
       }
     }
@@ -191,6 +199,26 @@ class CuckooTable {
   const TableOptions& options() const { return opts_; }
   const AccessStats& stats() const { return *stats_; }
   void ResetStats() { *stats_ = AccessStats{}; }
+
+  /// Point-in-time metrics copy with the occupancy/capacity gauges filled
+  /// (all zeros under -DMCCUCKOO_NO_METRICS). Partition metrics use slot 0:
+  /// the baseline has no counter partitions.
+  MetricsSnapshot SnapshotMetrics() const {
+    MetricsSnapshot s = metrics_->Snapshot();
+    s.occupancy_items = TotalItems();
+    s.capacity_slots = capacity();
+    return s;
+  }
+
+  /// Clears the metrics and the kick-chain trace ring.
+  void ResetMetrics() {
+    metrics_->Reset();
+    trace_.Clear();
+  }
+
+  /// Kick-chain trace ring (post-mortem inspection of recent chains).
+  const TraceRecorder& trace() const { return trace_; }
+
   uint64_t first_collision_items() const { return first_collision_items_; }
   uint64_t first_failure_items() const { return first_failure_items_; }
 
@@ -258,11 +286,13 @@ class CuckooTable {
   /// Scalar Insert body operating on precomputed candidates.
   InsertResult InsertWithCandidates(Key key, Value value,
                                     const std::array<size_t, kMaxHashes>& cand) {
+    const uint64_t t0 = MetricsNowNs();
     // Scan candidates for an empty bucket (each check is an off-chip read).
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       if (!LoadBucket(cand[t]).occupied) {
         StoreBucket(cand[t], key, value, true);
         ++size_;
+        metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
         return InsertResult::kInserted;
       }
     }
@@ -270,20 +300,34 @@ class CuckooTable {
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
+    uint32_t chain_len = 0;
+    InsertResult r;
     if (opts_.eviction_policy == EvictionPolicy::kBfs) {
-      return BfsInsert(std::move(key), std::move(value), cand);
+      r = BfsInsert(std::move(key), std::move(value), cand, &chain_len);
+    } else {
+      r = WalkInsert(std::move(key), std::move(value), cand, &chain_len);
     }
-    return WalkInsert(std::move(key), std::move(value), cand);
+    metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    return r;
   }
 
   /// Scalar Find body operating on precomputed candidates.
   bool FindImpl(const Key& key, const std::array<size_t, kMaxHashes>& cand,
                 Value* out) const {
     auto* self = const_cast<CuckooTable*>(this);
-    if (self->FindInMain(key, cand, out) >= 0) return true;
+    uint32_t probes = 0;
+    const int64_t idx = self->FindInMain(key, cand, out, &probes);
+    if constexpr (kMetricsEnabled) {
+      metrics_->RecordLookup(probes);
+      metrics_->RecordPartitionProbes(0, probes);  // no partitions: slot 0
+      if (idx >= 0) metrics_->RecordPartitionHit(0);
+    }
+    if (idx >= 0) return true;
     if (!stash_.empty()) {
       self->ChargeStashProbe();
-      return stash_.Find(key, out);
+      const bool hit = stash_.Find(key, out);
+      metrics_->RecordStashProbe(hit);
+      return hit;
     }
     return false;
   }
@@ -309,8 +353,11 @@ class CuckooTable {
   /// Random-walk / MinCounter kick-out chain. `cand` are the (already read,
   /// all occupied) candidates of `key`.
   InsertResult WalkInsert(Key key, Value value,
-                          std::array<size_t, kMaxHashes> cand) {
+                          std::array<size_t, kMaxHashes> cand,
+                          uint32_t* chain_len_out) {
     size_t exclude = kNoBucket;
+    uint32_t chain = 0;
+    KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       if (loop > 0) {
         cand = Candidates(key);
@@ -319,12 +366,25 @@ class CuckooTable {
           if (!LoadBucket(cand[t]).occupied) {
             StoreBucket(cand[t], key, value, true);
             ++size_;
+            *chain_len_out = chain;
+            if constexpr (kMetricsEnabled) {
+              ev.chain_len = chain;
+              ev.n_steps = static_cast<uint32_t>(
+                  std::min<size_t>(chain, kMaxTraceSteps));
+              trace_.Record(ev);
+            }
             return InsertResult::kInserted;
           }
         }
       }
       const uint32_t t =
           PickVictim(cand, opts_.num_hashes, exclude, kick_history_, rng_);
+      if constexpr (kMetricsEnabled) {
+        if (chain < kMaxTraceSteps) {
+          // No copy counters in the baseline: record counter 0.
+          ev.step[chain] = KickStep{static_cast<uint64_t>(cand[t]), 0};
+        }
+      }
       const Bucket& victim = table_[cand[t]];  // already read above
       Key vk = victim.key;
       Value vv = victim.value;
@@ -334,8 +394,18 @@ class CuckooTable {
       exclude = cand[t];
       key = std::move(vk);
       value = std::move(vv);
+      ++chain;
     }
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    *chain_len_out = chain;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      ev.stashed = true;
+      trace_.Record(ev);
+      trace_.NoteStashed();
+    }
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOnchipChs &&
@@ -352,7 +422,8 @@ class CuckooTable {
   /// ever absent from the table. The node budget is maxloop, making the
   /// work bound comparable to the walk policies.
   InsertResult BfsInsert(Key key, Value value,
-                         const std::array<size_t, kMaxHashes>& cand) {
+                         const std::array<size_t, kMaxHashes>& cand,
+                         uint32_t* chain_len_out) {
     struct Node {
       size_t bucket;
       int32_t parent;  // index into nodes, -1 for roots
@@ -375,15 +446,31 @@ class CuckooTable {
           // Found the path; move items from the empty end backwards.
           size_t hole = alt[t];
           int32_t n = static_cast<int32_t>(head);
+          uint32_t chain = 0;
+          KickChainEvent ev{};
           while (n >= 0) {
             const Bucket& src = table_[nodes[n].bucket];
             StoreBucket(hole, src.key, src.value, true);
             ++stats_->kickouts;
+            if constexpr (kMetricsEnabled) {
+              if (chain < kMaxTraceSteps) {
+                ev.step[chain] =
+                    KickStep{static_cast<uint64_t>(nodes[n].bucket), 0};
+              }
+            }
+            ++chain;
             hole = nodes[n].bucket;
             n = nodes[n].parent;
           }
           StoreBucket(hole, key, value, true);
           ++size_;
+          *chain_len_out = chain;
+          if constexpr (kMetricsEnabled) {
+            ev.chain_len = chain;
+            ev.n_steps = static_cast<uint32_t>(
+                std::min<size_t>(chain, kMaxTraceSteps));
+            trace_.Record(ev);
+          }
           return InsertResult::kInserted;
         }
         if (nodes.size() >= opts_.maxloop) break;
@@ -393,6 +480,13 @@ class CuckooTable {
     }
     // Node budget exhausted without finding an empty bucket.
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    *chain_len_out = 0;
+    if constexpr (kMetricsEnabled) {
+      KickChainEvent ev{};
+      ev.stashed = true;
+      trace_.Record(ev);
+      trace_.NoteStashed();
+    }
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOnchipChs &&
@@ -427,10 +521,13 @@ class CuckooTable {
   }
 
   /// Probes candidates in table order; returns the hit's global index or -1.
+  /// `probes_out` (optional) receives the number of buckets read.
   int64_t FindInMain(const Key& key,
-                     const std::array<size_t, kMaxHashes>& cand, Value* out) {
+                     const std::array<size_t, kMaxHashes>& cand, Value* out,
+                     uint32_t* probes_out = nullptr) {
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
       const Bucket& b = LoadBucket(cand[t]);
+      if (probes_out != nullptr) ++*probes_out;
       if (b.occupied && b.key == key) {
         if (out != nullptr) *out = b.value;
         return static_cast<int64_t>(cand[t]);
@@ -447,6 +544,11 @@ class CuckooTable {
   // snapshot loading, factory returns).
   mutable std::unique_ptr<AccessStats> stats_ =
       std::make_unique<AccessStats>();
+  // Same pattern for the metrics: atomics are immovable, the unique_ptr
+  // keeps the table movable and lets const read paths record.
+  mutable std::unique_ptr<TableMetrics> metrics_ =
+      std::make_unique<TableMetrics>();
+  TraceRecorder trace_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;

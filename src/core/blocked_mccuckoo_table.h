@@ -46,6 +46,8 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
 
@@ -99,6 +101,11 @@ class BlockedMcCuckooTable {
     std::array<bool, kMaxHashes> bucket_read{};
     std::array<bool, kMaxHashes> flag_value{};
     uint32_t d = 0;
+    // Probe accounting for the metrics layer. Blocked lookups fetch whole
+    // buckets, so "probes" counts bucket reads; hit_value is the found
+    // slot's counter (its partition).
+    uint32_t probes_total = 0;
+    int32_t hit_value = -1;
   };
 
   struct CopySet {
@@ -161,7 +168,9 @@ class BlockedMcCuckooTable {
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
-      if (stash_.Find(key, nullptr)) {
+      const bool in_stash = stash_.Find(key, nullptr);
+      metrics_->RecordStashProbe(in_stash);
+      if (in_stash) {
         ChargeStashWrite();
         stash_.Insert(key, value);
         return InsertResult::kUpdated;
@@ -172,7 +181,7 @@ class BlockedMcCuckooTable {
 
   /// Looks `key` up (Algorithm 2, Fig 7).
   bool Find(const Key& key, Value* out = nullptr) const {
-    return FindImpl(key, ComputeCandidates(key), out);
+    return FindImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
   bool Contains(const Key& key) const { return Find(key, nullptr); }
@@ -193,17 +202,21 @@ class BlockedMcCuckooTable {
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
+    // Lookup metrics accumulate on the stack and publish once per batch
+    // (see McCuckooTable::FindBatch).
+    LookupTally tally;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
       for (size_t i = 0; i < n; ++i) {
         const bool hit =
             FindImpl(keys[base + i], cand[i],
-                     out != nullptr ? &out[base + i] : nullptr);
+                     out != nullptr ? &out[base + i] : nullptr, tally);
         if (found != nullptr) found[base + i] = hit;
         hits += hit ? 1 : 0;
       }
     }
+    tally.FlushTo(*metrics_);
     return hits;
   }
 
@@ -217,17 +230,19 @@ class BlockedMcCuckooTable {
                           bool* found) const {
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
+    LookupTally tally;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
       for (size_t i = 0; i < n; ++i) {
         const bool hit =
             FindNoStatsImpl(keys[base + i], cand[i],
-                            out != nullptr ? &out[base + i] : nullptr);
+                            out != nullptr ? &out[base + i] : nullptr, tally);
         if (found != nullptr) found[base + i] = hit;
         hits += hit ? 1 : 0;
       }
     }
+    tally.FlushTo(*metrics_);
     return hits;
   }
 
@@ -250,20 +265,24 @@ class BlockedMcCuckooTable {
   /// Statistics-free const lookup (see McCuckooTable::FindNoStats): the
   /// ConcurrentMcCuckoo reader path. Performs no mutation.
   bool FindNoStats(const Key& key, Value* out = nullptr) const {
-    return FindNoStatsImpl(key, ComputeCandidates(key), out);
+    return FindNoStatsImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
  private:
   /// FindNoStats body over precomputed candidates (shared with the batched
-  /// no-stats path).
-  bool FindNoStatsImpl(const Key& key, const Candidates& cand,
-                       Value* out) const {
+  /// no-stats path). `sink` is the live TableMetrics for scalar calls, a
+  /// stack-local LookupTally for batches.
+  template <typename MetricsSink>
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
+                       MetricsSink& sink) const {
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
     bool any_zero_bucket = false;
     bool all_buckets_all_ones = true;
     bool read_flag_zero = false;
     bool found = false;
+    uint32_t probes_total = 0;
+    int32_t hit_value = -1;
     for (uint32_t t = 0; t < d && !found; ++t) {
       uint64_t sum = 0;
       bool any_tomb = false;
@@ -277,20 +296,32 @@ class BlockedMcCuckooTable {
       }
       if (sum == 0 && !any_tomb) any_zero_bucket = true;
       if (opts_.lookup_pruning_enabled && sum == 0) continue;
+      if (sum != 0 || any_tomb) ++probes_total;  // one bucket fetch
       if (!flags_[cand.bucket[t]]) read_flag_zero = true;
       for (uint32_t s = 0; s < l; ++s) {
         if (slot_counter[s] == 0) continue;
         const Slot& slot = slots_[cand.bucket[t] * l + s];
         if (slot.key == key) {
           if (out != nullptr) *out = slot.value;
+          hit_value = static_cast<int32_t>(slot_counter[s]);
           found = true;
           break;
         }
       }
     }
+    if constexpr (kMetricsEnabled) {
+      sink.RecordLookup(probes_total);
+      if (hit_value >= 0) {
+        sink.RecordPartitionHit(static_cast<uint32_t>(hit_value));
+      }
+    }
     if (found) return true;
     if (stash_.empty()) return false;
-    if (opts_.stash_kind == StashKind::kOnchipChs) return stash_.Find(key, out);
+    if (opts_.stash_kind == StashKind::kOnchipChs) {
+      const bool hit = stash_.Find(key, out);
+      sink.RecordStashProbe(hit);
+      return hit;
+    }
     if (opts_.stash_screen_enabled) {
       if (opts_.deletion_mode == DeletionMode::kDisabled &&
           !all_buckets_all_ones) {
@@ -302,7 +333,9 @@ class BlockedMcCuckooTable {
       }
       if (read_flag_zero) return false;
     }
-    return stash_.Find(key, out);
+    const bool hit = stash_.Find(key, out);
+    sink.RecordStashProbe(hit);
+    return hit;
   }
 
  public:
@@ -327,13 +360,17 @@ class BlockedMcCuckooTable {
         }
       }
       --size_;
+      metrics_->RecordErase();
       return true;
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
-      if (stash_.Erase(key)) {
+      const bool hit = stash_.Erase(key);
+      metrics_->RecordStashProbe(hit);
+      if (hit) {
         ChargeStashWrite();
         ++stale_stash_flag_keys_;
+        metrics_->RecordErase();
         return true;
       }
     }
@@ -386,6 +423,7 @@ class BlockedMcCuckooTable {
     }
     // Keep cumulative statistics and lifetime counters across the rebuild.
     *rebuilt.stats_ += *stats_;
+    rebuilt.metrics_->MergeFrom(*metrics_);
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
@@ -438,6 +476,25 @@ class BlockedMcCuckooTable {
   const TableOptions& options() const { return opts_; }
   const AccessStats& stats() const { return *stats_; }
   void ResetStats() { *stats_ = AccessStats{}; }
+
+  /// Point-in-time metrics copy with the occupancy/capacity gauges filled
+  /// (all zeros under -DMCCUCKOO_NO_METRICS).
+  MetricsSnapshot SnapshotMetrics() const {
+    MetricsSnapshot s = metrics_->Snapshot();
+    s.occupancy_items = TotalItems();
+    s.capacity_slots = capacity();
+    return s;
+  }
+
+  /// Clears the metrics and the kick-chain trace ring.
+  void ResetMetrics() {
+    metrics_->Reset();
+    trace_.Clear();
+  }
+
+  /// Kick-chain trace ring (post-mortem inspection of recent chains).
+  const TraceRecorder& trace() const { return trace_; }
+
   uint64_t first_collision_items() const { return first_collision_items_; }
   uint64_t first_failure_items() const { return first_failure_items_; }
   uint64_t redundant_writes() const { return redundant_writes_; }
@@ -600,15 +657,27 @@ class BlockedMcCuckooTable {
     }
   }
 
-  /// Scalar Find body over precomputed candidates.
-  bool FindImpl(const Key& key, const Candidates& cand, Value* out) const {
+  /// Scalar Find body over precomputed candidates. `sink` is the live
+  /// TableMetrics for scalar calls, a stack-local LookupTally for batches.
+  template <typename MetricsSink>
+  bool FindImpl(const Key& key, const Candidates& cand, Value* out,
+                MetricsSink& sink) const {
     auto* self = const_cast<BlockedMcCuckooTable*>(this);
     CandidateView view;
     Position pos;
-    if (self->FindInMain(key, cand, out, &view, &pos)) return true;
+    const bool in_main = self->FindInMain(key, cand, out, &view, &pos);
+    if constexpr (kMetricsEnabled) {
+      sink.RecordLookup(view.probes_total);
+      if (view.hit_value >= 0) {
+        sink.RecordPartitionHit(static_cast<uint32_t>(view.hit_value));
+      }
+    }
+    if (in_main) return true;
     if (self->ShouldProbeStash(view)) {
       self->ChargeStashProbe();
-      return stash_.Find(key, out);
+      const bool hit = stash_.Find(key, out);
+      sink.RecordStashProbe(hit);
+      return hit;
     }
     return false;
   }
@@ -616,15 +685,20 @@ class BlockedMcCuckooTable {
   /// Scalar Insert body over precomputed candidates.
   InsertResult InsertWithCandidates(const Key& key, const Value& value,
                                     const Candidates& cand) {
+    const uint64_t t0 = MetricsNowNs();
     const uint32_t placed = TryPlace(key, value, cand);
     if (placed > 0) {
       ++size_;
+      metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
       return InsertResult::kInserted;
     }
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
-    return RandomWalkInsert(key, value);
+    uint32_t chain_len = 0;
+    const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    return r;
   }
 
   size_t SlotIndex(const Position& p) const {
@@ -860,14 +934,24 @@ class BlockedMcCuckooTable {
 
   /// Random walk at slot granularity: eviction targets are sole copies
   /// (all candidate slot counters are 1 when this is reached).
-  InsertResult RandomWalkInsert(Key key, Value value) {
+  InsertResult RandomWalkInsert(Key key, Value value,
+                                uint32_t* chain_len_out) {
     size_t exclude_bucket = kNoBucket;
+    uint32_t chain = 0;
+    KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       Candidates cand = ComputeCandidates(key);
       if (loop > 0) {
         const uint32_t placed = TryPlace(key, value, cand);
         if (placed > 0) {
           ++size_;
+          *chain_len_out = chain;
+          if constexpr (kMetricsEnabled) {
+            ev.chain_len = chain;
+            ev.n_steps = static_cast<uint32_t>(
+                std::min<size_t>(chain, kMaxTraceSteps));
+            trace_.Record(ev);
+          }
           return InsertResult::kInserted;
         }
       }
@@ -876,6 +960,13 @@ class BlockedMcCuckooTable {
       const uint32_t s =
           static_cast<uint32_t>(rng_.Below(opts_.slots_per_bucket));
       const Position p{cand.bucket[t], s};
+      if constexpr (kMetricsEnabled) {
+        if (chain < kMaxTraceSteps) {
+          ev.step[chain] = KickStep{
+              static_cast<uint64_t>(cand.bucket[t]),
+              static_cast<uint32_t>(counters_.PeekCounter(SlotIndex(p)))};
+        }
+      }
       ChargeBucketRead();
       Slot victim = slots_[SlotIndex(p)];
       Slot record;
@@ -890,8 +981,18 @@ class BlockedMcCuckooTable {
       exclude_bucket = cand.bucket[t];
       key = std::move(victim.key);
       value = std::move(victim.value);
+      ++chain;
     }
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    *chain_len_out = chain;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      ev.stashed = true;
+      trace_.Record(ev);
+      trace_.NoteStashed();
+    }
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOffchip) {
@@ -946,6 +1047,7 @@ class BlockedMcCuckooTable {
         continue;  // nothing live to read even without pruning
       }
       ChargeBucketRead();
+      ++v.probes_total;
       v.bucket_read[t] = true;
       v.flag_value[t] = flags_[cand.bucket[t]];
       for (uint32_t s = 0; s < l; ++s) {
@@ -955,6 +1057,7 @@ class BlockedMcCuckooTable {
         if (slot.key == key) {
           if (out != nullptr) *out = slot.value;
           if (pos != nullptr) *pos = p;
+          v.hit_value = static_cast<int32_t>(slot_counter[t][s]);
           return true;
         }
       }
@@ -1001,6 +1104,11 @@ class BlockedMcCuckooTable {
   // snapshot loading, factory returns).
   mutable std::unique_ptr<AccessStats> stats_ =
       std::make_unique<AccessStats>();
+  // Same pattern for the metrics: atomics are immovable, the unique_ptr
+  // keeps the table movable and lets const read paths record.
+  mutable std::unique_ptr<TableMetrics> metrics_ =
+      std::make_unique<TableMetrics>();
+  TraceRecorder trace_;
   CounterArray counters_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;

@@ -27,6 +27,7 @@
 
 #include "src/core/config.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
 
 namespace mccuckoo {
 
@@ -96,6 +97,13 @@ class OneWriterManyReaders {
   AccessStats stats_snapshot() const {
     std::shared_lock lock(mutex_);
     return table_.stats();
+  }
+
+  /// Snapshot of the table's metrics (reader-path recordings included:
+  /// FindNoStats records metrics atomically even though it skips stats).
+  MetricsSnapshot metrics_snapshot() const {
+    std::shared_lock lock(mutex_);
+    return table_.SnapshotMetrics();
   }
 
   /// Exclusive access to the underlying table (setup/validation only).

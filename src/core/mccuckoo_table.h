@@ -56,8 +56,13 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
+
+static_assert(kMaxHashes + 1 <= kMetricsPartitions,
+              "partition metric arrays must cover counter values 0..d");
 
 /// Multi-copy cuckoo hash table. Key must be equality-comparable and
 /// hashable by Hasher; Key and Value must be copyable. Not thread-safe (see
@@ -100,6 +105,11 @@ class McCuckooTable {
     std::array<bool, kMaxHashes> bucket_read{};  // flag available?
     std::array<bool, kMaxHashes> flag_value{};
     uint32_t d = 0;
+    // Probe accounting for the metrics layer (stack-local tallies; the
+    // atomics are only touched once per operation in RecordLookupMetrics).
+    std::array<uint8_t, kMaxHashes + 1> probes_by_value{};
+    uint32_t probes_total = 0;
+    int32_t hit_value = -1;  // partition value the key was found in
   };
 
   /// Up to d global indices holding copies of one key.
@@ -166,7 +176,9 @@ class McCuckooTable {
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
-      if (stash_.Find(key, nullptr)) {
+      const bool in_stash = stash_.Find(key, nullptr);
+      metrics_->RecordStashProbe(in_stash);
+      if (in_stash) {
         ChargeStashWrite();
         stash_.Insert(key, value);
         return InsertResult::kUpdated;
@@ -178,7 +190,7 @@ class McCuckooTable {
   /// Looks `key` up; writes the value through `out` when found (out may be
   /// null). Mutates only the access statistics.
   bool Find(const Key& key, Value* out = nullptr) const {
-    return FindImpl(key, ComputeCandidates(key), out);
+    return FindImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
   /// Convenience wrapper over Find.
@@ -206,17 +218,21 @@ class McCuckooTable {
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
+    // Lookup metrics accumulate on the stack and publish once per batch:
+    // same totals as per-key recording, a fraction of the atomic RMWs.
+    LookupTally tally;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
       for (size_t i = 0; i < n; ++i) {
         const bool hit =
             FindImpl(keys[base + i], cand[i],
-                     out != nullptr ? &out[base + i] : nullptr);
+                     out != nullptr ? &out[base + i] : nullptr, tally);
         if (found != nullptr) found[base + i] = hit;
         hits += hit ? 1 : 0;
       }
     }
+    tally.FlushTo(*metrics_);
     return hits;
   }
 
@@ -231,17 +247,19 @@ class McCuckooTable {
                           bool* found) const {
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
+    LookupTally tally;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/false);
       for (size_t i = 0; i < n; ++i) {
         const bool hit =
             FindNoStatsImpl(keys[base + i], cand[i],
-                            out != nullptr ? &out[base + i] : nullptr);
+                            out != nullptr ? &out[base + i] : nullptr, tally);
         if (found != nullptr) found[base + i] = hit;
         hits += hit ? 1 : 0;
       }
     }
+    tally.FlushTo(*metrics_);
     return hits;
   }
 
@@ -271,14 +289,16 @@ class McCuckooTable {
   /// excluded (see src/core/concurrent_mccuckoo.h). Not meant for
   /// experiments: it records no access counts.
   bool FindNoStats(const Key& key, Value* out = nullptr) const {
-    return FindNoStatsImpl(key, ComputeCandidates(key), out);
+    return FindNoStatsImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
  private:
   /// FindNoStats body over precomputed candidates (shared with the batched
-  /// no-stats path).
-  bool FindNoStatsImpl(const Key& key, const Candidates& cand,
-                       Value* out) const {
+  /// no-stats path). `sink` is the live TableMetrics for scalar calls, a
+  /// stack-local LookupTally for batches.
+  template <typename MetricsSink>
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
+                       MetricsSink& sink) const {
     const uint32_t d = opts_.num_hashes;
     uint64_t counter[kMaxHashes];
     bool tomb[kMaxHashes];
@@ -289,8 +309,24 @@ class McCuckooTable {
       if (counter[t] == 0 && !tomb[t]) any_zero = true;
       if (counter[t] > 1) any_gt1 = true;
     }
+    // Probe tallies, recorded once on the way out (atomics are fine from
+    // the shared-lock reader path; AccessStats would not be).
+    uint32_t probes_total = 0;
+    std::array<uint8_t, kMaxHashes + 1> probes_by_value{};
+    auto record_lookup = [&](int32_t hit_value) {
+      if constexpr (kMetricsEnabled) {
+        sink.RecordLookup(probes_total);
+        for (uint32_t val = 1; val <= d; ++val) {
+          sink.RecordPartitionProbes(val, probes_by_value[val]);
+        }
+        if (hit_value >= 0) {
+          sink.RecordPartitionHit(static_cast<uint32_t>(hit_value));
+        }
+      }
+    };
     if (opts_.lookup_pruning_enabled && any_zero &&
         opts_.deletion_mode != DeletionMode::kResetCounters) {
+      record_lookup(-1);
       return false;
     }
     bool read_flag_zero = false;
@@ -305,17 +341,25 @@ class McCuckooTable {
           opts_.lookup_pruning_enabled ? s - static_cast<uint32_t>(value) + 1
                                        : s;
       for (uint32_t i = 0; i < probes; ++i) {
+        ++probes_total;
+        ++probes_by_value[value];
         const Bucket& b = table_[cand.idx[members[i]]];
         if (b.key == key) {
           if (out != nullptr) *out = b.value;
+          record_lookup(static_cast<int32_t>(value));
           return true;
         }
         if (!b.stash_flag) read_flag_zero = true;
       }
     }
+    record_lookup(-1);
     // Stash screen, mirroring ShouldProbeStash.
     if (stash_.empty()) return false;
-    if (opts_.stash_kind == StashKind::kOnchipChs) return stash_.Find(key, out);
+    if (opts_.stash_kind == StashKind::kOnchipChs) {
+      const bool hit = stash_.Find(key, out);
+      sink.RecordStashProbe(hit);
+      return hit;
+    }
     if (opts_.stash_screen_enabled) {
       if (opts_.deletion_mode == DeletionMode::kDisabled &&
           (any_zero || any_gt1)) {
@@ -326,7 +370,9 @@ class McCuckooTable {
       }
       if (read_flag_zero) return false;
     }
-    return stash_.Find(key, out);
+    const bool hit = stash_.Find(key, out);
+    sink.RecordStashProbe(hit);
+    return hit;
   }
 
  public:
@@ -354,15 +400,19 @@ class McCuckooTable {
         }
       }
       --size_;
+      metrics_->RecordErase();
       return true;
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
-      if (stash_.Erase(key)) {
+      const bool hit = stash_.Erase(key);
+      metrics_->RecordStashProbe(hit);
+      if (hit) {
         ChargeStashWrite();
         // Flags are Bloom-like and not cleared (§III.F); false positives
         // accumulate until RebuildStashFlags().
         ++stale_stash_flag_keys_;
+        metrics_->RecordErase();
         return true;
       }
     }
@@ -411,6 +461,7 @@ class McCuckooTable {
     }
     // Keep cumulative statistics and lifetime counters across the rebuild.
     *rebuilt.stats_ += *stats_;
+    rebuilt.metrics_->MergeFrom(*metrics_);
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
@@ -478,6 +529,26 @@ class McCuckooTable {
   const TableOptions& options() const { return opts_; }
   const AccessStats& stats() const { return *stats_; }
   void ResetStats() { *stats_ = AccessStats{}; }
+
+  /// Point-in-time metrics copy with the occupancy/capacity gauges filled
+  /// (all zeros under -DMCCUCKOO_NO_METRICS). Safe to call concurrently
+  /// with readers; pair with writer exclusion for exact totals.
+  MetricsSnapshot SnapshotMetrics() const {
+    MetricsSnapshot s = metrics_->Snapshot();
+    s.occupancy_items = TotalItems();
+    s.capacity_slots = capacity();
+    return s;
+  }
+
+  /// Clears the metrics and the kick-chain trace ring (AccessStats are
+  /// separate; see ResetStats).
+  void ResetMetrics() {
+    metrics_->Reset();
+    trace_.Clear();
+  }
+
+  /// Kick-chain trace ring (post-mortem inspection of recent chains).
+  const TraceRecorder& trace() const { return trace_; }
 
   /// Items present when the first real collision happened (0 = none yet) —
   /// Table I's metric.
@@ -648,31 +719,58 @@ class McCuckooTable {
 
   /// Scalar Find body over precomputed candidates (shared by Find and the
   /// batched path; candidate computation itself is uncharged either way).
-  bool FindImpl(const Key& key, const Candidates& cand, Value* out) const {
+  /// `sink` receives the lookup metrics: the live TableMetrics for scalar
+  /// calls, a stack-local LookupTally for batches (flushed once per batch).
+  template <typename MetricsSink>
+  bool FindImpl(const Key& key, const Candidates& cand, Value* out,
+                MetricsSink& sink) const {
     auto* self = const_cast<McCuckooTable*>(this);
     CandidateView view;
     const int64_t idx = self->FindInMain(key, cand, out, &view);
+    RecordLookupMetrics(sink, view);
     if (idx >= 0) return true;
     if (self->ShouldProbeStash(view)) {
       self->ChargeStashProbe();
-      return stash_.Find(key, out);
+      const bool hit = stash_.Find(key, out);
+      sink.RecordStashProbe(hit);
+      return hit;
     }
     return false;
+  }
+
+  /// Flushes one operation's stack-local probe tallies into the sink
+  /// (one RecordLookup plus at most d partition increments per lookup).
+  template <typename MetricsSink>
+  void RecordLookupMetrics(MetricsSink& sink, const CandidateView& v) const {
+    if constexpr (kMetricsEnabled) {
+      sink.RecordLookup(v.probes_total);
+      for (uint32_t val = 1; val <= v.d; ++val) {
+        sink.RecordPartitionProbes(val, v.probes_by_value[val]);
+      }
+      if (v.hit_value >= 0) {
+        sink.RecordPartitionHit(static_cast<uint32_t>(v.hit_value));
+      }
+    }
   }
 
   /// Scalar Insert body over precomputed candidates.
   InsertResult InsertWithCandidates(const Key& key, const Value& value,
                                     const Candidates& cand) {
+    const uint64_t t0 = MetricsNowNs();
     const uint32_t placed = TryPlace(key, value, cand);
     if (placed > 0) {
       ++size_;
+      metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
       return InsertResult::kInserted;
     }
     // All candidates hold sole copies: a real collision (§III.D).
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
-    return RandomWalkInsert(key, value);
+    uint32_t chain_len = 0;
+    const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    return r;
   }
 
   // --- charged memory choke points --------------------------------------
@@ -816,14 +914,24 @@ class McCuckooTable {
   /// chain ends immediately; otherwise a random sole-copy occupant (never
   /// the bucket just written) is evicted. On maxloop overrun the in-hand
   /// item is stashed and its candidates' flags are set (§III.E).
-  InsertResult RandomWalkInsert(Key key, Value value) {
+  InsertResult RandomWalkInsert(Key key, Value value,
+                                uint32_t* chain_len_out) {
     size_t exclude = kNoBucket;
+    uint32_t chain = 0;
+    KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       Candidates cand = ComputeCandidates(key);
       if (loop > 0) {
         const uint32_t placed = TryPlace(key, value, cand);
         if (placed > 0) {
           ++size_;  // net effect of the whole chain: the original key is in
+          *chain_len_out = chain;
+          if constexpr (kMetricsEnabled) {
+            ev.chain_len = chain;
+            ev.n_steps = static_cast<uint32_t>(
+                std::min<size_t>(chain, kMaxTraceSteps));
+            trace_.Record(ev);
+          }
           return InsertResult::kInserted;
         }
       }
@@ -833,6 +941,13 @@ class McCuckooTable {
       const uint32_t t = PickVictim(cand.idx, opts_.num_hashes, exclude,
                                     kick_history_, rng_);
       const size_t idx = cand.idx[t];
+      if constexpr (kMetricsEnabled) {
+        if (chain < kMaxTraceSteps) {
+          ev.step[chain] = KickStep{
+              static_cast<uint64_t>(idx),
+              static_cast<uint32_t>(counters_.PeekCounter(idx))};
+        }
+      }
       const Bucket& victim = LoadBucket(idx);
       Key vk = victim.key;
       Value vv = victim.value;
@@ -843,9 +958,19 @@ class McCuckooTable {
       exclude = idx;
       key = std::move(vk);
       value = std::move(vv);
+      ++chain;
     }
     // Insertion failure: park the in-hand item in the stash.
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    *chain_len_out = chain;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      ev.stashed = true;
+      trace_.Record(ev);
+      trace_.NoteStashed();
+    }
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOffchip) {
@@ -894,12 +1019,15 @@ class McCuckooTable {
       return -1;
     }
 
-    auto probe = [&](uint32_t t) -> bool {
+    auto probe = [&](uint32_t t, uint64_t value) -> bool {
       const Bucket& b = LoadBucket(cand.idx[t]);
       v.bucket_read[t] = true;
       v.flag_value[t] = b.stash_flag;
+      ++v.probes_total;
+      ++v.probes_by_value[value <= kMaxHashes ? value : kMaxHashes];
       if (b.key == key) {
         if (out != nullptr) *out = b.value;
+        v.hit_value = static_cast<int32_t>(value);
         return true;
       }
       return false;
@@ -908,7 +1036,7 @@ class McCuckooTable {
     if (!opts_.lookup_pruning_enabled) {
       for (uint32_t t = 0; t < d; ++t) {
         if (v.counter[t] == 0) continue;  // empty / tombstoned: no live copy
-        if (probe(t)) return static_cast<int64_t>(cand.idx[t]);
+        if (probe(t, v.counter[t])) return static_cast<int64_t>(cand.idx[t]);
       }
       return -1;
     }
@@ -924,7 +1052,7 @@ class McCuckooTable {
       if (s < value) continue;  // impossible partition
       const uint32_t probes = s - static_cast<uint32_t>(value) + 1;
       for (uint32_t i = 0; i < probes; ++i) {
-        if (probe(members[i])) {
+        if (probe(members[i], value)) {
           return static_cast<int64_t>(cand.idx[members[i]]);
         }
       }
@@ -972,6 +1100,11 @@ class McCuckooTable {
   // snapshot loading, factory returns).
   mutable std::unique_ptr<AccessStats> stats_ =
       std::make_unique<AccessStats>();
+  // Same pattern for the metrics: atomics are immovable, the unique_ptr
+  // keeps the table movable and lets const read paths record.
+  mutable std::unique_ptr<TableMetrics> metrics_ =
+      std::make_unique<TableMetrics>();
+  TraceRecorder trace_;
   CounterArray counters_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;

@@ -37,6 +37,7 @@
 #include "src/common/rng.h"
 #include "src/core/config.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
 
 namespace mccuckoo {
 
@@ -229,6 +230,24 @@ class ShardedMcCuckoo {
       merged += s->table.stats();
     }
     return merged;
+  }
+
+  /// Component-wise sum of all shards' metrics (histograms merge bucket-
+  /// wise; occupancy/capacity gauges sum to the aggregate view).
+  MetricsSnapshot metrics_snapshot() const {
+    MetricsSnapshot merged;
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      merged += s->table.SnapshotMetrics();
+    }
+    return merged;
+  }
+
+  /// One shard's metrics snapshot (testing / per-shard dashboards).
+  MetricsSnapshot shard_metrics_snapshot(size_t shard) const {
+    const Shard& s = *shards_[shard];
+    std::shared_lock lock(s.mutex);
+    return s.table.SnapshotMetrics();
   }
 
   /// Exclusive access to one shard's table (setup/validation only).

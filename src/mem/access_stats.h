@@ -15,6 +15,8 @@
 #define MCCUCKOO_MEM_ACCESS_STATS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace mccuckoo {
 
@@ -56,6 +58,30 @@ struct AccessStats {
     kickouts += other.kickouts;
     stash_probes += other.stash_probes;
     return *this;
+  }
+
+  /// Component-wise sum, symmetric with += (shard/phase aggregation).
+  AccessStats operator+(const AccessStats& other) const {
+    AccessStats s = *this;
+    s += other;
+    return s;
+  }
+
+  /// One-line human-readable form, e.g.
+  /// "offchip_reads=5 offchip_writes=4 onchip_reads=3 onchip_writes=2
+  ///  kickouts=1 stash_probes=0" — used by the metric exporters and dumps.
+  std::string ToString() const {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "offchip_reads=%llu offchip_writes=%llu onchip_reads=%llu "
+                  "onchip_writes=%llu kickouts=%llu stash_probes=%llu",
+                  static_cast<unsigned long long>(offchip_reads),
+                  static_cast<unsigned long long>(offchip_writes),
+                  static_cast<unsigned long long>(onchip_reads),
+                  static_cast<unsigned long long>(onchip_writes),
+                  static_cast<unsigned long long>(kickouts),
+                  static_cast<unsigned long long>(stash_probes));
+    return buf;
   }
 };
 

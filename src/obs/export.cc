@@ -1,0 +1,298 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mccuckoo {
+
+namespace {
+
+/// Escapes a Prometheus label value (exposition format: backslash, double
+/// quote, newline).
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"':  out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:   out += c;
+    }
+  }
+  return out;
+}
+
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+std::string LabelBlock(const LabelList& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const LabelList& labels, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += name;
+  *out += LabelBlock(labels);
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+void AppendGaugeDouble(std::string* out, const std::string& name,
+                       const LabelList& labels, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += name;
+  *out += LabelBlock(labels);
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+void AppendMeta(std::string* out, const std::string& name, const char* type,
+                const char* help) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+/// One histogram in Prometheus cumulative-bucket form.
+void AppendHistogram(std::string* out, const std::string& name,
+                     const LabelList& labels, const HistogramSnapshot& h,
+                     const char* help) {
+  AppendMeta(out, name, "histogram", help);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += h.bucket[i];
+    LabelList with_le = labels;
+    if (i == kHistogramBuckets - 1) {
+      with_le.emplace_back("le", "+Inf");
+    } else {
+      char le[24];
+      std::snprintf(le, sizeof(le), "%" PRIu64, HistogramBucketUpperBound(i));
+      with_le.emplace_back("le", le);
+    }
+    AppendSample(out, name + "_bucket", with_le, cumulative);
+  }
+  AppendSample(out, name + "_sum", labels, h.sum);
+  AppendSample(out, name + "_count", labels, h.count);
+}
+
+/// Raw (non-cumulative) JSON form of one histogram.
+void AppendJsonHistogram(std::string* out, const char* name,
+                         const HistogramSnapshot& h, bool trailing_comma) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                ", \"buckets\": [",
+                name, h.count, h.sum);
+  *out += buf;
+  // Trailing empty buckets are elided; "le" bounds make the list
+  // self-describing regardless of length.
+  size_t last = kHistogramBuckets;
+  while (last > 0 && h.bucket[last - 1] == 0) --last;
+  for (size_t i = 0; i < last; ++i) {
+    if (i > 0) *out += ", ";
+    if (i == kHistogramBuckets - 1) {
+      std::snprintf(buf, sizeof(buf), "{\"le\": \"+Inf\", \"n\": %" PRIu64 "}",
+                    h.bucket[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"le\": %" PRIu64 ", \"n\": %" PRIu64 "}",
+                    HistogramBucketUpperBound(i), h.bucket[i]);
+    }
+    *out += buf;
+  }
+  *out += trailing_comma ? "]},\n" : "]}\n";
+}
+
+void AppendJsonField(std::string* out, const char* name, uint64_t value,
+                     bool trailing_comma, const char* indent = "  ") {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64 "%s\n", indent, name,
+                value, trailing_comma ? "," : "");
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusLabels(const LabelList& labels) {
+  return LabelBlock(labels);
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
+                             const LabelList& labels) {
+  std::string out;
+  out.reserve(4096);
+
+  AppendMeta(&out, "mccuckoo_inserts_total", "counter",
+             "Insert operations performed.");
+  AppendSample(&out, "mccuckoo_inserts_total", labels, m.inserts);
+  AppendMeta(&out, "mccuckoo_lookups_total", "counter",
+             "Lookup operations performed.");
+  AppendSample(&out, "mccuckoo_lookups_total", labels, m.lookups);
+  AppendMeta(&out, "mccuckoo_erases_total", "counter",
+             "Erase operations performed.");
+  AppendSample(&out, "mccuckoo_erases_total", labels, m.erases);
+
+  AppendHistogram(&out, "mccuckoo_kick_chain_length", labels, m.kick_chain_len,
+                  "Kick-outs per insertion (0 = no collision).");
+  AppendHistogram(&out, "mccuckoo_insert_latency_ns", labels, m.insert_ns,
+                  "Wall-clock nanoseconds per insertion.");
+  AppendHistogram(&out, "mccuckoo_lookup_probes", labels, m.lookup_probes,
+                  "Off-chip bucket probes per lookup (0 = Bloom-pruned).");
+
+  AppendMeta(&out, "mccuckoo_partition_probes_total", "counter",
+             "Bucket probes spent in the counter-value-V lookup partition.");
+  for (size_t v = 0; v < kMetricsPartitions; ++v) {
+    if (m.partition_probes[v] == 0) continue;
+    LabelList with_p = labels;
+    with_p.emplace_back("partition", std::to_string(v));
+    AppendSample(&out, "mccuckoo_partition_probes_total", with_p,
+                 m.partition_probes[v]);
+  }
+  AppendMeta(&out, "mccuckoo_partition_hits_total", "counter",
+             "Lookups resolved in the counter-value-V partition.");
+  for (size_t v = 0; v < kMetricsPartitions; ++v) {
+    if (m.partition_hits[v] == 0) continue;
+    LabelList with_p = labels;
+    with_p.emplace_back("partition", std::to_string(v));
+    AppendSample(&out, "mccuckoo_partition_hits_total", with_p,
+                 m.partition_hits[v]);
+  }
+
+  AppendMeta(&out, "mccuckoo_stash_hits_total", "counter",
+             "Stash probes that found the key.");
+  AppendSample(&out, "mccuckoo_stash_hits_total", labels, m.stash_hits);
+  AppendMeta(&out, "mccuckoo_stash_misses_total", "counter",
+             "Stash probes that came back empty.");
+  AppendSample(&out, "mccuckoo_stash_misses_total", labels, m.stash_misses);
+
+  AppendMeta(&out, "mccuckoo_occupancy_items", "gauge",
+             "Live items (main table + stash).");
+  AppendSample(&out, "mccuckoo_occupancy_items", labels, m.occupancy_items);
+  AppendMeta(&out, "mccuckoo_capacity_slots", "gauge", "Total slots.");
+  AppendSample(&out, "mccuckoo_capacity_slots", labels, m.capacity_slots);
+  AppendMeta(&out, "mccuckoo_load_factor", "gauge",
+             "occupancy_items / capacity_slots.");
+  AppendGaugeDouble(&out, "mccuckoo_load_factor", labels, m.LoadFactor());
+
+  // The paper's access-accounting totals, for dashboards that want traffic
+  // next to the distributions.
+  const std::pair<const char*, uint64_t> access[] = {
+      {"mccuckoo_offchip_reads_total", stats.offchip_reads},
+      {"mccuckoo_offchip_writes_total", stats.offchip_writes},
+      {"mccuckoo_onchip_reads_total", stats.onchip_reads},
+      {"mccuckoo_onchip_writes_total", stats.onchip_writes},
+      {"mccuckoo_kickouts_total", stats.kickouts},
+      {"mccuckoo_stash_probes_total", stats.stash_probes},
+  };
+  for (const auto& [name, value] : access) {
+    AppendMeta(&out, name, "counter", "Modeled memory accesses (AccessStats).");
+    AppendSample(&out, name, labels, value);
+  }
+  out += "# AccessStats " + stats.ToString() + "\n";
+  return out;
+}
+
+std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
+  std::string out = "{\n";
+  AppendJsonField(&out, "inserts", m.inserts, true);
+  AppendJsonField(&out, "lookups", m.lookups, true);
+  AppendJsonField(&out, "erases", m.erases, true);
+  AppendJsonHistogram(&out, "kick_chain_len", m.kick_chain_len, true);
+  AppendJsonHistogram(&out, "insert_ns", m.insert_ns, true);
+  AppendJsonHistogram(&out, "lookup_probes", m.lookup_probes, true);
+  for (const auto& [name, arr] :
+       {std::pair<const char*, const std::array<uint64_t, kMetricsPartitions>&>(
+            "partition_probes", m.partition_probes),
+        std::pair<const char*, const std::array<uint64_t, kMetricsPartitions>&>(
+            "partition_hits", m.partition_hits)}) {
+    out += "  \"" + std::string(name) + "\": [";
+    for (size_t i = 0; i < kMetricsPartitions; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(arr[i]);
+    }
+    out += "],\n";
+  }
+  AppendJsonField(&out, "stash_hits", m.stash_hits, true);
+  AppendJsonField(&out, "stash_misses", m.stash_misses, true);
+  AppendJsonField(&out, "occupancy_items", m.occupancy_items, true);
+  AppendJsonField(&out, "capacity_slots", m.capacity_slots, true);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  \"load_factor\": %.6g,\n", m.LoadFactor());
+  out += buf;
+  out += "  \"access_stats\": {\n";
+  AppendJsonField(&out, "offchip_reads", stats.offchip_reads, true, "    ");
+  AppendJsonField(&out, "offchip_writes", stats.offchip_writes, true, "    ");
+  AppendJsonField(&out, "onchip_reads", stats.onchip_reads, true, "    ");
+  AppendJsonField(&out, "onchip_writes", stats.onchip_writes, true, "    ");
+  AppendJsonField(&out, "kickouts", stats.kickouts, true, "    ");
+  AppendJsonField(&out, "stash_probes", stats.stash_probes, false, "    ");
+  out += "  }\n}\n";
+  return out;
+}
+
+std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
+                                                 const std::string& prefix) {
+  std::map<std::string, double> out;
+  auto put = [&](const char* name, double v) { out[prefix + name] = v; };
+  put("inserts", static_cast<double>(m.inserts));
+  put("lookups", static_cast<double>(m.lookups));
+  put("erases", static_cast<double>(m.erases));
+  const std::pair<const char*, const HistogramSnapshot&> hists[] = {
+      {"kick_chain_len", m.kick_chain_len},
+      {"insert_ns", m.insert_ns},
+      {"lookup_probes", m.lookup_probes},
+  };
+  for (const auto& [name, h] : hists) {
+    const std::string base = std::string(name) + ".";
+    put((base + "mean").c_str(), h.Mean());
+    put((base + "p50").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.50)));
+    put((base + "p99").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.99)));
+  }
+  put("stash_hits", static_cast<double>(m.stash_hits));
+  put("stash_misses", static_cast<double>(m.stash_misses));
+  put("occupancy_items", static_cast<double>(m.occupancy_items));
+  put("load_factor", m.LoadFactor());
+  return out;
+}
+
+std::string FormatTraceEvents(const std::vector<KickChainEvent>& events,
+                              size_t max_events) {
+  std::string out;
+  const size_t start =
+      events.size() > max_events ? events.size() - max_events : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    const KickChainEvent& ev = events[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "seq=%" PRIu64 " len=%u%s steps:", ev.seq,
+                  ev.chain_len, ev.stashed ? " STASHED" : "");
+    out += buf;
+    for (uint32_t s = 0; s < ev.n_steps; ++s) {
+      std::snprintf(buf, sizeof(buf), " b%" PRIu64 "(c%u)", ev.step[s].bucket,
+                    ev.step[s].counter);
+      out += buf;
+    }
+    if (ev.n_steps < ev.chain_len) out += " ...";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mccuckoo

@@ -1,0 +1,57 @@
+// Exporters for the metrics layer: Prometheus text format, a JSON
+// snapshot, and a flat key -> number form the bench harness merges into
+// BENCH_throughput.json. All three render the same MetricsSnapshot (+
+// AccessStats), so one scrape path serves dashboards, post-mortems, and
+// the benchmark result files alike.
+
+#ifndef MCCUCKOO_OBS_EXPORT_H_
+#define MCCUCKOO_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
+
+namespace mccuckoo {
+
+/// Renders label pairs as a Prometheus label block, '{k="v",k2="v2"}'
+/// (empty string for no labels). Values are escaped per the exposition
+/// format (backslash, double quote, newline).
+std::string PrometheusLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// Prometheus text exposition of a snapshot: counters as *_total, the
+/// gauges, and the three histograms in cumulative-bucket form. `labels`
+/// are attached to every sample (histogram buckets additionally get their
+/// "le", partition counters their "partition"). The AccessStats totals are
+/// exported as counters too, plus a trailing human-readable comment
+/// (AccessStats::ToString) for eyeballing dumps.
+std::string ExportPrometheus(
+    const MetricsSnapshot& m, const AccessStats& stats,
+    const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+/// JSON object with the same content (raw, non-cumulative buckets), plus
+/// the access stats as a nested object. Stable key order; parseable by any
+/// JSON reader and by bench/bench_json.h's flat scanner.
+std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats);
+
+/// Flattens the headline numbers to "<prefix><metric>" -> value entries
+/// (mean/p50/p99 for the histograms, totals for the counters) — the form
+/// bench binaries merge into BENCH_throughput.json so throughput rows gain
+/// histogram columns for free.
+std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
+                                                 const std::string& prefix);
+
+/// Human-readable dump of a trace ring, newest event last — the
+/// post-mortem view of failed inserts ("seq=12 len=500 stashed steps:
+/// b1042(c1) ...").
+std::string FormatTraceEvents(const std::vector<KickChainEvent>& events,
+                              size_t max_events = 16);
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_OBS_EXPORT_H_

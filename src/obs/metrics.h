@@ -1,0 +1,432 @@
+// Low-overhead runtime metrics for the hash tables (the observability layer).
+//
+// AccessStats answers "how much memory traffic, total"; this module answers
+// the *distributional* questions the paper's figures are actually about:
+// how long do kick-out chains get near full load (Fig 11), how many bucket
+// probes does a lookup spend in each counter-value partition (Table II,
+// §III.B.2's "at most S - V + 1"), and how often does the stash screen let
+// a probe through. Every table owns a TableMetrics and bumps it from its
+// hot paths.
+//
+// Design constraints, in order:
+//  1. Correct under concurrency. The sharded/concurrent front-ends run many
+//     readers through one table at once, so every cell is a std::atomic
+//     updated with relaxed ordering — increments never tear, totals are
+//     exact, and TSan is clean. Relaxed is enough: cells are independent
+//     monotone counters and snapshots only need per-cell atomicity.
+//  2. Near-zero hot-path cost. A scalar lookup records ~4 uncontended
+//     relaxed fetch_adds (single-digit nanoseconds on cache-hot lines);
+//     histograms keep no derived counters that Snapshot() can compute.
+//  3. Compiled out entirely with -DMCCUCKOO_NO_METRICS: TableMetrics
+//     becomes an empty type whose methods are no-ops, so every recording
+//     call site folds to nothing. MetricsSnapshot and the exporters stay
+//     available in both modes (they just see zeros) so tooling compiles
+//     unconditionally.
+//
+// AccessStats is deliberately NOT folded in here: the paper's access
+// accounting is part of the *algorithm model* (batched and scalar paths
+// must produce identical AccessStats, tests enforce it), while metrics are
+// an observational side channel that must never perturb it. Recording uses
+// only uncharged accessors.
+
+#ifndef MCCUCKOO_OBS_METRICS_H_
+#define MCCUCKOO_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace mccuckoo {
+
+/// True when the recording side is compiled in. Tables may use this to
+/// `if constexpr` away metric-only bookkeeping that no-op calls would not
+/// eliminate on their own (e.g. building a trace event).
+#ifndef MCCUCKOO_NO_METRICS
+inline constexpr bool kMetricsEnabled = true;
+#else
+inline constexpr bool kMetricsEnabled = false;
+#endif
+
+/// Fixed bucket count of every Log2Histogram. Bucket 0 holds exact value
+/// 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]; the last bucket additionally
+/// absorbs everything larger. 20 buckets cover kick chains up to any
+/// plausible maxloop and insert latencies up to ~0.5 ms before saturating.
+inline constexpr size_t kHistogramBuckets = 20;
+
+/// Partition-indexed metric arrays: counter values 0..4 (index 0 is the
+/// "no partition" slot used by the baseline tables; kMaxHashes == 4 bounds
+/// real counter values — static_asserted where the tables record).
+inline constexpr size_t kMetricsPartitions = 5;
+
+/// Inclusive upper bound of histogram bucket `i` (Prometheus "le" value);
+/// the last bucket's bound is conceptually +Inf.
+constexpr uint64_t HistogramBucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kHistogramBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+/// Bucket index a value lands in (floor(log2(v)) + 1, clamped).
+constexpr size_t HistogramBucketOf(uint64_t v) {
+  const size_t b = static_cast<size_t>(std::bit_width(v));  // 0 for v == 0
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+// --- Snapshot types (plain data, available in both build modes) -----------
+
+/// Point-in-time copy of one histogram. Addable for shard merging.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> bucket{};
+  uint64_t count = 0;  ///< Total recordings (== sum of bucket counts).
+  uint64_t sum = 0;    ///< Sum of recorded values.
+
+  double Mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]) —
+  /// the standard conservative estimate for a log-bucketed histogram.
+  uint64_t PercentileUpperBound(double p) const {
+    if (count == 0) return 0;
+    const double target = p * static_cast<double>(count);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      seen += bucket[i];
+      if (static_cast<double>(seen) >= target) {
+        return HistogramBucketUpperBound(i);
+      }
+    }
+    return HistogramBucketUpperBound(kHistogramBuckets - 1);
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) bucket[i] += o.bucket[i];
+    count += o.count;
+    sum += o.sum;
+    return *this;
+  }
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time copy of one table's metrics. operator+= merges shards
+/// component-wise (gauges sum too: aggregate occupancy over aggregate
+/// capacity is the meaningful whole-structure view).
+struct MetricsSnapshot {
+  uint64_t inserts = 0;  ///< Insert operations (== kick_chain_len.count).
+  uint64_t lookups = 0;  ///< Find operations (== lookup_probes.count).
+  uint64_t erases = 0;
+
+  /// Kick-outs per insertion (0 for the collision-free common case).
+  HistogramSnapshot kick_chain_len;
+  /// Wall-clock nanoseconds per insertion.
+  HistogramSnapshot insert_ns;
+  /// Off-chip bucket probes per lookup (0 = Bloom-pruned miss).
+  HistogramSnapshot lookup_probes;
+
+  /// Bucket probes spent in the counter-value-V partition (single-slot
+  /// multi-copy tables; baselines use slot 0). §III.B.2 bounds the value-V
+  /// partition of size S to S - V + 1 probes.
+  std::array<uint64_t, kMetricsPartitions> partition_probes{};
+  /// Lookups resolved in the value-V partition.
+  std::array<uint64_t, kMetricsPartitions> partition_hits{};
+
+  uint64_t stash_hits = 0;    ///< Stash probes that found the key.
+  uint64_t stash_misses = 0;  ///< Stash probes that came back empty.
+
+  /// Gauges, filled by the table at snapshot time (no hot-path cost).
+  uint64_t occupancy_items = 0;  ///< Live items (main table + stash).
+  uint64_t capacity_slots = 0;   ///< Total slots.
+
+  double LoadFactor() const {
+    return capacity_slots ? static_cast<double>(occupancy_items) /
+                                static_cast<double>(capacity_slots)
+                          : 0.0;
+  }
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& o) {
+    inserts += o.inserts;
+    lookups += o.lookups;
+    erases += o.erases;
+    kick_chain_len += o.kick_chain_len;
+    insert_ns += o.insert_ns;
+    lookup_probes += o.lookup_probes;
+    for (size_t i = 0; i < kMetricsPartitions; ++i) {
+      partition_probes[i] += o.partition_probes[i];
+      partition_hits[i] += o.partition_hits[i];
+    }
+    stash_hits += o.stash_hits;
+    stash_misses += o.stash_misses;
+    occupancy_items += o.occupancy_items;
+    capacity_slots += o.capacity_slots;
+    return *this;
+  }
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+// --- Live primitives ------------------------------------------------------
+
+/// Monotone counter. Relaxed atomics: exact totals, no ordering.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) {
+    v_.fetch_add(static_cast<uint64_t>(d), std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Fixed-bucket log2 histogram. Record() is two relaxed fetch_adds; the
+/// total count is derived from the buckets at snapshot time instead of
+/// being a third hot-path atomic.
+class Log2Histogram {
+ public:
+  void Record(uint64_t v) {
+    bucket_[HistogramBucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough copy: cells are read individually (relaxed), which
+  /// is exact once concurrent recorders are quiescent and at worst a few
+  /// in-flight recordings off otherwise.
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      s.bucket[i] = bucket_[i].load(std::memory_order_relaxed);
+      s.count += s.bucket[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Adds pre-aggregated bucket counts and a value sum in one pass,
+  /// skipping untouched cells (LookupTally's flush path).
+  void MergeCounts(const std::array<uint64_t, kHistogramBuckets>& buckets,
+                   uint64_t sum) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (buckets[i] != 0) {
+        bucket_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+      }
+    }
+    if (sum != 0) sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  void MergeFrom(const Log2Histogram& o) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      bucket_[i].fetch_add(o.bucket_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    sum_.fetch_add(o.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : bucket_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> bucket_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// --- The per-table metric set ---------------------------------------------
+
+#ifndef MCCUCKOO_NO_METRICS
+
+/// All metrics one table records. Not copyable/movable (atomics) — tables
+/// hold it behind a unique_ptr, exactly like their AccessStats.
+struct TableMetrics {
+  Log2Histogram kick_chain_len;
+  Log2Histogram insert_ns;
+  Log2Histogram lookup_probes;
+  std::array<Counter, kMetricsPartitions> partition_probes;
+  std::array<Counter, kMetricsPartitions> partition_hits;
+  Counter erases;
+  Counter stash_hits;
+  Counter stash_misses;
+
+  void RecordInsert(uint64_t chain_len, uint64_t ns) {
+    kick_chain_len.Record(chain_len);
+    insert_ns.Record(ns);
+  }
+
+  void RecordLookup(uint64_t total_probes) {
+    lookup_probes.Record(total_probes);
+  }
+
+  void RecordPartitionProbes(uint32_t value, uint64_t probes) {
+    if (probes == 0) return;
+    partition_probes[value < kMetricsPartitions ? value
+                                                : kMetricsPartitions - 1]
+        .Inc(probes);
+  }
+
+  void RecordPartitionHit(uint32_t value) {
+    partition_hits[value < kMetricsPartitions ? value : kMetricsPartitions - 1]
+        .Inc();
+  }
+
+  void RecordStashProbe(bool hit) { (hit ? stash_hits : stash_misses).Inc(); }
+
+  void RecordErase() { erases.Inc(); }
+
+  /// Operation counters are derived, not separately maintained, so the
+  /// "count" invariants in MetricsSnapshot hold by construction. Gauges
+  /// (occupancy/capacity) are left zero — the owning table fills them.
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot s;
+    s.kick_chain_len = kick_chain_len.Snapshot();
+    s.insert_ns = insert_ns.Snapshot();
+    s.lookup_probes = lookup_probes.Snapshot();
+    s.inserts = s.kick_chain_len.count;
+    s.lookups = s.lookup_probes.count;
+    s.erases = erases.Value();
+    for (size_t i = 0; i < kMetricsPartitions; ++i) {
+      s.partition_probes[i] = partition_probes[i].Value();
+      s.partition_hits[i] = partition_hits[i].Value();
+    }
+    s.stash_hits = stash_hits.Value();
+    s.stash_misses = stash_misses.Value();
+    return s;
+  }
+
+  /// Accumulates another instance's cells (Rehash carries metrics across
+  /// the rebuild, mirroring how AccessStats survive it).
+  void MergeFrom(const TableMetrics& o) {
+    kick_chain_len.MergeFrom(o.kick_chain_len);
+    insert_ns.MergeFrom(o.insert_ns);
+    lookup_probes.MergeFrom(o.lookup_probes);
+    for (size_t i = 0; i < kMetricsPartitions; ++i) {
+      partition_probes[i].Inc(o.partition_probes[i].Value());
+      partition_hits[i].Inc(o.partition_hits[i].Value());
+    }
+    erases.Inc(o.erases.Value());
+    stash_hits.Inc(o.stash_hits.Value());
+    stash_misses.Inc(o.stash_misses.Value());
+  }
+
+  void Reset() {
+    kick_chain_len.Reset();
+    insert_ns.Reset();
+    lookup_probes.Reset();
+    for (auto& c : partition_probes) c.Reset();
+    for (auto& c : partition_hits) c.Reset();
+    erases.Reset();
+    stash_hits.Reset();
+    stash_misses.Reset();
+  }
+};
+
+/// Monotone nanosecond tick for latency metrics.
+inline uint64_t MetricsNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stack-local accumulator for the lookup-side metrics of one batch. The
+/// batched paths record every lookup here in plain integers and call
+/// FlushTo once, so a B-key batch costs O(touched cells) atomic RMWs
+/// instead of O(B) — this is what keeps metrics-on FindBatch throughput
+/// within a few percent of the compiled-out build. Aggregate totals are
+/// exactly what per-lookup recording would have produced; only the flush
+/// granularity differs. Exposes the same recording interface as
+/// TableMetrics so the per-key lookup code is generic over its sink.
+class LookupTally {
+ public:
+  void RecordLookup(uint64_t total_probes) {
+    ++lookup_bucket_[HistogramBucketOf(total_probes)];
+    lookup_sum_ += total_probes;
+  }
+
+  void RecordPartitionProbes(uint32_t value, uint64_t probes) {
+    if (probes == 0) return;
+    partition_probes_[value < kMetricsPartitions ? value
+                                                 : kMetricsPartitions - 1] +=
+        probes;
+  }
+
+  void RecordPartitionHit(uint32_t value) {
+    ++partition_hits_[value < kMetricsPartitions ? value
+                                                 : kMetricsPartitions - 1];
+  }
+
+  void RecordStashProbe(bool hit) { ++(hit ? stash_hits_ : stash_misses_); }
+
+  /// Publishes the tallies into `m` (one fetch_add per non-zero cell) and
+  /// resets this tally for reuse.
+  void FlushTo(TableMetrics& m) {
+    m.lookup_probes.MergeCounts(lookup_bucket_, lookup_sum_);
+    for (size_t i = 0; i < kMetricsPartitions; ++i) {
+      if (partition_probes_[i] != 0) {
+        m.partition_probes[i].Inc(partition_probes_[i]);
+      }
+      if (partition_hits_[i] != 0) m.partition_hits[i].Inc(partition_hits_[i]);
+    }
+    if (stash_hits_ != 0) m.stash_hits.Inc(stash_hits_);
+    if (stash_misses_ != 0) m.stash_misses.Inc(stash_misses_);
+    *this = LookupTally{};
+  }
+
+ private:
+  std::array<uint64_t, kHistogramBuckets> lookup_bucket_{};
+  uint64_t lookup_sum_ = 0;
+  std::array<uint64_t, kMetricsPartitions> partition_probes_{};
+  std::array<uint64_t, kMetricsPartitions> partition_hits_{};
+  uint64_t stash_hits_ = 0;
+  uint64_t stash_misses_ = 0;
+};
+
+#else  // MCCUCKOO_NO_METRICS
+
+/// No-op stand-in: every recording call site compiles to nothing and the
+/// struct occupies no meaningful space.
+struct TableMetrics {
+  void RecordInsert(uint64_t, uint64_t) {}
+  void RecordLookup(uint64_t) {}
+  void RecordPartitionProbes(uint32_t, uint64_t) {}
+  void RecordPartitionHit(uint32_t) {}
+  void RecordStashProbe(bool) {}
+  void RecordErase() {}
+  MetricsSnapshot Snapshot() const { return {}; }
+  void MergeFrom(const TableMetrics&) {}
+  void Reset() {}
+};
+
+/// Compiled-out builds never read the clock.
+inline uint64_t MetricsNowNs() { return 0; }
+
+/// No-op batch tally matching the enabled interface.
+struct LookupTally {
+  void RecordLookup(uint64_t) {}
+  void RecordPartitionProbes(uint32_t, uint64_t) {}
+  void RecordPartitionHit(uint32_t) {}
+  void RecordStashProbe(bool) {}
+  void FlushTo(TableMetrics&) {}
+};
+
+#endif  // MCCUCKOO_NO_METRICS
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_OBS_METRICS_H_

@@ -52,6 +52,10 @@ class SchemeAdapter final : public SchemeTable {
 
   const AccessStats& stats() const override { return table_.stats(); }
   void ResetStats() override { table_.ResetStats(); }
+  MetricsSnapshot SnapshotMetrics() const override {
+    return table_.SnapshotMetrics();
+  }
+  void ResetMetrics() override { table_.ResetMetrics(); }
   uint64_t first_collision_items() const override {
     return table_.first_collision_items();
   }

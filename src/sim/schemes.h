@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/core/config.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/metrics.h"
 
 namespace mccuckoo {
 
@@ -89,6 +90,12 @@ class SchemeTable {
 
   virtual const AccessStats& stats() const = 0;
   virtual void ResetStats() = 0;
+
+  /// Runtime metrics snapshot (kick-chain/probe histograms, partitions,
+  /// stash hit rates, gauges); zeros under -DMCCUCKOO_NO_METRICS.
+  virtual MetricsSnapshot SnapshotMetrics() const = 0;
+  virtual void ResetMetrics() = 0;
+
   virtual uint64_t first_collision_items() const = 0;
   virtual uint64_t first_failure_items() const = 0;
   virtual uint64_t forced_rehash_events() const = 0;

@@ -40,5 +40,45 @@ TEST(AccessStatsTest, Accumulation) {
   EXPECT_EQ(a.stash_probes, 66u);
 }
 
+TEST(AccessStatsTest, PlusMatchesPlusEquals) {
+  const AccessStats a{1, 2, 3, 4, 5, 6};
+  const AccessStats b{10, 20, 30, 40, 50, 60};
+  AccessStats accumulated = a;
+  accumulated += b;
+  EXPECT_EQ(a + b, accumulated);
+  EXPECT_EQ(a + b, b + a);  // Component-wise sum is symmetric.
+  // Neither operand is mutated by operator+.
+  EXPECT_EQ(a, (AccessStats{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(b, (AccessStats{10, 20, 30, 40, 50, 60}));
+}
+
+TEST(AccessStatsTest, SumThenDeltaRoundTrips) {
+  // The harness measures a batch as (after - before); adding the delta
+  // back onto `before` must reproduce `after` exactly.
+  const AccessStats before{10, 5, 100, 50, 2, 1};
+  const AccessStats after{15, 9, 130, 60, 5, 4};
+  const AccessStats delta = after - before;
+  EXPECT_EQ(before + delta, after);
+  EXPECT_EQ((before + delta) - after, AccessStats{});
+}
+
+TEST(AccessStatsTest, Equality) {
+  const AccessStats a{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(a, (AccessStats{1, 2, 3, 4, 5, 6}));
+  EXPECT_NE(a, (AccessStats{1, 2, 3, 4, 5, 7}));
+  EXPECT_NE(a, AccessStats{});
+  EXPECT_EQ(AccessStats{}, AccessStats{});
+}
+
+TEST(AccessStatsTest, ToString) {
+  const AccessStats s{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(s.ToString(),
+            "offchip_reads=1 offchip_writes=2 onchip_reads=3 "
+            "onchip_writes=4 kickouts=5 stash_probes=6");
+  EXPECT_EQ(AccessStats{}.ToString(),
+            "offchip_reads=0 offchip_writes=0 onchip_reads=0 "
+            "onchip_writes=0 kickouts=0 stash_probes=0");
+}
+
 }  // namespace
 }  // namespace mccuckoo

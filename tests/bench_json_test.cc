@@ -1,0 +1,109 @@
+#include "bench/bench_json.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mccuckoo {
+namespace {
+
+class BenchJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/bench_json_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".json";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(BenchJsonTest, RoundTripPlainKeys) {
+  const FlatJson data = {{"micro.lookup_hit.McCuckoo", 1.25e6},
+                         {"batch.lookup_hit.BCHT.batch16", 42.0},
+                         {"shard.insert", -3.5}};
+  ASSERT_TRUE(StoreFlatJson(path_, data));
+  EXPECT_EQ(LoadFlatJson(path_), data);
+}
+
+TEST_F(BenchJsonTest, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(LoadFlatJson(path_).empty());
+}
+
+TEST_F(BenchJsonTest, RoundTripEscapedCharacters) {
+  // Keys with quotes, backslashes, and control characters must survive a
+  // store/load cycle (the old writer emitted them raw, producing invalid
+  // JSON the old quote-scanning reader then mis-split).
+  const FlatJson data = {{"key\"with\"quotes", 1.0},
+                         {"back\\slash", 2.0},
+                         {"tab\there", 3.0},
+                         {"new\nline", 4.0},
+                         {"bell\x07", 5.0},
+                         {"plain.key", 6.0}};
+  ASSERT_TRUE(StoreFlatJson(path_, data));
+  EXPECT_EQ(LoadFlatJson(path_), data);
+}
+
+TEST_F(BenchJsonTest, EscapeJsonString) {
+  EXPECT_EQ(EscapeJsonString("plain"), "plain");
+  EXPECT_EQ(EscapeJsonString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeJsonString("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJsonString("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(EscapeJsonString(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST_F(BenchJsonTest, StoredFileIsValidJsonText) {
+  ASSERT_TRUE(StoreFlatJson(path_, {{"quo\"te", 1.0}}));
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(text.find("\"quo\\\"te\": 1"), std::string::npos) << text;
+}
+
+TEST_F(BenchJsonTest, DuplicateKeysLastOneWins) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\n  \"dup\": 1,\n  \"other\": 7,\n  \"dup\": 2\n}\n", f);
+  std::fclose(f);
+  const FlatJson loaded = LoadFlatJson(path_);
+  EXPECT_EQ(loaded, (FlatJson{{"dup", 2.0}, {"other", 7.0}}));
+}
+
+TEST_F(BenchJsonTest, MergeReplacesPrefixAndOverwritesDuplicates) {
+  ASSERT_TRUE(StoreFlatJson(path_, {{"micro.a", 1.0},
+                                    {"micro.b", 2.0},
+                                    {"batch.x", 3.0},
+                                    {"other.keep", 9.0}}));
+  // Merge with prefix "micro.": micro.b disappears, micro.a is overwritten,
+  // micro.c appears, and a duplicate outside the prefix (batch.x) is still
+  // deterministically overwritten by the entry value.
+  ASSERT_TRUE(MergeFlatJson(path_, "micro.",
+                            {{"micro.a", 10.0}, {"micro.c", 30.0},
+                             {"batch.x", 4.0}}));
+  EXPECT_EQ(LoadFlatJson(path_), (FlatJson{{"micro.a", 10.0},
+                                           {"micro.c", 30.0},
+                                           {"batch.x", 4.0},
+                                           {"other.keep", 9.0}}));
+}
+
+TEST_F(BenchJsonTest, MergeIntoMissingFileCreatesIt) {
+  ASSERT_TRUE(MergeFlatJson(path_, "obs.", {{"obs.on", 1.0}}));
+  EXPECT_EQ(LoadFlatJson(path_), (FlatJson{{"obs.on", 1.0}}));
+}
+
+TEST_F(BenchJsonTest, MergeIsIdempotent) {
+  const FlatJson entries = {{"micro.a", 1.5}, {"micro.b", 2.5}};
+  ASSERT_TRUE(MergeFlatJson(path_, "micro.", entries));
+  ASSERT_TRUE(MergeFlatJson(path_, "micro.", entries));
+  EXPECT_EQ(LoadFlatJson(path_), entries);
+}
+
+}  // namespace
+}  // namespace mccuckoo

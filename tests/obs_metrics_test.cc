@@ -1,0 +1,519 @@
+// Tests of the observability layer: histogram math, snapshot arithmetic,
+// per-table recording, scalar-vs-batch metric equality, sharded
+// aggregation, kick-chain tracing, and the exporters.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/blocked_mccuckoo_table.h"
+#include "src/core/concurrent_mccuckoo.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/core/sharded_mccuckoo.h"
+#include "src/obs/export.h"
+#include "src/obs/trace_recorder.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+using Table = McCuckooTable<uint64_t, uint64_t>;
+
+TableOptions SmallOptions() {
+  TableOptions o;
+  o.num_hashes = 3;
+  o.buckets_per_table = 1024;
+  o.slots_per_bucket = 1;
+  o.maxloop = 200;
+  o.seed = 0xABCDEF;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  return o;
+}
+
+uint64_t PartitionSum(const std::array<uint64_t, kMetricsPartitions>& a) {
+  return std::accumulate(a.begin(), a.end(), uint64_t{0});
+}
+
+// --- Bucketing math -------------------------------------------------------
+
+TEST(HistogramMathTest, BucketOf) {
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(7), 3u);
+  EXPECT_EQ(HistogramBucketOf(8), 4u);
+  // Everything from 2^(kHistogramBuckets-2) up saturates the last bucket.
+  EXPECT_EQ(HistogramBucketOf(uint64_t{1} << (kHistogramBuckets - 2)),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketOf(~uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(HistogramMathTest, BucketUpperBound) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(3), 7u);
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1), ~uint64_t{0});
+}
+
+TEST(HistogramMathTest, EveryValueLandsWithinItsBucketBound) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65535ull, 1ull << 40}) {
+    const size_t b = HistogramBucketOf(v);
+    EXPECT_LE(v, HistogramBucketUpperBound(b)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, HistogramBucketUpperBound(b - 1)) << v;
+    }
+  }
+}
+
+// --- Snapshot arithmetic --------------------------------------------------
+
+TEST(HistogramSnapshotTest, MeanAndPercentiles) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.PercentileUpperBound(0.99), 0u);
+  // 10 zeros and 10 threes: p50 still in bucket 0, p99 in [2,3].
+  h.bucket[HistogramBucketOf(0)] = 10;
+  h.bucket[HistogramBucketOf(3)] = 10;
+  h.count = 20;
+  h.sum = 30;
+  EXPECT_DOUBLE_EQ(h.Mean(), 1.5);
+  EXPECT_EQ(h.PercentileUpperBound(0.50), 0u);
+  EXPECT_EQ(h.PercentileUpperBound(0.99), 3u);
+}
+
+TEST(HistogramSnapshotTest, Merge) {
+  HistogramSnapshot a, b;
+  a.bucket[1] = 3;
+  a.count = 3;
+  a.sum = 3;
+  b.bucket[2] = 2;
+  b.count = 2;
+  b.sum = 5;
+  a += b;
+  EXPECT_EQ(a.bucket[1], 3u);
+  EXPECT_EQ(a.bucket[2], 2u);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, 8u);
+}
+
+TEST(MetricsSnapshotTest, MergeAndEquality) {
+  MetricsSnapshot a, b;
+  a.inserts = 1;
+  a.partition_hits[2] = 4;
+  a.occupancy_items = 10;
+  a.capacity_slots = 100;
+  b.inserts = 2;
+  b.partition_hits[2] = 6;
+  b.occupancy_items = 30;
+  b.capacity_slots = 100;
+  MetricsSnapshot sum = a;
+  sum += b;
+  EXPECT_EQ(sum.inserts, 3u);
+  EXPECT_EQ(sum.partition_hits[2], 10u);
+  EXPECT_EQ(sum.occupancy_items, 40u);
+  EXPECT_EQ(sum.capacity_slots, 200u);
+  EXPECT_DOUBLE_EQ(sum.LoadFactor(), 0.2);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(MetricsSnapshot{}, MetricsSnapshot{});
+}
+
+// --- Live primitives ------------------------------------------------------
+
+TEST(Log2HistogramTest, RecordSnapshotReset) {
+  Log2Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(6);
+  HistogramSnapshot s = h.Snapshot();
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 7u);
+  EXPECT_EQ(s.bucket[HistogramBucketOf(0)], 1u);
+  EXPECT_EQ(s.bucket[HistogramBucketOf(1)], 1u);
+  EXPECT_EQ(s.bucket[HistogramBucketOf(6)], 1u);
+
+  Log2Histogram other;
+  other.Record(6);
+  h.MergeFrom(other);
+  s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 13u);
+
+  h.Reset();
+  EXPECT_EQ(h.Snapshot(), HistogramSnapshot{});
+}
+
+TEST(TableMetricsTest, DerivedCountsAndClamping) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TableMetrics m;
+  m.RecordInsert(0, 100);
+  m.RecordInsert(5, 900);
+  m.RecordLookup(3);
+  m.RecordPartitionProbes(1, 2);
+  m.RecordPartitionProbes(2, 0);    // Zero probes: not recorded.
+  m.RecordPartitionProbes(99, 1);   // Out of range: clamps to the last slot.
+  m.RecordPartitionHit(3);
+  m.RecordStashProbe(true);
+  m.RecordStashProbe(false);
+  m.RecordErase();
+
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.inserts, 2u);  // Derived from kick_chain_len.count.
+  EXPECT_EQ(s.lookups, 1u);  // Derived from lookup_probes.count.
+  EXPECT_EQ(s.erases, 1u);
+  EXPECT_EQ(s.kick_chain_len.sum, 5u);
+  EXPECT_EQ(s.insert_ns.sum, 1000u);
+  EXPECT_EQ(s.partition_probes[1], 2u);
+  EXPECT_EQ(s.partition_probes[2], 0u);
+  EXPECT_EQ(s.partition_probes[kMetricsPartitions - 1], 1u);
+  EXPECT_EQ(s.partition_hits[3], 1u);
+  EXPECT_EQ(s.stash_hits, 1u);
+  EXPECT_EQ(s.stash_misses, 1u);
+
+  TableMetrics other;
+  other.RecordInsert(1, 50);
+  m.MergeFrom(other);
+  EXPECT_EQ(m.Snapshot().inserts, 3u);
+
+  m.Reset();
+  EXPECT_EQ(m.Snapshot(), MetricsSnapshot{});
+}
+
+// --- Table recording ------------------------------------------------------
+
+TEST(TableRecordingTest, LookupInsertEraseCounts) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Table t(SmallOptions());
+  const auto keys = MakeUniqueKeys(500, 1, 0);
+  const auto missing = MakeUniqueKeys(200, 1, 7);
+  for (uint64_t k : keys) ASSERT_EQ(t.Insert(k, k + 1), InsertResult::kInserted);
+  size_t hits = 0;
+  for (uint64_t k : keys) hits += t.Contains(k) ? 1 : 0;
+  for (uint64_t k : missing) hits += t.Contains(k) ? 1 : 0;
+  ASSERT_EQ(hits, keys.size());
+  for (size_t i = 0; i < 100; ++i) ASSERT_TRUE(t.Erase(keys[i]));
+
+  const MetricsSnapshot s = t.SnapshotMetrics();
+  EXPECT_EQ(s.inserts, keys.size());
+  EXPECT_EQ(s.lookups, keys.size() + missing.size());
+  EXPECT_EQ(s.erases, 100u);
+  // Gauges reflect the live table.
+  EXPECT_EQ(s.occupancy_items, t.TotalItems());
+  EXPECT_EQ(s.capacity_slots, t.capacity());
+  EXPECT_DOUBLE_EQ(s.LoadFactor(), t.TotalItems() / double(t.capacity()));
+  // Every hit resolved in some counter-value partition (values 1..d for the
+  // multi-copy table), and partition probes never exceed total probes.
+  EXPECT_EQ(PartitionSum(s.partition_hits), keys.size());
+  EXPECT_EQ(s.partition_hits[0], 0u);
+  EXPECT_LE(PartitionSum(s.partition_probes), s.lookup_probes.sum);
+  EXPECT_GT(s.lookup_probes.sum, 0u);
+  // insert_ns saw one recording per insert.
+  EXPECT_EQ(s.insert_ns.count, keys.size());
+
+  t.ResetMetrics();
+  MetricsSnapshot zeroed = t.SnapshotMetrics();
+  EXPECT_EQ(zeroed.lookups, 0u);
+  EXPECT_EQ(zeroed.inserts, 0u);
+  // Gauges are still live after a reset.
+  EXPECT_EQ(zeroed.occupancy_items, t.TotalItems());
+}
+
+TEST(TableRecordingTest, FindNoStatsRecordsMetricsButNotStats) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Table t(SmallOptions());
+  const auto keys = MakeUniqueKeys(300, 1, 3);
+  for (uint64_t k : keys) t.Insert(k, k);
+  t.ResetMetrics();
+  t.ResetStats();
+  for (uint64_t k : keys) ASSERT_TRUE(t.FindNoStats(k, nullptr));
+  EXPECT_EQ(t.SnapshotMetrics().lookups, keys.size());
+  EXPECT_EQ(t.stats(), AccessStats{});  // Mutation-free path: no accounting.
+}
+
+TEST(TableRecordingTest, ScalarAndBatchLookupsRecordIdentically) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Table scalar(SmallOptions());
+  Table batched(SmallOptions());
+  const auto keys = MakeUniqueKeys(1500, 1, 0);
+  const auto missing = MakeUniqueKeys(500, 1, 9);
+  std::vector<uint64_t> probe = keys;
+  probe.insert(probe.end(), missing.begin(), missing.end());
+  for (uint64_t k : keys) {
+    ASSERT_EQ(scalar.Insert(k, k), batched.Insert(k, k));
+  }
+  scalar.ResetMetrics();
+  batched.ResetMetrics();
+
+  size_t scalar_hits = 0;
+  uint64_t v = 0;
+  for (uint64_t k : probe) scalar_hits += scalar.Find(k, &v) ? 1 : 0;
+  std::vector<uint64_t> out(probe.size());
+  std::vector<uint8_t> found(probe.size());
+  const size_t batch_hits = batched.FindBatch(
+      probe, out.data(), reinterpret_cast<bool*>(found.data()));
+  ASSERT_EQ(scalar_hits, batch_hits);
+
+  // The batch path is the scalar algorithm with prefetching: identical
+  // lookup metrics, probe partitions, and stash outcomes.
+  const MetricsSnapshot a = scalar.SnapshotMetrics();
+  const MetricsSnapshot b = batched.SnapshotMetrics();
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.lookup_probes, b.lookup_probes);
+  EXPECT_EQ(a.partition_probes, b.partition_probes);
+  EXPECT_EQ(a.partition_hits, b.partition_hits);
+  EXPECT_EQ(a.stash_hits, b.stash_hits);
+  EXPECT_EQ(a.stash_misses, b.stash_misses);
+}
+
+TEST(TableRecordingTest, BlockedTableRecordsLookups) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TableOptions o = SmallOptions();
+  o.buckets_per_table = 512;
+  o.slots_per_bucket = 3;
+  BlockedMcCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(400, 1, 1);
+  for (uint64_t k : keys) ASSERT_EQ(t.Insert(k, k), InsertResult::kInserted);
+  for (uint64_t k : keys) ASSERT_TRUE(t.Contains(k));
+  const MetricsSnapshot s = t.SnapshotMetrics();
+  EXPECT_EQ(s.inserts, keys.size());
+  EXPECT_EQ(s.lookups, keys.size());
+  EXPECT_EQ(PartitionSum(s.partition_hits), keys.size());
+  EXPECT_EQ(s.occupancy_items, t.TotalItems());
+  EXPECT_EQ(s.capacity_slots, t.capacity());
+}
+
+// --- Kick-chain tracing ---------------------------------------------------
+
+TEST(TraceRecorderTest, RingRetainsNewestEvents) {
+  TraceRecorder r(4);
+  EXPECT_EQ(r.capacity(), 4u);
+  for (uint32_t i = 0; i < 6; ++i) {
+    KickChainEvent ev;
+    ev.chain_len = i;
+    r.Record(ev);
+  }
+  const auto events = r.Events();
+  if (!kMetricsEnabled) {
+    // Compiled out: Record is a no-op, the ring holds nothing.
+    EXPECT_EQ(r.total_events(), 0u);
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  EXPECT_EQ(r.total_events(), 6u);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the two oldest events (chain_len 0, 1) fell off.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_EQ(events[i].chain_len, i + 2);
+  }
+  r.NoteStashed();
+  EXPECT_EQ(r.total_stashed(), 1u);
+  r.Clear();
+  EXPECT_EQ(r.total_events(), 0u);
+  EXPECT_EQ(r.total_stashed(), 0u);
+  EXPECT_TRUE(r.Events().empty());
+}
+
+TEST(TraceRecorderTest, TableTracesCollisionChainsAndSpills) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // A tiny table driven to saturation must log kick chains, and the spills
+  // it suffers must show up as stashed events.
+  TableOptions o = SmallOptions();
+  o.buckets_per_table = 32;
+  o.maxloop = 20;
+  Table t(o);
+  const auto keys = MakeUniqueKeys(3 * 32, 1, 0);
+  size_t stashed = 0;
+  for (uint64_t k : keys) {
+    const InsertResult r = t.Insert(k, k);
+    if (r == InsertResult::kStashed) ++stashed;
+    if (r == InsertResult::kFailed) break;
+  }
+  ASSERT_GT(t.trace().total_events(), 0u);
+  EXPECT_EQ(t.trace().total_stashed(), stashed);
+  size_t stashed_events = 0;
+  for (const KickChainEvent& ev : t.trace().Events()) {
+    EXPECT_EQ(ev.n_steps,
+              std::min<uint64_t>(ev.chain_len, kMaxTraceSteps));
+    if (ev.stashed) ++stashed_events;
+    for (uint32_t s = 0; s < ev.n_steps; ++s) {
+      EXPECT_LT(ev.step[s].bucket, t.capacity());
+    }
+  }
+  EXPECT_GT(stashed_events, 0u);
+  // Histogram agrees with the trace: some chain was non-trivial.
+  EXPECT_GT(t.SnapshotMetrics().kick_chain_len.sum, 0u);
+}
+
+// --- Aggregation across front-ends ----------------------------------------
+
+TEST(AggregationTest, ShardedMergeEqualsSumOfShards) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TableOptions o = SmallOptions();
+  ShardedMcCuckoo<Table> sharded(o, 4);
+  const auto keys = MakeUniqueKeys(2000, 1, 0);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = keys[i] + 1;
+  sharded.InsertBatch(keys, values);
+  std::vector<uint64_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  ASSERT_EQ(sharded.FindBatch(keys, out.data(),
+                              reinterpret_cast<bool*>(found.data())),
+            keys.size());
+  for (uint64_t k : keys) ASSERT_TRUE(sharded.Contains(k));
+  sharded.Erase(keys[0]);
+
+  MetricsSnapshot manual;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    manual += sharded.shard_metrics_snapshot(s);
+  }
+  const MetricsSnapshot merged = sharded.metrics_snapshot();
+  EXPECT_EQ(merged, manual);
+  EXPECT_EQ(merged.inserts, keys.size());
+  EXPECT_EQ(merged.lookups, 2 * keys.size());
+  EXPECT_EQ(merged.erases, 1u);
+  EXPECT_EQ(merged.occupancy_items, sharded.TotalItems());
+  EXPECT_EQ(merged.capacity_slots, sharded.capacity());
+  // Every shard saw some traffic (2000 keys over 4 shards).
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_GT(sharded.shard_metrics_snapshot(s).inserts, 0u) << s;
+  }
+}
+
+TEST(AggregationTest, ConcurrentWrapperExposesSnapshot) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  OneWriterManyReaders<Table> t{SmallOptions()};
+  const auto keys = MakeUniqueKeys(100, 1, 0);
+  for (uint64_t k : keys) t.Insert(k, k);
+  for (uint64_t k : keys) ASSERT_TRUE(t.Contains(k));
+  const MetricsSnapshot s = t.metrics_snapshot();
+  EXPECT_EQ(s.inserts, keys.size());
+  EXPECT_EQ(s.lookups, keys.size());
+}
+
+// --- Exporters ------------------------------------------------------------
+
+MetricsSnapshot SyntheticSnapshot() {
+  MetricsSnapshot m;
+  m.inserts = 3;
+  m.lookups = 5;
+  m.erases = 1;
+  m.kick_chain_len.bucket[0] = 2;
+  m.kick_chain_len.bucket[2] = 1;
+  m.kick_chain_len.count = 3;
+  m.kick_chain_len.sum = 2;
+  m.lookup_probes.bucket[1] = 5;
+  m.lookup_probes.count = 5;
+  m.lookup_probes.sum = 5;
+  m.partition_probes[3] = 4;
+  m.partition_hits[3] = 2;
+  m.stash_hits = 1;
+  m.stash_misses = 2;
+  m.occupancy_items = 30;
+  m.capacity_slots = 120;
+  return m;
+}
+
+TEST(ExportTest, PrometheusTextFormat) {
+  const AccessStats stats{7, 6, 5, 4, 3, 2};
+  const std::string text =
+      ExportPrometheus(SyntheticSnapshot(), stats, {{"scheme", "McCuckoo"}});
+  EXPECT_NE(text.find("# TYPE mccuckoo_inserts_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mccuckoo_inserts_total{scheme=\"McCuckoo\"} 3"),
+            std::string::npos);
+  // Cumulative histogram buckets: le="0" holds 2, le="1" still 2 (bucket 1
+  // empty), le="3" reaches 3, and +Inf equals the count.
+  EXPECT_NE(text.find(
+                "mccuckoo_kick_chain_length_bucket{scheme=\"McCuckoo\",le=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "mccuckoo_kick_chain_length_bucket{scheme=\"McCuckoo\",le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "mccuckoo_kick_chain_length_bucket{scheme=\"McCuckoo\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("mccuckoo_kick_chain_length_count{scheme=\"McCuckoo\"} 3"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "mccuckoo_partition_probes_total{scheme=\"McCuckoo\",partition=\"3\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find("mccuckoo_load_factor{scheme=\"McCuckoo\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find("mccuckoo_offchip_reads_total{scheme=\"McCuckoo\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# AccessStats " + stats.ToString()), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(PrometheusLabels({}), "");
+  EXPECT_EQ(PrometheusLabels({{"a", "plain"}, {"b", "x\"y\\z\n"}}),
+            "{a=\"plain\",b=\"x\\\"y\\\\z\\n\"}");
+}
+
+TEST(ExportTest, JsonSnapshot) {
+  const std::string json = ExportJson(SyntheticSnapshot(), {7, 6, 5, 4, 3, 2});
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+  EXPECT_NE(json.find("\"inserts\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"kick_chain_len\": {\"count\": 3, \"sum\": 2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"partition_probes\": [0, 0, 0, 4, 0]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"load_factor\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"access_stats\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"offchip_reads\": 7"), std::string::npos);
+  // Braces and brackets balance (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ExportTest, FlatEntries) {
+  const auto flat = MetricsFlatEntries(SyntheticSnapshot(), "obs_on.McCuckoo.");
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.inserts"), 3.0);
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.lookups"), 5.0);
+  EXPECT_NEAR(flat.at("obs_on.McCuckoo.kick_chain_len.mean"), 2.0 / 3, 1e-12);
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.lookup_probes.p50"), 1.0);
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.lookup_probes.p99"), 1.0);
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.stash_hits"), 1.0);
+  EXPECT_EQ(flat.at("obs_on.McCuckoo.load_factor"), 0.25);
+}
+
+TEST(ExportTest, FormatTraceEvents) {
+  KickChainEvent ev;
+  ev.seq = 12;
+  ev.chain_len = 3;
+  ev.n_steps = 2;  // Pretend one step was beyond the capture window.
+  ev.stashed = true;
+  ev.step[0] = {1042, 1};
+  ev.step[1] = {7, 3};
+  const std::string text = FormatTraceEvents({ev});
+  EXPECT_EQ(text, "seq=12 len=3 STASHED steps: b1042(c1) b7(c3) ...\n");
+  // max_events keeps only the newest.
+  KickChainEvent ev2;
+  ev2.seq = 13;
+  ev2.chain_len = 0;
+  const std::string tail = FormatTraceEvents({ev, ev2}, 1);
+  EXPECT_EQ(tail, "seq=13 len=0 steps:\n");
+}
+
+}  // namespace
+}  // namespace mccuckoo

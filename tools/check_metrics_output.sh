@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Validates the exporter output of examples/metrics_dump against the
+# checked-in schema (tools/metrics_schema.txt): every non-comment line of
+# the schema is an extended regex that must match somewhere in the dump.
+# Also cross-checks internal consistency of the Prometheus section (the
+# cumulative +Inf bucket of each histogram must equal its _count sample).
+#
+# Usage: tools/check_metrics_output.sh <path-to-metrics_dump> [schema]
+
+set -euo pipefail
+
+bin=${1:?usage: check_metrics_output.sh <metrics_dump binary> [schema]}
+schema=${2:-"$(dirname "$0")/metrics_schema.txt"}
+
+out=$("$bin")
+fail=0
+
+while IFS= read -r pattern; do
+  case "$pattern" in ''|'#'*) continue ;; esac
+  if ! grep -Eq -- "$pattern" <<<"$out"; then
+    echo "MISSING: $pattern" >&2
+    fail=1
+  fi
+done < "$schema"
+
+# Histogram invariant: cumulative le="+Inf" bucket == _count.
+for hist in mccuckoo_kick_chain_length mccuckoo_insert_latency_ns \
+            mccuckoo_lookup_probes; do
+  inf=$(grep -E "^${hist}_bucket\{.*le=\"\+Inf\"\} [0-9]+$" <<<"$out" |
+        awk '{print $2}')
+  count=$(grep -E "^${hist}_count\{" <<<"$out" | awk '{print $2}')
+  if [ -z "$inf" ] || [ -z "$count" ] || [ "$inf" != "$count" ]; then
+    echo "INCONSISTENT: ${hist}: +Inf bucket '${inf}' != count '${count}'" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "metrics output schema check FAILED" >&2
+  exit 1
+fi
+echo "metrics output schema check OK"
