@@ -124,8 +124,10 @@ class BchtTable {
   // Results and AccessStats are identical to the scalar loop by
   // construction.
 
-  /// Internal tile width for the batched paths.
-  static constexpr size_t kBatchTile = 64;
+  /// Internal tile width for the batched paths. Capped so one tile's
+  /// staged state plus touched buckets fits in L1d (see the derivation on
+  /// McCuckooTable::kBatchTile); 64 overflowed it and lost ~25% on load95.
+  static constexpr size_t kBatchTile = 16;
 
   /// Batched Find: out[i]/found[i] mirror Find(keys[i], &out[i]).
   /// Returns the number of hits. `out` may be nullptr.

@@ -13,6 +13,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace mccuckoo {
@@ -72,6 +73,17 @@ class PackedArray {
 
   /// Zero-fills every entry.
   void Clear() { words_.assign(words_.size(), 0); }
+
+  /// Pointer-wise storage exchange. Unlike std::swap (three moves), no
+  /// operand ever passes through a transient moved-from state, so a
+  /// seqlock-validated reader racing the exchange always dereferences one
+  /// of the two live buffers (see core/seqlock.h).
+  void Swap(PackedArray& other) {
+    std::swap(size_, other.size_);
+    std::swap(bits_, other.bits_);
+    std::swap(mask_, other.mask_);
+    words_.swap(other.words_);
+  }
 
   /// Address of the 64-bit word holding (the start of) entry `i`, for
   /// software prefetching. Not an accessor: reading through it would bypass

@@ -35,14 +35,17 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/bits.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/core/config.h"
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
+#include "src/core/seqlock.h"
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
@@ -164,6 +167,7 @@ class BlockedMcCuckooTable {
       for (uint32_t i = 0; i < copies.count; ++i) {
         WriteSlotValue(copies.pos[i], key, value);
       }
+      SeqFlush();
       return InsertResult::kUpdated;
     }
     if (ShouldProbeStash(view)) {
@@ -172,7 +176,9 @@ class BlockedMcCuckooTable {
       metrics_->RecordStashProbe(in_stash);
       if (in_stash) {
         ChargeStashWrite();
+        SeqOpenAux();
         stash_.Insert(key, value);
+        SeqFlush();
         return InsertResult::kUpdated;
       }
     }
@@ -194,8 +200,11 @@ class BlockedMcCuckooTable {
   // 2's bucket-sum skipping and the AccessStats accounting are bit-
   // identical to a scalar loop.
 
-  /// Internal pipeline depth (see McCuckooTable::kBatchTile).
-  static constexpr size_t kBatchTile = 64;
+  /// Internal pipeline depth. 16 keys, not 64: a blocked bucket spans
+  /// l * sizeof(Slot) bytes (several lines), so large tiles overflow L1
+  /// before stage 2 replays the first keys — see the sizing comment on
+  /// McCuckooTable::kBatchTile.
+  static constexpr size_t kBatchTile = 16;
 
   /// Batched lookup; equivalent to calling Find per key, in order. Returns
   /// the number of keys found.
@@ -268,13 +277,158 @@ class BlockedMcCuckooTable {
     return FindNoStatsImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
+  // --- Optimistic (seqlock-validated) read path --------------------------
+  // Same protocol as McCuckooTable; stripes cover whole buckets here.
+
+  /// Attaches (or, with null, detaches) the wrapper-owned version array.
+  void AttachSeqlock(SeqlockArray* seq) { seq_ = seq; }
+
+  /// Sizing hint for the version array: one potential stripe per bucket.
+  size_t seqlock_domain() const { return flags_.size(); }
+
+  /// Lock-free lookup attempt (see McCuckooTable::TryFindOptimistic).
+  OptimisticResult TryFindOptimistic(const Key& key,
+                                     Value* out = nullptr) const {
+    static_assert(
+        std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
+        "optimistic reads require trivially copyable Key and Value");
+    if (seq_ == nullptr) return OptimisticResult::kContended;
+    size_t stripes[kMaxHashes + 1];
+    uint32_t versions[kMaxHashes + 1];
+    size_t n = 0;
+    stripes[n] = seq_->aux_stripe();
+    versions[n] = seq_->ReadBegin(stripes[n]);
+    if (SeqlockArray::IsWriting(versions[n])) {
+      return OptimisticResult::kContended;
+    }
+    ++n;
+    // Candidates under the recorded aux version, bounds-checked before any
+    // probe (see McCuckooTable::TryFindOptimistic): Rehash replaces the
+    // geometry and hash seeds wholesale, and a torn-epoch bucket index
+    // must not escape into the slot probe.
+    uint32_t d;
+    Candidates cand;
+    {
+      SeqlockReadCritical crit;
+      d = opts_.num_hashes;
+      cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < d; ++t) {
+        if (cand.bucket[t] >= flags_.size()) {
+          return OptimisticResult::kContended;
+        }
+      }
+    }
+    for (uint32_t t = 0; t < d; ++t) {
+      const size_t s = seq_->StripeOf(cand.bucket[t]);
+      bool dup = false;
+      for (size_t j = 1; j < n; ++j) {
+        if (stripes[j] == s) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      stripes[n] = s;
+      versions[n] = seq_->ReadBegin(s);
+      if (SeqlockArray::IsWriting(versions[n])) {
+        return OptimisticResult::kContended;
+      }
+      ++n;
+    }
+    Value tmp{};
+    LookupTally tally;
+    MainOutcome mo;
+    {
+      SeqlockReadCritical crit;
+      mo = FindNoStatsMain(key, cand, &tmp, tally);
+    }
+    if (!seq_->Validate(stripes, versions, n)) {
+      return OptimisticResult::kContended;
+    }
+    if (mo == MainOutcome::kCheckStash) return OptimisticResult::kContended;
+    tally.FlushTo(*metrics_);
+    if (mo == MainOutcome::kHit) {
+      if (out != nullptr) *out = tmp;
+      return OptimisticResult::kHit;
+    }
+    return OptimisticResult::kMiss;
+  }
+
+  /// All-or-nothing optimistic batch lookup over one tile (see
+  /// McCuckooTable::TryFindBatchOptimistic). Returns the hit count or -1.
+  int64_t TryFindBatchOptimistic(std::span<const Key> keys, Value* out,
+                                 bool* found) const {
+    static_assert(
+        std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
+        "optimistic reads require trivially copyable Key and Value");
+    assert(keys.size() <= kBatchTile);
+    if (seq_ == nullptr) return -1;
+    if (keys.empty()) return 0;
+    const size_t n_keys = keys.size();
+    std::array<size_t, kBatchTile * kMaxHashes + 1> stripes;
+    std::array<uint32_t, kBatchTile * kMaxHashes + 1> versions;
+    size_t n = 0;
+    stripes[n] = seq_->aux_stripe();
+    versions[n] = seq_->ReadBegin(stripes[n]);
+    if (SeqlockArray::IsWriting(versions[n])) return -1;
+    ++n;
+    // Candidates under the recorded aux version, bounds-checked before any
+    // probe (see McCuckooTable::TryFindOptimistic).
+    uint32_t d;
+    std::array<Candidates, kBatchTile> cand;
+    {
+      SeqlockReadCritical crit;
+      d = opts_.num_hashes;
+      StageCandidates(keys.data(), n_keys, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n_keys; ++i) {
+        for (uint32_t t = 0; t < d; ++t) {
+          if (cand[i].bucket[t] >= flags_.size()) return -1;
+        }
+      }
+    }
+    for (size_t i = 0; i < n_keys; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        const size_t s = seq_->StripeOf(cand[i].bucket[t]);
+        stripes[n] = s;
+        versions[n] = seq_->ReadBegin(s);
+        if (SeqlockArray::IsWriting(versions[n])) return -1;
+        ++n;
+      }
+    }
+    std::array<Value, kBatchTile> tmpv{};
+    std::array<bool, kBatchTile> tmpf{};
+    LookupTally tally;
+    size_t hits = 0;
+    {
+      SeqlockReadCritical crit;
+      for (size_t i = 0; i < n_keys; ++i) {
+        const MainOutcome mo =
+            FindNoStatsMain(keys[i], cand[i], &tmpv[i], tally);
+        if (mo == MainOutcome::kCheckStash) return -1;
+        tmpf[i] = (mo == MainOutcome::kHit);
+        hits += tmpf[i] ? 1 : 0;
+      }
+    }
+    if (!seq_->Validate(stripes.data(), versions.data(), n)) return -1;
+    tally.FlushTo(*metrics_);
+    for (size_t i = 0; i < n_keys; ++i) {
+      if (found != nullptr) found[i] = tmpf[i];
+      if (out != nullptr && tmpf[i]) out[i] = tmpv[i];
+    }
+    return static_cast<int64_t>(hits);
+  }
+
  private:
-  /// FindNoStats body over precomputed candidates (shared with the batched
-  /// no-stats path). `sink` is the live TableMetrics for scalar calls, a
-  /// stack-local LookupTally for batches.
+  /// See McCuckooTable::MainOutcome.
+  enum class MainOutcome : uint8_t { kHit, kMiss, kCheckStash };
+
+  /// Main-table part of FindNoStats over precomputed candidates —
+  /// everything except the stash probe itself (see McCuckooTable). `sink`
+  /// is the live TableMetrics for scalar calls, a stack-local LookupTally
+  /// for batches and optimistic attempts.
   template <typename MetricsSink>
-  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
-                       MetricsSink& sink) const {
+  MainOutcome FindNoStatsMain(const Key& key, const Candidates& cand,
+                              Value* out, MetricsSink& sink) const {
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
     bool any_zero_bucket = false;
@@ -297,7 +451,7 @@ class BlockedMcCuckooTable {
       if (sum == 0 && !any_tomb) any_zero_bucket = true;
       if (opts_.lookup_pruning_enabled && sum == 0) continue;
       if (sum != 0 || any_tomb) ++probes_total;  // one bucket fetch
-      if (!flags_[cand.bucket[t]]) read_flag_zero = true;
+      if (!flags_.Test(cand.bucket[t])) read_flag_zero = true;
       for (uint32_t s = 0; s < l; ++s) {
         if (slot_counter[s] == 0) continue;
         const Slot& slot = slots_[cand.bucket[t] * l + s];
@@ -315,23 +469,40 @@ class BlockedMcCuckooTable {
         sink.RecordPartitionHit(static_cast<uint32_t>(hit_value));
       }
     }
-    if (found) return true;
-    if (stash_.empty()) return false;
+    if (found) return MainOutcome::kHit;
+    // The empty() read is a plain size check, memory-safe even when racing
+    // a writer; optimistic callers validate the aux stripe before trusting
+    // it.
+    if (stash_.empty()) return MainOutcome::kMiss;
     if (opts_.stash_kind == StashKind::kOnchipChs) {
-      const bool hit = stash_.Find(key, out);
-      sink.RecordStashProbe(hit);
-      return hit;
+      return MainOutcome::kCheckStash;
     }
     if (opts_.stash_screen_enabled) {
       if (opts_.deletion_mode == DeletionMode::kDisabled &&
           !all_buckets_all_ones) {
-        return false;
+        return MainOutcome::kMiss;
       }
       if (opts_.deletion_mode == DeletionMode::kTombstone &&
           any_zero_bucket) {
-        return false;
+        return MainOutcome::kMiss;
       }
-      if (read_flag_zero) return false;
+      if (read_flag_zero) return MainOutcome::kMiss;
+    }
+    return MainOutcome::kCheckStash;
+  }
+
+  /// FindNoStats body over precomputed candidates: the main-table probe
+  /// plus, when the screen allows it, the actual stash probe.
+  template <typename MetricsSink>
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
+                       MetricsSink& sink) const {
+    switch (FindNoStatsMain(key, cand, out, sink)) {
+      case MainOutcome::kHit:
+        return true;
+      case MainOutcome::kMiss:
+        return false;
+      case MainOutcome::kCheckStash:
+        break;
     }
     const bool hit = stash_.Find(key, out);
     sink.RecordStashProbe(hit);
@@ -352,6 +523,7 @@ class BlockedMcCuckooTable {
     if (FindInMain(key, ComputeCandidates(key), nullptr, &view, &pos)) {
       CopySet copies = LocateAllCopies(key, pos, CounterAt(pos));
       for (uint32_t i = 0; i < copies.count; ++i) {
+        SeqOpen(copies.pos[i].bucket);
         const size_t idx = SlotIndex(copies.pos[i]);
         if (opts_.deletion_mode == DeletionMode::kTombstone) {
           counters_.MarkDeleted(idx);
@@ -360,12 +532,15 @@ class BlockedMcCuckooTable {
         }
       }
       --size_;
+      SeqFlush();
       metrics_->RecordErase();
       return true;
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
+      SeqOpenAux();
       const bool hit = stash_.Erase(key);
+      SeqFlush();
       metrics_->RecordStashProbe(hit);
       if (hit) {
         ChargeStashWrite();
@@ -421,13 +596,29 @@ class BlockedMcCuckooTable {
     for (const auto& [k, v] : items) {
       rebuilt.Insert(k, v);
     }
-    // Keep cumulative statistics and lifetime counters across the rebuild.
-    *rebuilt.stats_ += *stats_;
-    rebuilt.metrics_->MergeFrom(*metrics_);
+    // Keep lifetime counters across the rebuild.
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
-    *this = std::move(rebuilt);
+    SeqlockArray* seq = seq_;
+    if (seq == nullptr) {
+      *rebuilt.stats_ += *stats_;
+      rebuilt.metrics_->MergeFrom(*metrics_);
+      *this = std::move(rebuilt);
+      return Status::OK();
+    }
+    // The attached version array survives the rebuild (mask mapping is
+    // size-independent); the swap reallocates every slot, so it runs under
+    // the aux stripe to invalidate in-flight optimistic reads. The
+    // concurrent wrappers' exclusive sections already hold the aux stripe
+    // open around the whole call; only open it here when no outer writer
+    // does, so the stripe stays odd through the commit either way
+    // (WriteBegin is a blind increment — double-opening would flip it even).
+    const bool aux_held =
+        SeqlockArray::IsWriting(seq->Version(seq->aux_stripe()));
+    if (!aux_held) seq->WriteBegin(seq->aux_stripe());
+    CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
+    if (!aux_held) seq->WriteEnd(seq->aux_stripe());
     return Status::OK();
   }
 
@@ -439,29 +630,35 @@ class BlockedMcCuckooTable {
     for (const auto& [k, v] : stash_.Items()) {
       Candidates cand = ComputeCandidates(k);
       if (TryPlace(k, v, cand) > 0) {
+        SeqOpenAux();
         stash_.Erase(k);
         ChargeStashWrite();
         ++size_;
         ++drained;
       }
+      SeqFlush();  // per item: slot copies and stash removal together
     }
     return drained;
   }
 
   /// Resets all stash flags and re-marks current stash items (§III.F).
   void RebuildStashFlags() {
-    for (size_t i = 0; i < flags_.size(); ++i) {
-      if (flags_[i]) {
-        flags_[i] = false;
-        ++stats_->offchip_writes;
-      }
-    }
+    // Word-at-a-time scan of the set bits; one charged write per flag
+    // actually cleared, as before. Cleared and re-set flags publish
+    // together (SeqFlush at the end): a reader validating in between
+    // would false-miss a stashed key.
+    flags_.ForEachSetBit([&](size_t bucket) {
+      SeqOpen(bucket);
+      ++stats_->offchip_writes;
+    });
+    flags_.ClearAll();
     for (const auto& [k, v] : stash_.Items()) {
       (void)v;
       Candidates cand = ComputeCandidates(k);
       for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
     }
     stale_stash_flag_keys_ = 0;
+    SeqFlush();
   }
 
   // --- Introspection -------------------------------------------------------
@@ -639,6 +836,9 @@ class BlockedMcCuckooTable {
         // All l slot counters of a bucket share (at most two) words.
         counters_.Prefetch(cand[i].bucket[t] * l);
         counters_.Prefetch(cand[i].bucket[t] * l + (l - 1));
+        // The stash-flag word is consulted during every probed bucket's
+        // scan; packed flags make it one explicit line.
+        __builtin_prefetch(flags_.WordAddr(cand[i].bucket[t]), 0, 1);
       }
     }
     const size_t bucket_bytes = static_cast<size_t>(l) * sizeof(Slot);
@@ -689,6 +889,7 @@ class BlockedMcCuckooTable {
     const uint32_t placed = TryPlace(key, value, cand);
     if (placed > 0) {
       ++size_;
+      SeqFlush();
       metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
       return InsertResult::kInserted;
     }
@@ -697,6 +898,8 @@ class BlockedMcCuckooTable {
     }
     uint32_t chain_len = 0;
     const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    // Whole chain published at once (see McCuckooTable).
+    SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
     return r;
   }
@@ -713,6 +916,26 @@ class BlockedMcCuckooTable {
     return static_cast<uint32_t>(bucket / buckets_per_table);
   }
 
+  // --- seqlock writer hooks -----------------------------------------------
+  //
+  // Stripes are at bucket granularity (the reader validates whole candidate
+  // buckets); every reader-visible mutation opens its bucket's stripe, and
+  // the operation publishes all opened stripes at once via SeqFlush() — see
+  // McCuckooTable's hooks for the kick-chain rationale. All no-ops when no
+  // SeqlockArray is attached.
+
+  void SeqOpen(size_t bucket) {
+    if (seq_ != nullptr) seq_open_.Open(*seq_, seq_->StripeOf(bucket));
+  }
+
+  void SeqOpenAux() {
+    if (seq_ != nullptr) seq_open_.Open(*seq_, seq_->aux_stripe());
+  }
+
+  void SeqFlush() {
+    if (seq_ != nullptr) seq_open_.CloseAll(*seq_);
+  }
+
   // --- charged memory choke points ----------------------------------------
 
   /// Fetches a whole bucket: one off-chip access regardless of l ([33]).
@@ -720,12 +943,14 @@ class BlockedMcCuckooTable {
 
   /// Writes one slot (record + hints share the slot's memory word).
   void WriteSlot(const Position& p, const Slot& record) {
+    SeqOpen(p.bucket);
     ++stats_->offchip_writes;
     slots_[SlotIndex(p)] = record;
   }
 
   /// Value-only update preserving the stored hints.
   void WriteSlotValue(const Position& p, const Key& key, const Value& value) {
+    SeqOpen(p.bucket);
     ++stats_->offchip_writes;
     Slot& s = slots_[SlotIndex(p)];
     s.key = key;
@@ -733,8 +958,9 @@ class BlockedMcCuckooTable {
   }
 
   void SetFlag(size_t bucket) {
+    SeqOpen(bucket);
     ++stats_->offchip_writes;
-    flags_[bucket] = true;
+    flags_.Set(bucket);
   }
 
   // --- insertion -------------------------------------------------------------
@@ -819,7 +1045,7 @@ class BlockedMcCuckooTable {
       record.hint[t] = static_cast<uint8_t>(placed[i].slot);
     }
     for (uint32_t i = 0; i < n_placed; ++i) {
-      WriteSlot(placed[i], record);
+      WriteSlot(placed[i], record);  // opens the bucket's stripe
       counters_.Set(SlotIndex(placed[i]), n_placed);
     }
     redundant_writes_ += n_placed - 1;
@@ -835,6 +1061,7 @@ class BlockedMcCuckooTable {
     const Slot record = slots_[SlotIndex(victim)];
     CopySet others = LocateOtherCopies(record.key, victim, v, &record.hint);
     for (uint32_t i = 0; i < others.count; ++i) {
+      SeqOpen(others.pos[i].bucket);
       counters_.Set(SlotIndex(others.pos[i]), v - 1);
     }
   }
@@ -994,6 +1221,7 @@ class BlockedMcCuckooTable {
       trace_.NoteStashed();
     }
     ChargeStashWrite();
+    SeqOpenAux();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOffchip) {
       Candidates cand = ComputeCandidates(key);
@@ -1049,7 +1277,7 @@ class BlockedMcCuckooTable {
       ChargeBucketRead();
       ++v.probes_total;
       v.bucket_read[t] = true;
-      v.flag_value[t] = flags_[cand.bucket[t]];
+      v.flag_value[t] = flags_.Test(cand.bucket[t]);
       for (uint32_t s = 0; s < l; ++s) {
         if (slot_counter[t][s] == 0) continue;  // empty/tombstone: stale data
         const Position p{cand.bucket[t], s};
@@ -1095,10 +1323,48 @@ class BlockedMcCuckooTable {
     return true;
   }
 
+  /// Commits a Rehash-rebuilt table while optimistic readers may be
+  /// probing this one (caller holds the aux stripe odd). Reader-visible
+  /// storage — slots, stash flags and counters — is exchanged
+  /// pointer-wise, so a racing reader sees the old or the new buffer but
+  /// never a transient moved-from state, and the replaced epoch is parked
+  /// in retired_ so lagging readers keep dereferencing live memory. The
+  /// stats_/metrics_ heap objects stay identity-stable — a lagging reader
+  /// flushes its tally through the pre-commit pointer after validation — so
+  /// the rebuild's deltas are merged into them rather than replacing them
+  /// (see McCuckooTable::CommitRebuildLockFree). NOTE: keep in sync with
+  /// the member list — a member missed here keeps its pre-rehash value.
+  void CommitRebuildLockFree(BlockedMcCuckooTable&& rebuilt) {
+    slots_.swap(rebuilt.slots_);
+    flags_.Swap(rebuilt.flags_);
+    counters_.SwapStorage(rebuilt.counters_);
+    retired_.push_back(RetiredStorage{std::move(rebuilt.slots_),
+                                      std::move(rebuilt.flags_),
+                                      std::move(rebuilt.counters_)});
+    opts_ = rebuilt.opts_;
+    family_ = std::move(rebuilt.family_);
+    *stats_ += *rebuilt.stats_;
+    metrics_->MergeFrom(*rebuilt.metrics_);
+    trace_ = std::move(rebuilt.trace_);
+    kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
+    stash_ = std::move(rebuilt.stash_);
+    rng_ = std::move(rebuilt.rng_);
+    size_ = rebuilt.size_;
+    first_collision_items_ = rebuilt.first_collision_items_;
+    first_failure_items_ = rebuilt.first_failure_items_;
+    redundant_writes_ = rebuilt.redundant_writes_;
+    stale_stash_flag_keys_ = rebuilt.stale_stash_flag_keys_;
+    forced_rehash_events_ = rebuilt.forced_rehash_events_;
+    // seq_, seq_open_ and retired_ deliberately keep this table's values.
+  }
+
   TableOptions opts_;
   Family family_;
   std::vector<Slot> slots_;
-  std::vector<bool> flags_;  // one stash flag per bucket (off-chip)
+  // One stash flag per bucket (off-chip). Packed uint64_t words, not
+  // std::vector<bool>: the word holding a flag is prefetchable alongside
+  // the bucket's slot lines, and rebuilds scan set bits a word at a time.
+  BitArray flags_;
   // Heap-allocated so the pointer handed to CounterArray /
   // KickHistory stays valid when the table is moved (Rehash,
   // snapshot loading, factory returns).
@@ -1113,6 +1379,21 @@ class BlockedMcCuckooTable {
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
+  // Optimistic-read support: non-owning version array attached by the
+  // concurrent wrapper (null in single-threaded use) and the set of
+  // stripes the in-flight mutation holds odd until its SeqFlush().
+  SeqlockArray* seq_ = nullptr;
+  SeqlockWriterSet seq_open_;
+  // Storage epochs retired by Rehash while a seqlock was attached. Never
+  // accessed again (the CounterArray's stats pointer inside is dangling by
+  // design) — held only so lagging optimistic readers dereference live
+  // memory; freed when the table is destroyed.
+  struct RetiredStorage {
+    std::vector<Slot> slots;
+    BitArray flags;
+    CounterArray counters;
+  };
+  std::vector<RetiredStorage> retired_;
 
   size_t size_ = 0;
   uint64_t first_collision_items_ = 0;

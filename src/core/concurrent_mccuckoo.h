@@ -5,41 +5,64 @@
 // miss a live key. The paper observes that (a) read-heavy deployments only
 // need one-writer-many-readers, and (b) McCuckoo's counters find very short
 // cuckoo paths quickly, so writer critical sections are short. This wrapper
-// realizes that design with a readers-writer lock:
+// realizes that design with a readers-writer lock, plus an optional
+// optimistic read mode:
 //
-//  * readers share the lock and use the table's mutation-free FindNoStats
-//    path (not even access statistics are written), so any number of
-//    readers proceed in parallel;
-//  * the single writer takes the lock exclusively for the (short) span of
-//    an insert/erase, which also guarantees readers never observe the
-//    mid-chain state where an evicted item is in nobody's bucket.
+//  * ReadMode::kLocked (default, the paper's design): readers share the
+//    lock and use the table's mutation-free FindNoStats path, so any number
+//    of readers proceed in parallel; the single writer takes the lock
+//    exclusively for the (short) span of an insert/erase.
+//  * ReadMode::kOptimistic: readers first attempt a seqlock-validated
+//    lock-free lookup (src/core/seqlock.h) — zero shared-cache-line
+//    traffic on the common uncontended path. A validation failure (the
+//    writer touched a candidate stripe mid-probe) is retried a few times
+//    with a yield in between, then falls back to the shared lock; the
+//    fallback also covers lookups that need the stash. Writers take the
+//    same exclusive lock as in kLocked and additionally drive the version
+//    protocol through the table's seqlock hooks, which keep every bucket a
+//    kick chain touches marked in-flight until the chain commits — so
+//    optimistic readers can never validate a mid-eviction state.
 //
 // Works over both McCuckooTable and BlockedMcCuckooTable (any table
-// exposing FindNoStats).
+// exposing FindNoStats / TryFindOptimistic and the seqlock attach hooks).
 
 #ifndef MCCUCKOO_CORE_CONCURRENT_MCCUCKOO_H_
 #define MCCUCKOO_CORE_CONCURRENT_MCCUCKOO_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "src/core/config.h"
+#include "src/core/seqlock.h"
 #include "src/mem/access_stats.h"
 #include "src/obs/metrics.h"
 
 namespace mccuckoo {
 
 /// Readers-writer wrapper over a multi-copy table.
-template <typename Table>
+template <typename Table, ReadMode Mode = ReadMode::kLocked>
 class OneWriterManyReaders {
  public:
   using Key = typename Table::KeyType;
   using Value = typename Table::ValueType;
 
+  /// Optimistic attempts per read before falling back to the shared lock.
+  /// Contention means the writer is mid-operation; a yield gives it the
+  /// core (essential when threads are oversubscribed), and after a few
+  /// losses the lock's queueing is cheaper than spinning on.
+  static constexpr int kMaxOptimisticSpins = 3;
+
   explicit OneWriterManyReaders(const TableOptions& options)
-      : table_(options) {}
+      : table_(options), seq_(table_.seqlock_domain()) {
+    if constexpr (Mode == ReadMode::kOptimistic) {
+      table_.AttachSeqlock(&seq_);
+    }
+  }
 
   /// Writer-side operations (exclusive).
   InsertResult Insert(const Key& key, const Value& value) {
@@ -55,8 +78,20 @@ class OneWriterManyReaders {
     return table_.Erase(key);
   }
 
-  /// Reader-side operations (shared; mutation-free).
+  /// Reader-side operations. In kLocked mode: shared lock + mutation-free
+  /// probe. In kOptimistic mode: bounded lock-free attempts, then the
+  /// shared lock (see file comment).
   bool Find(const Key& key, Value* out = nullptr) const {
+    if constexpr (Mode == ReadMode::kOptimistic) {
+      for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+        const OptimisticResult r = table_.TryFindOptimistic(key, out);
+        if (r == OptimisticResult::kHit) return true;
+        if (r == OptimisticResult::kMiss) return false;
+        if constexpr (kMetricsEnabled) optimistic_retries_.Inc();
+        if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+      }
+      if constexpr (kMetricsEnabled) optimistic_fallbacks_.Inc();
+    }
     std::shared_lock lock(mutex_);
     return table_.FindNoStats(key, out);
   }
@@ -64,17 +99,46 @@ class OneWriterManyReaders {
 
   /// Batched writer-side insert: one exclusive lock span for the whole
   /// batch amortizes the lock acquisition over keys.size() operations.
+  /// (The table publishes seqlock versions per key, not per batch, so
+  /// optimistic readers are not starved for the batch's duration.)
   void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
                    InsertResult* results = nullptr) {
     std::unique_lock lock(mutex_);
     table_.InsertBatch(keys, values, results);
   }
 
-  /// Batched reader-side lookup: one shared lock span, prefetch-pipelined
-  /// and mutation-free (uses the table's FindBatchNoStats). Returns hits.
+  /// Batched reader-side lookup, prefetch-pipelined and mutation-free.
+  /// kOptimistic validates per tile (all-or-nothing): a tile that loses to
+  /// the writer retries and then re-runs under the shared lock; other
+  /// tiles stay lock-free. Returns hits.
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
-    std::shared_lock lock(mutex_);
-    return table_.FindBatchNoStats(keys, out, found);
+    if constexpr (Mode == ReadMode::kOptimistic) {
+      size_t hits = 0;
+      for (size_t base = 0; base < keys.size(); base += Table::kBatchTile) {
+        const size_t n = std::min(Table::kBatchTile, keys.size() - base);
+        const std::span<const Key> tile = keys.subspan(base, n);
+        Value* tile_out = out != nullptr ? out + base : nullptr;
+        bool* tile_found = found != nullptr ? found + base : nullptr;
+        int64_t r = -1;
+        for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+          r = table_.TryFindBatchOptimistic(tile, tile_out, tile_found);
+          if (r >= 0) break;
+          if constexpr (kMetricsEnabled) optimistic_retries_.Inc();
+          if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+        }
+        if (r < 0) {
+          if constexpr (kMetricsEnabled) optimistic_fallbacks_.Inc();
+          std::shared_lock lock(mutex_);
+          r = static_cast<int64_t>(
+              table_.FindBatchNoStats(tile, tile_out, tile_found));
+        }
+        hits += static_cast<size_t>(r);
+      }
+      return hits;
+    } else {
+      std::shared_lock lock(mutex_);
+      return table_.FindBatchNoStats(keys, out, found);
+    }
   }
   size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
     return FindBatch(keys, nullptr, found);
@@ -99,24 +163,49 @@ class OneWriterManyReaders {
     return table_.stats();
   }
 
-  /// Snapshot of the table's metrics (reader-path recordings included:
-  /// FindNoStats records metrics atomically even though it skips stats).
+  /// Snapshot of the table's metrics (reader-path recordings included),
+  /// with the wrapper's optimistic-read counters folded in.
   MetricsSnapshot metrics_snapshot() const {
     std::shared_lock lock(mutex_);
-    return table_.SnapshotMetrics();
+    MetricsSnapshot s = table_.SnapshotMetrics();
+    s.optimistic_retries = optimistic_retries_.Value();
+    s.optimistic_fallbacks = optimistic_fallbacks_.Value();
+    return s;
   }
 
-  /// Exclusive access to the underlying table (setup/validation only).
+  /// Exclusive access to the underlying table (setup/validation only). In
+  /// optimistic mode the aux stripe is held for `fn`'s whole duration, so
+  /// lock-free readers fail validation and queue on the shared lock —
+  /// required for operations that restructure storage (e.g. Rehash).
   template <typename Fn>
   auto WithExclusive(Fn&& fn) {
     std::unique_lock lock(mutex_);
-    return std::forward<Fn>(fn)(table_);
+    if constexpr (Mode == ReadMode::kOptimistic) {
+      struct AuxGuard {
+        SeqlockArray& seq;
+        explicit AuxGuard(SeqlockArray& s) : seq(s) {
+          seq.WriteBegin(seq.aux_stripe());
+        }
+        ~AuxGuard() { seq.WriteEnd(seq.aux_stripe()); }
+      } guard(seq_);
+      return std::forward<Fn>(fn)(table_);
+    } else {
+      return std::forward<Fn>(fn)(table_);
+    }
   }
 
  private:
   mutable std::shared_mutex mutex_;
-  Table table_;
+  Table table_;  // must precede seq_ (its domain sizes the array)
+  SeqlockArray seq_;
+  mutable Counter optimistic_retries_;
+  mutable Counter optimistic_fallbacks_;
 };
+
+/// The optimistic-reader policy, selectable alongside the default lock:
+/// `OptimisticReaders<McCuckooTable<K, V>> table(options);`
+template <typename Table>
+using OptimisticReaders = OneWriterManyReaders<Table, ReadMode::kOptimistic>;
 
 }  // namespace mccuckoo
 

@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 
 #include "src/common/bits.h"
 #include "src/common/packed_array.h"
@@ -74,6 +75,16 @@ class CounterArray {
   void Prefetch(size_t i) const {
     __builtin_prefetch(counters_.WordAddr(i), 0, 3);
     __builtin_prefetch(tombstones_.WordAddr(i), 0, 3);
+  }
+
+  /// Pointer-wise exchange of the packed storage with `other`; each array
+  /// keeps its own stats sink (Rehash committing under live optimistic
+  /// readers keeps the owning table's AccessStats identity-stable — see
+  /// McCuckooTable::CommitRebuildLockFree). No operand passes through a
+  /// transient moved-from state.
+  void SwapStorage(CounterArray& other) {
+    counters_.Swap(other.counters_);
+    tombstones_.Swap(other.tombstones_);
   }
 
   /// Bytes of on-chip memory this array models (counters + tombstones).

@@ -43,6 +43,14 @@ class KickHistory {
   /// Bytes of modeled on-chip memory (0 when disabled).
   size_t memory_bytes() const { return counters_.memory_bytes(); }
 
+  /// Takes `other`'s counters and enabled flag but keeps this object's
+  /// stats sink (Rehash commit under live optimistic readers keeps the
+  /// owning table's AccessStats identity-stable).
+  void AdoptStorage(KickHistory&& other) {
+    counters_ = std::move(other.counters_);
+    enabled_ = other.enabled_;
+  }
+
   /// Saturating increment after `bucket`'s occupant is evicted.
   void Increment(size_t bucket) {
     if (stats_ != nullptr) ++stats_->onchip_writes;

@@ -45,6 +45,7 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,7 @@
 #include "src/core/config.h"
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
+#include "src/core/seqlock.h"
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
@@ -172,6 +174,7 @@ class McCuckooTable {
       for (uint32_t i = 0; i < copies.count; ++i) {
         StoreBucket(copies.idx[i], key, value);
       }
+      SeqFlush();
       return InsertResult::kUpdated;
     }
     if (ShouldProbeStash(view)) {
@@ -180,7 +183,9 @@ class McCuckooTable {
       metrics_->RecordStashProbe(in_stash);
       if (in_stash) {
         ChargeStashWrite();
+        SeqOpenAux();
         stash_.Insert(key, value);
+        SeqFlush();
         return InsertResult::kUpdated;
       }
     }
@@ -210,7 +215,15 @@ class McCuckooTable {
 
   /// Internal pipeline depth: tiles bound the candidate scratch space and
   /// keep the prefetch distance within what outstanding-miss buffers cover.
-  static constexpr size_t kBatchTile = 64;
+  /// The bound is an L1 budget, not a miss-buffer one: a tile touches
+  /// d lines per key (bucket + its counter word, which usually share a
+  /// set), so at d = 3 a 64-key tile stages ~64 * 3 * 2 * 64B = 24 KB —
+  /// most of a 32 KB L1d — and by the time stage 2 replays key 0 its lines
+  /// have been evicted by keys 40+ (the batch64/batch32 load95 regression).
+  /// 16 keys * 3 candidates * 2 lines = 6 KB leaves room for the probe
+  /// loop's own working set, and 48 outstanding prefetches still cover the
+  /// ~10 line-fill buffers of current cores.
+  static constexpr size_t kBatchTile = 16;
 
   /// Batched lookup. For key i, found[i] is set and, on a hit, out[i]
   /// receives the value (out may be null; found must not be). Returns the
@@ -292,13 +305,182 @@ class McCuckooTable {
     return FindNoStatsImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
+  // --- Optimistic (seqlock-validated) read path --------------------------
+
+  /// Attaches (or, with null, detaches) the seqlock version array the
+  /// concurrent wrapper owns. While attached, every mutation opens the
+  /// stripes of the buckets it touches (odd version = in flight) and
+  /// publishes them at its commit point; TryFindOptimistic can then run
+  /// without any lock. Single-threaded users never call this and pay only
+  /// a null check per mutation choke point.
+  void AttachSeqlock(SeqlockArray* seq) { seq_ = seq; }
+
+  /// Sizing hint for the version array covering this table's buckets.
+  size_t seqlock_domain() const { return table_.size(); }
+
+  /// Lock-free lookup attempt: records the versions of the candidate
+  /// stripes (plus the aux stripe covering the stash), runs the
+  /// statistics-free probe, and only reports kHit/kMiss if every recorded
+  /// version was even and unchanged afterwards. Any writer overlap — or a
+  /// probe that would need the stash — yields kContended and the caller
+  /// retries or takes the shared lock. Requires an attached SeqlockArray
+  /// and a single concurrent writer (the wrapper's mutex).
+  OptimisticResult TryFindOptimistic(const Key& key,
+                                     Value* out = nullptr) const {
+    // Torn reads of the bucket during a racing write are discarded after
+    // validation, but reading a partially-updated non-trivial type (e.g.
+    // std::string mid-reallocation) would be UB before validation happens.
+    static_assert(
+        std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
+        "optimistic reads require trivially copyable Key and Value");
+    if (seq_ == nullptr) return OptimisticResult::kContended;
+    size_t stripes[kMaxHashes + 1];
+    uint32_t versions[kMaxHashes + 1];
+    size_t n = 0;
+    stripes[n] = seq_->aux_stripe();
+    versions[n] = seq_->ReadBegin(stripes[n]);
+    if (SeqlockArray::IsWriting(versions[n])) {
+      return OptimisticResult::kContended;
+    }
+    ++n;
+    // The candidate computation reads the geometry and hash seeds, which
+    // Rehash replaces wholesale under the aux stripe (recorded above, so a
+    // concurrent swap fails validation). The bounds check keeps a
+    // torn-epoch index from escaping into the probe; bucket storage
+    // replaced by a racing Rehash stays dereferenceable regardless (see
+    // retired_).
+    uint32_t d;
+    Candidates cand;
+    {
+      SeqlockReadCritical crit;
+      d = opts_.num_hashes;
+      cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < d; ++t) {
+        if (cand.idx[t] >= table_.size()) return OptimisticResult::kContended;
+      }
+    }
+    for (uint32_t t = 0; t < d; ++t) {
+      const size_t s = seq_->StripeOf(cand.idx[t]);
+      bool dup = false;
+      for (size_t j = 1; j < n; ++j) {
+        if (stripes[j] == s) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      stripes[n] = s;
+      versions[n] = seq_->ReadBegin(s);
+      if (SeqlockArray::IsWriting(versions[n])) {
+        return OptimisticResult::kContended;
+      }
+      ++n;
+    }
+    // Probe into locals: neither the out-parameter nor the shared metrics
+    // may observe a result that fails validation.
+    Value tmp{};
+    LookupTally tally;
+    MainOutcome mo;
+    {
+      SeqlockReadCritical crit;
+      mo = FindNoStatsMain(key, cand, &tmp, tally);
+    }
+    if (!seq_->Validate(stripes, versions, n)) {
+      return OptimisticResult::kContended;
+    }
+    if (mo == MainOutcome::kCheckStash) return OptimisticResult::kContended;
+    tally.FlushTo(*metrics_);
+    if (mo == MainOutcome::kHit) {
+      if (out != nullptr) *out = tmp;
+      return OptimisticResult::kHit;
+    }
+    return OptimisticResult::kMiss;
+  }
+
+  /// All-or-nothing optimistic batch lookup over one tile (keys.size() <=
+  /// kBatchTile): stages prefetches, records the versions of every touched
+  /// stripe, probes all keys, then validates once. Returns the hit count
+  /// with out/found filled, or -1 if any stripe was (or became) active or
+  /// any key needed the stash — the caller re-runs the tile under the lock.
+  int64_t TryFindBatchOptimistic(std::span<const Key> keys, Value* out,
+                                 bool* found) const {
+    static_assert(
+        std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
+        "optimistic reads require trivially copyable Key and Value");
+    assert(keys.size() <= kBatchTile);
+    if (seq_ == nullptr) return -1;
+    if (keys.empty()) return 0;
+    const size_t n_keys = keys.size();
+    // Versions for every (key, candidate) stripe plus aux, recorded before
+    // any data read. Duplicates are validated twice — harmless.
+    std::array<size_t, kBatchTile * kMaxHashes + 1> stripes;
+    std::array<uint32_t, kBatchTile * kMaxHashes + 1> versions;
+    size_t n = 0;
+    stripes[n] = seq_->aux_stripe();
+    versions[n] = seq_->ReadBegin(stripes[n]);
+    if (SeqlockArray::IsWriting(versions[n])) return -1;
+    ++n;
+    // Candidates under the recorded aux version, bounds-checked before any
+    // probe (see TryFindOptimistic).
+    uint32_t d;
+    std::array<Candidates, kBatchTile> cand;
+    {
+      SeqlockReadCritical crit;
+      d = opts_.num_hashes;
+      StageCandidates(keys.data(), n_keys, cand.data(), /*for_write=*/false);
+      for (size_t i = 0; i < n_keys; ++i) {
+        for (uint32_t t = 0; t < d; ++t) {
+          if (cand[i].idx[t] >= table_.size()) return -1;
+        }
+      }
+    }
+    for (size_t i = 0; i < n_keys; ++i) {
+      for (uint32_t t = 0; t < d; ++t) {
+        const size_t s = seq_->StripeOf(cand[i].idx[t]);
+        stripes[n] = s;
+        versions[n] = seq_->ReadBegin(s);
+        if (SeqlockArray::IsWriting(versions[n])) return -1;
+        ++n;
+      }
+    }
+    std::array<Value, kBatchTile> tmpv{};
+    std::array<bool, kBatchTile> tmpf{};
+    LookupTally tally;
+    size_t hits = 0;
+    {
+      SeqlockReadCritical crit;
+      for (size_t i = 0; i < n_keys; ++i) {
+        const MainOutcome mo =
+            FindNoStatsMain(keys[i], cand[i], &tmpv[i], tally);
+        if (mo == MainOutcome::kCheckStash) return -1;
+        tmpf[i] = (mo == MainOutcome::kHit);
+        hits += tmpf[i] ? 1 : 0;
+      }
+    }
+    if (!seq_->Validate(stripes.data(), versions.data(), n)) return -1;
+    tally.FlushTo(*metrics_);
+    for (size_t i = 0; i < n_keys; ++i) {
+      if (found != nullptr) found[i] = tmpf[i];
+      if (out != nullptr && tmpf[i]) out[i] = tmpv[i];
+    }
+    return static_cast<int64_t>(hits);
+  }
+
  private:
-  /// FindNoStats body over precomputed candidates (shared with the batched
-  /// no-stats path). `sink` is the live TableMetrics for scalar calls, a
-  /// stack-local LookupTally for batches.
+  /// What the main-table portion of a statistics-free lookup concluded.
+  /// kCheckStash means "miss in the buckets, and the stash screen could not
+  /// rule the stash out": the locked path probes the stash, the optimistic
+  /// path bails out instead (the stash's unordered_map must never be
+  /// traversed concurrently with a writer).
+  enum class MainOutcome : uint8_t { kHit, kMiss, kCheckStash };
+
+  /// Main-table part of FindNoStats over precomputed candidates: counters,
+  /// partitions, bucket probes, and the stash screen — everything except
+  /// the stash probe itself. `sink` is the live TableMetrics for scalar
+  /// calls, a stack-local LookupTally for batches and optimistic attempts.
   template <typename MetricsSink>
-  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
-                       MetricsSink& sink) const {
+  MainOutcome FindNoStatsMain(const Key& key, const Candidates& cand,
+                              Value* out, MetricsSink& sink) const {
     const uint32_t d = opts_.num_hashes;
     uint64_t counter[kMaxHashes];
     bool tomb[kMaxHashes];
@@ -327,7 +509,7 @@ class McCuckooTable {
     if (opts_.lookup_pruning_enabled && any_zero &&
         opts_.deletion_mode != DeletionMode::kResetCounters) {
       record_lookup(-1);
-      return false;
+      return MainOutcome::kMiss;
     }
     bool read_flag_zero = false;
     for (uint64_t value = d; value >= 1; --value) {
@@ -347,28 +529,45 @@ class McCuckooTable {
         if (b.key == key) {
           if (out != nullptr) *out = b.value;
           record_lookup(static_cast<int32_t>(value));
-          return true;
+          return MainOutcome::kHit;
         }
         if (!b.stash_flag) read_flag_zero = true;
       }
     }
     record_lookup(-1);
-    // Stash screen, mirroring ShouldProbeStash.
-    if (stash_.empty()) return false;
+    // Stash screen, mirroring ShouldProbeStash. (The empty() read is a
+    // plain size check, memory-safe even when racing a writer; optimistic
+    // callers validate the aux stripe before trusting it.)
+    if (stash_.empty()) return MainOutcome::kMiss;
     if (opts_.stash_kind == StashKind::kOnchipChs) {
-      const bool hit = stash_.Find(key, out);
-      sink.RecordStashProbe(hit);
-      return hit;
+      return MainOutcome::kCheckStash;
     }
     if (opts_.stash_screen_enabled) {
       if (opts_.deletion_mode == DeletionMode::kDisabled &&
           (any_zero || any_gt1)) {
-        return false;
+        return MainOutcome::kMiss;
       }
       if (opts_.deletion_mode == DeletionMode::kTombstone && any_zero) {
-        return false;
+        return MainOutcome::kMiss;
       }
-      if (read_flag_zero) return false;
+      if (read_flag_zero) return MainOutcome::kMiss;
+    }
+    return MainOutcome::kCheckStash;
+  }
+
+  /// FindNoStats body over precomputed candidates (shared with the batched
+  /// no-stats path): the main-table probe plus, when the screen allows it,
+  /// the actual stash probe.
+  template <typename MetricsSink>
+  bool FindNoStatsImpl(const Key& key, const Candidates& cand, Value* out,
+                       MetricsSink& sink) const {
+    switch (FindNoStatsMain(key, cand, out, sink)) {
+      case MainOutcome::kHit:
+        return true;
+      case MainOutcome::kMiss:
+        return false;
+      case MainOutcome::kCheckStash:
+        break;
     }
     const bool hit = stash_.Find(key, out);
     sink.RecordStashProbe(hit);
@@ -393,6 +592,7 @@ class McCuckooTable {
       const uint64_t v = view.counter[FindSlot(view, found)];
       CopySet copies = LocateAllCopies(key, fidx, v);
       for (uint32_t i = 0; i < copies.count; ++i) {
+        SeqOpen(copies.idx[i]);
         if (opts_.deletion_mode == DeletionMode::kTombstone) {
           counters_.MarkDeleted(copies.idx[i]);
         } else {
@@ -400,12 +600,15 @@ class McCuckooTable {
         }
       }
       --size_;
+      SeqFlush();
       metrics_->RecordErase();
       return true;
     }
     if (ShouldProbeStash(view)) {
       ChargeStashProbe();
+      SeqOpenAux();
       const bool hit = stash_.Erase(key);
+      SeqFlush();
       metrics_->RecordStashProbe(hit);
       if (hit) {
         ChargeStashWrite();
@@ -459,13 +662,29 @@ class McCuckooTable {
     for (const auto& [k, v] : items) {
       rebuilt.Insert(k, v);
     }
-    // Keep cumulative statistics and lifetime counters across the rebuild.
-    *rebuilt.stats_ += *stats_;
-    rebuilt.metrics_->MergeFrom(*metrics_);
+    // Keep lifetime counters across the rebuild.
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
-    *this = std::move(rebuilt);
+    SeqlockArray* seq = seq_;
+    if (seq == nullptr) {
+      *rebuilt.stats_ += *stats_;
+      rebuilt.metrics_->MergeFrom(*metrics_);
+      *this = std::move(rebuilt);
+      return Status::OK();
+    }
+    // The attached version array survives the rebuild (its mask mapping is
+    // size-independent); the swap itself reallocates every bucket, so it
+    // runs under the aux stripe to invalidate in-flight optimistic reads.
+    // The concurrent wrappers' exclusive sections already hold the aux
+    // stripe open around the whole call; only open it here when no outer
+    // writer does, so the stripe stays odd through the commit either way
+    // (WriteBegin is a blind increment — double-opening would flip it even).
+    const bool aux_held =
+        SeqlockArray::IsWriting(seq->Version(seq->aux_stripe()));
+    if (!aux_held) seq->WriteBegin(seq->aux_stripe());
+    CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
+    if (!aux_held) seq->WriteEnd(seq->aux_stripe());
     return Status::OK();
   }
 
@@ -480,11 +699,13 @@ class McCuckooTable {
       Candidates cand = ComputeCandidates(k);
       const uint32_t placed = TryPlace(k, v, cand);
       if (placed > 0) {
+        SeqOpenAux();
         stash_.Erase(k);
         ChargeStashWrite();
         ++size_;
         ++drained;
       }
+      SeqFlush();  // per item: bucket copies and stash removal together
     }
     return drained;
   }
@@ -493,8 +714,12 @@ class McCuckooTable {
   /// currently stashed, re-synchronizing the screen after stash deletions
   /// (§III.F). Charges one off-chip write per flag actually changed.
   void RebuildStashFlags() {
-    for (auto& b : table_) {
+    // Cleared and re-set flags publish together: a reader validating
+    // between the clear and the re-mark would false-miss a stashed key.
+    for (size_t idx = 0; idx < table_.size(); ++idx) {
+      Bucket& b = table_[idx];
       if (b.stash_flag) {
+        SeqOpen(idx);
         b.stash_flag = false;
         ++stats_->offchip_writes;
       }
@@ -505,6 +730,7 @@ class McCuckooTable {
       for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
     }
     stale_stash_flag_keys_ = 0;
+    SeqFlush();
   }
 
   // --- Introspection ----------------------------------------------------
@@ -760,6 +986,7 @@ class McCuckooTable {
     const uint32_t placed = TryPlace(key, value, cand);
     if (placed > 0) {
       ++size_;
+      SeqFlush();
       metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
       return InsertResult::kInserted;
     }
@@ -769,8 +996,35 @@ class McCuckooTable {
     }
     uint32_t chain_len = 0;
     const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    // The whole chain published at once: at no intermediate state was the
+    // in-hand key absent from a stripe readers could have validated.
+    SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
     return r;
+  }
+
+  // --- seqlock writer hooks ---------------------------------------------
+  //
+  // Every reader-visible mutation flows through the choke points below,
+  // which mark the touched bucket's stripe as in-flight (odd). Stripes stay
+  // odd across the *whole* operation — a kick chain's intermediate states
+  // have the in-hand key in no bucket at all, so publishing per-store would
+  // let an optimistic reader validate cleanly and miss a live key — and are
+  // published together by SeqFlush() at each operation's consistent point.
+  // All three are no-ops when no SeqlockArray is attached.
+
+  void SeqOpen(size_t bucket_idx) {
+    if (seq_ != nullptr) seq_open_.Open(*seq_, seq_->StripeOf(bucket_idx));
+  }
+
+  /// Opens the aux stripe covering state outside the bucket array (stash
+  /// membership and size).
+  void SeqOpenAux() {
+    if (seq_ != nullptr) seq_open_.Open(*seq_, seq_->aux_stripe());
+  }
+
+  void SeqFlush() {
+    if (seq_ != nullptr) seq_open_.CloseAll(*seq_);
   }
 
   // --- charged memory choke points --------------------------------------
@@ -781,6 +1035,7 @@ class McCuckooTable {
   }
 
   void StoreBucket(size_t idx, const Key& key, const Value& value) {
+    SeqOpen(idx);
     ++stats_->offchip_writes;
     Bucket& b = table_[idx];
     b.key = key;
@@ -789,6 +1044,7 @@ class McCuckooTable {
   }
 
   void SetFlag(size_t idx) {
+    SeqOpen(idx);
     ++stats_->offchip_writes;
     table_[idx].stash_flag = true;
   }
@@ -845,6 +1101,7 @@ class McCuckooTable {
 
     if (n_placed == 0) return 0;
     for (uint32_t i = 0; i < n_placed; ++i) {
+      SeqOpen(placed[i]);
       counters_.Set(placed[i], n_placed);
     }
     redundant_writes_ += n_placed - 1;
@@ -859,6 +1116,7 @@ class McCuckooTable {
     const Key victim_key = LoadBucket(victim_idx).key;  // the Fig-10a read
     CopySet others = LocateOtherCopies(victim_key, victim_idx, v);
     for (uint32_t i = 0; i < others.count; ++i) {
+      SeqOpen(others.idx[i]);
       counters_.Set(others.idx[i], v - 1);
     }
     StoreBucket(victim_idx, key, value);
@@ -972,6 +1230,7 @@ class McCuckooTable {
       trace_.NoteStashed();
     }
     ChargeStashWrite();
+    SeqOpenAux();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOffchip) {
       Candidates cand = ComputeCandidates(key);
@@ -1092,6 +1351,40 @@ class McCuckooTable {
     return true;
   }
 
+  /// Commits a Rehash-rebuilt table while optimistic readers may be
+  /// probing this one (caller holds the aux stripe odd). Reader-visible
+  /// storage — buckets and counters — is exchanged pointer-wise, so a
+  /// racing reader sees the old or the new buffer but never a transient
+  /// moved-from state, and the replaced epoch is parked in retired_ so
+  /// lagging readers keep dereferencing live memory. Everything else is
+  /// either invisible to the optimistic probe or moves wholesale. The
+  /// stats_/metrics_ heap objects stay identity-stable — a lagging reader
+  /// flushes its tally through the pre-commit pointer after validation — so
+  /// the rebuild's deltas are merged into them rather than replacing them.
+  /// NOTE: keep in sync with the member list — a member missed here keeps
+  /// its pre-rehash value.
+  void CommitRebuildLockFree(McCuckooTable&& rebuilt) {
+    table_.swap(rebuilt.table_);
+    counters_.SwapStorage(rebuilt.counters_);
+    retired_.push_back(RetiredStorage{std::move(rebuilt.table_),
+                                      std::move(rebuilt.counters_)});
+    opts_ = rebuilt.opts_;
+    family_ = std::move(rebuilt.family_);
+    *stats_ += *rebuilt.stats_;
+    metrics_->MergeFrom(*rebuilt.metrics_);
+    trace_ = std::move(rebuilt.trace_);
+    kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
+    stash_ = std::move(rebuilt.stash_);
+    rng_ = std::move(rebuilt.rng_);
+    size_ = rebuilt.size_;
+    first_collision_items_ = rebuilt.first_collision_items_;
+    first_failure_items_ = rebuilt.first_failure_items_;
+    redundant_writes_ = rebuilt.redundant_writes_;
+    stale_stash_flag_keys_ = rebuilt.stale_stash_flag_keys_;
+    forced_rehash_events_ = rebuilt.forced_rehash_events_;
+    // seq_, seq_open_ and retired_ deliberately keep this table's values.
+  }
+
   TableOptions opts_;
   Family family_;
   std::vector<Bucket> table_;
@@ -1109,6 +1402,20 @@ class McCuckooTable {
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
+  // Optimistic-read support: non-owning version array attached by the
+  // concurrent wrapper (null in single-threaded use) and the set of
+  // stripes the in-flight mutation holds odd until its SeqFlush().
+  SeqlockArray* seq_ = nullptr;
+  SeqlockWriterSet seq_open_;
+  // Storage epochs retired by Rehash while a seqlock was attached. Never
+  // accessed again (the CounterArray's stats pointer inside is dangling by
+  // design) — held only so lagging optimistic readers dereference live
+  // memory; freed when the table is destroyed.
+  struct RetiredStorage {
+    std::vector<Bucket> table;
+    CounterArray counters;
+  };
+  std::vector<RetiredStorage> retired_;
 
   size_t size_ = 0;
   uint64_t first_collision_items_ = 0;

@@ -23,6 +23,7 @@
 #ifndef MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
 #define MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -30,12 +31,15 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/common/bits.h"
 #include "src/common/rng.h"
 #include "src/core/config.h"
+#include "src/core/seqlock.h"
 #include "src/mem/access_stats.h"
 #include "src/obs/metrics.h"
 
@@ -50,12 +54,26 @@ class ShardedMcCuckoo {
   using Value = typename Table::ValueType;
   using Hasher = typename Table::HasherType;
 
+  /// Whether optimistic reads are even possible for these types (torn
+  /// reads of non-trivially-copyable records would be UB before
+  /// validation could discard them).
+  static constexpr bool kOptimisticCapable =
+      std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>;
+
+  /// Optimistic attempts per read before the shared-lock fallback (see
+  /// OneWriterManyReaders::kMaxOptimisticSpins).
+  static constexpr int kMaxOptimisticSpins = 3;
+
   /// Builds `num_shards` (a power of two, >= 1) shards. `options` describes
   /// the *aggregate* table: each shard gets ~1/num_shards of the buckets,
-  /// its own decorrelated seed, and the same policy knobs.
-  ShardedMcCuckoo(const TableOptions& options, size_t num_shards)
+  /// its own decorrelated seed, and the same policy knobs. `read_mode`
+  /// opts every shard into seqlock-validated lock-free reads; it demotes
+  /// to kLocked when the key/value types cannot support them.
+  ShardedMcCuckoo(const TableOptions& options, size_t num_shards,
+                  ReadMode read_mode = ReadMode::kLocked)
       : shard_bits_(FloorLog2(num_shards)),
-        route_seed_(SplitMix64(options.seed ^ 0x9E3779B97F4A7C15ull)) {
+        route_seed_(SplitMix64(options.seed ^ 0x9E3779B97F4A7C15ull)),
+        read_mode_(kOptimisticCapable ? read_mode : ReadMode::kLocked) {
     assert(num_shards >= 1 && (num_shards & (num_shards - 1)) == 0);
     shards_.reserve(num_shards);
     TableOptions shard_opts = options;
@@ -64,11 +82,14 @@ class ShardedMcCuckoo {
     for (size_t i = 0; i < num_shards; ++i) {
       shard_opts.seed =
           SplitMix64(options.seed + 0xA24BAED4963EE407ull * (i + 1));
-      shards_.push_back(std::make_unique<Shard>(shard_opts));
+      shards_.push_back(std::make_unique<Shard>(shard_opts, read_mode_));
     }
   }
 
   size_t num_shards() const { return shards_.size(); }
+
+  /// The reader policy actually in effect (post type-capability demotion).
+  ReadMode read_mode() const { return read_mode_; }
 
   /// Shard index of `key` (top shard_bits_ of the routing hash).
   size_t ShardOf(const Key& key) const {
@@ -97,9 +118,24 @@ class ShardedMcCuckoo {
     return s.table.Erase(key);
   }
 
-  /// Mutation-free shared-lock lookup (not even stats are written).
+  /// Mutation-free lookup. kLocked: shared lock + FindNoStats. kOptimistic:
+  /// bounded seqlock-validated lock-free attempts against the key's shard,
+  /// then the same shared-lock fallback (readers only ever contend with
+  /// their own shard's writer either way).
   bool Find(const Key& key, Value* out = nullptr) const {
     const Shard& s = *shards_[ShardOf(key)];
+    if constexpr (kOptimisticCapable) {
+      if (read_mode_ == ReadMode::kOptimistic) {
+        for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+          const OptimisticResult r = s.table.TryFindOptimistic(key, out);
+          if (r == OptimisticResult::kHit) return true;
+          if (r == OptimisticResult::kMiss) return false;
+          if constexpr (kMetricsEnabled) s.optimistic_retries.Inc();
+          if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+        }
+        if constexpr (kMetricsEnabled) s.optimistic_fallbacks.Inc();
+      }
+    }
     std::shared_lock lock(s.mutex);
     return s.table.FindNoStats(key, out);
   }
@@ -128,11 +164,20 @@ class ShardedMcCuckoo {
       shard_found.resize(n);
       {
         const Shard& sh = *shards_[s];
-        std::shared_lock lock(sh.mutex);
-        hits += sh.table.FindBatchNoStats(
-            std::span<const Key>(shard_keys.data(), n),
-            out != nullptr ? shard_vals.data() : nullptr,
-            reinterpret_cast<bool*>(shard_found.data()));
+        const std::span<const Key> group(shard_keys.data(), n);
+        Value* group_vals = out != nullptr ? shard_vals.data() : nullptr;
+        bool* group_found = reinterpret_cast<bool*>(shard_found.data());
+        bool done = false;
+        if constexpr (kOptimisticCapable) {
+          if (read_mode_ == ReadMode::kOptimistic) {
+            hits += OptimisticGroupFind(sh, group, group_vals, group_found);
+            done = true;
+          }
+        }
+        if (!done) {
+          std::shared_lock lock(sh.mutex);
+          hits += sh.table.FindBatchNoStats(group, group_vals, group_found);
+        }
       }
       for (size_t j = 0; j < n; ++j) {
         const size_t i = g.order[g.begin[s] + j];
@@ -239,6 +284,8 @@ class ShardedMcCuckoo {
     for (const auto& s : shards_) {
       std::shared_lock lock(s->mutex);
       merged += s->table.SnapshotMetrics();
+      merged.optimistic_retries += s->optimistic_retries.Value();
+      merged.optimistic_fallbacks += s->optimistic_fallbacks.Value();
     }
     return merged;
   }
@@ -247,24 +294,46 @@ class ShardedMcCuckoo {
   MetricsSnapshot shard_metrics_snapshot(size_t shard) const {
     const Shard& s = *shards_[shard];
     std::shared_lock lock(s.mutex);
-    return s.table.SnapshotMetrics();
+    MetricsSnapshot snap = s.table.SnapshotMetrics();
+    snap.optimistic_retries = s.optimistic_retries.Value();
+    snap.optimistic_fallbacks = s.optimistic_fallbacks.Value();
+    return snap;
   }
 
-  /// Exclusive access to one shard's table (setup/validation only).
+  /// Exclusive access to one shard's table (setup/validation only). In
+  /// optimistic mode the shard's aux stripe is held for `fn`'s duration,
+  /// forcing lock-free readers onto the shared lock while `fn` may
+  /// restructure storage (e.g. Rehash).
   template <typename Fn>
   auto WithExclusiveShard(size_t shard, Fn&& fn) {
     Shard& s = *shards_[shard];
     std::unique_lock lock(s.mutex);
+    struct AuxGuard {
+      SeqlockArray* seq;
+      explicit AuxGuard(SeqlockArray* s_) : seq(s_) {
+        if (seq != nullptr) seq->WriteBegin(seq->aux_stripe());
+      }
+      ~AuxGuard() {
+        if (seq != nullptr) seq->WriteEnd(seq->aux_stripe());
+      }
+    } guard(read_mode_ == ReadMode::kOptimistic ? &s.seq : nullptr);
     return std::forward<Fn>(fn)(s.table);
   }
 
  private:
   // Padded to its own cache line(s) so one shard's lock traffic does not
-  // false-share with its neighbours.
+  // false-share with its neighbours. Heap-allocated behind unique_ptr, so
+  // &seq stays stable for the table's attached pointer.
   struct alignas(64) Shard {
-    explicit Shard(const TableOptions& options) : table(options) {}
+    Shard(const TableOptions& options, ReadMode mode)
+        : table(options), seq(table.seqlock_domain()) {
+      if (mode == ReadMode::kOptimistic) table.AttachSeqlock(&seq);
+    }
     mutable std::shared_mutex mutex;
     Table table;
+    SeqlockArray seq;
+    mutable Counter optimistic_retries;
+    mutable Counter optimistic_fallbacks;
   };
 
   /// Stable grouping of batch positions by destination shard:
@@ -278,6 +347,36 @@ class ShardedMcCuckoo {
       return end - begin[s];
     }
   };
+
+  /// Optimistic path for one shard's batch group: validates per
+  /// kBatchTile-sized tile (all-or-nothing), retrying lost tiles and
+  /// re-running persistent losers under that shard's shared lock. Only
+  /// instantiated for optimistic-capable types.
+  size_t OptimisticGroupFind(const Shard& sh, std::span<const Key> keys,
+                             Value* out, bool* found) const {
+    size_t hits = 0;
+    for (size_t base = 0; base < keys.size(); base += Table::kBatchTile) {
+      const size_t n = std::min(Table::kBatchTile, keys.size() - base);
+      const std::span<const Key> tile = keys.subspan(base, n);
+      Value* tile_out = out != nullptr ? out + base : nullptr;
+      bool* tile_found = found != nullptr ? found + base : nullptr;
+      int64_t r = -1;
+      for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+        r = sh.table.TryFindBatchOptimistic(tile, tile_out, tile_found);
+        if (r >= 0) break;
+        if constexpr (kMetricsEnabled) sh.optimistic_retries.Inc();
+        if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+      }
+      if (r < 0) {
+        if constexpr (kMetricsEnabled) sh.optimistic_fallbacks.Inc();
+        std::shared_lock lock(sh.mutex);
+        r = static_cast<int64_t>(
+            sh.table.FindBatchNoStats(tile, tile_out, tile_found));
+      }
+      hits += static_cast<size_t>(r);
+    }
+    return hits;
+  }
 
   ShardGroups GroupByShard(std::span<const Key> keys) const {
     const size_t n_shards = shards_.size();
@@ -313,6 +412,7 @@ class ShardedMcCuckoo {
 
   size_t shard_bits_;
   uint64_t route_seed_;
+  ReadMode read_mode_;
   Hasher hasher_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

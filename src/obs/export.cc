@@ -181,6 +181,15 @@ std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
              "Stash probes that came back empty.");
   AppendSample(&out, "mccuckoo_stash_misses_total", labels, m.stash_misses);
 
+  AppendMeta(&out, "mccuckoo_optimistic_retries_total", "counter",
+             "Optimistic read attempts discarded by seqlock validation.");
+  AppendSample(&out, "mccuckoo_optimistic_retries_total", labels,
+               m.optimistic_retries);
+  AppendMeta(&out, "mccuckoo_optimistic_fallbacks_total", "counter",
+             "Reads that exhausted optimistic retries and took the lock.");
+  AppendSample(&out, "mccuckoo_optimistic_fallbacks_total", labels,
+               m.optimistic_fallbacks);
+
   AppendMeta(&out, "mccuckoo_occupancy_items", "gauge",
              "Live items (main table + stash).");
   AppendSample(&out, "mccuckoo_occupancy_items", labels, m.occupancy_items);
@@ -230,6 +239,8 @@ std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
   }
   AppendJsonField(&out, "stash_hits", m.stash_hits, true);
   AppendJsonField(&out, "stash_misses", m.stash_misses, true);
+  AppendJsonField(&out, "optimistic_retries", m.optimistic_retries, true);
+  AppendJsonField(&out, "optimistic_fallbacks", m.optimistic_fallbacks, true);
   AppendJsonField(&out, "occupancy_items", m.occupancy_items, true);
   AppendJsonField(&out, "capacity_slots", m.capacity_slots, true);
   char buf[64];
@@ -268,6 +279,8 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
   }
   put("stash_hits", static_cast<double>(m.stash_hits));
   put("stash_misses", static_cast<double>(m.stash_misses));
+  put("optimistic_retries", static_cast<double>(m.optimistic_retries));
+  put("optimistic_fallbacks", static_cast<double>(m.optimistic_fallbacks));
   put("occupancy_items", static_cast<double>(m.occupancy_items));
   put("load_factor", m.LoadFactor());
   return out;

@@ -137,6 +137,12 @@ struct MetricsSnapshot {
   uint64_t stash_hits = 0;    ///< Stash probes that found the key.
   uint64_t stash_misses = 0;  ///< Stash probes that came back empty.
 
+  /// Optimistic read path (concurrent front-ends; zero outside
+  /// ReadMode::kOptimistic): attempts discarded by seqlock validation, and
+  /// reads that exhausted their retries and took the shared lock.
+  uint64_t optimistic_retries = 0;
+  uint64_t optimistic_fallbacks = 0;
+
   /// Gauges, filled by the table at snapshot time (no hot-path cost).
   uint64_t occupancy_items = 0;  ///< Live items (main table + stash).
   uint64_t capacity_slots = 0;   ///< Total slots.
@@ -160,6 +166,8 @@ struct MetricsSnapshot {
     }
     stash_hits += o.stash_hits;
     stash_misses += o.stash_misses;
+    optimistic_retries += o.optimistic_retries;
+    optimistic_fallbacks += o.optimistic_fallbacks;
     occupancy_items += o.occupancy_items;
     capacity_slots += o.capacity_slots;
     return *this;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/common/rng.h"
 
 namespace mccuckoo {
@@ -57,6 +59,68 @@ TEST(CeilDivTest, KnownValues) {
   EXPECT_EQ(CeilDiv(1, 4), 1u);
   EXPECT_EQ(CeilDiv(4, 4), 1u);
   EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(BitArrayTest, StartsAllClearAndSizes) {
+  BitArray bits(130);  // straddles three 64-bit words
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.num_words(), 3u);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_FALSE(bits.Test(i)) << "bit " << i;
+  }
+}
+
+TEST(BitArrayTest, SetResetAroundWordBoundaries) {
+  BitArray bits(200);
+  for (size_t i : {size_t{0}, size_t{63}, size_t{64}, size_t{127},
+                   size_t{128}, size_t{199}}) {
+    bits.Set(i);
+    EXPECT_TRUE(bits.Test(i));
+    EXPECT_FALSE(bits.Test(i > 0 ? i - 1 : i + 1));  // neighbours untouched
+    bits.Reset(i);
+    EXPECT_FALSE(bits.Test(i));
+  }
+}
+
+TEST(BitArrayTest, ClearAllAndForEachSetBit) {
+  BitArray bits(300);
+  const std::vector<size_t> want = {1, 63, 64, 65, 170, 299};
+  for (size_t i : want) bits.Set(i);
+  std::vector<size_t> got;
+  bits.ForEachSetBit([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);  // ascending order guaranteed
+  bits.ClearAll();
+  got.clear();
+  bits.ForEachSetBit([&](size_t i) { got.push_back(i); });
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(BitArrayTest, MatchesReferenceUnderRandomOps) {
+  constexpr size_t kBits = 517;
+  BitArray bits(kBits);
+  std::vector<bool> ref(kBits, false);
+  Xoshiro256 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const size_t i = FastRange64(rng.Next(), kBits);
+    if (rng.Next() & 1) {
+      bits.Set(i);
+      ref[i] = true;
+    } else {
+      bits.Reset(i);
+      ref[i] = false;
+    }
+  }
+  size_t set_count = 0;
+  for (size_t i = 0; i < kBits; ++i) {
+    EXPECT_EQ(bits.Test(i), ref[i]) << "bit " << i;
+    set_count += ref[i] ? 1 : 0;
+  }
+  size_t visited = 0;
+  bits.ForEachSetBit([&](size_t i) {
+    EXPECT_TRUE(ref[i]);
+    ++visited;
+  });
+  EXPECT_EQ(visited, set_count);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#include "src/core/seqlock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace mccuckoo {
+namespace {
+
+TEST(SeqlockArrayTest, SizesArePowerOfTwoAndCapped) {
+  EXPECT_EQ(SeqlockArray(1).num_stripes(), 1u);
+  EXPECT_EQ(SeqlockArray(0).num_stripes(), 1u);  // degenerate hint
+  EXPECT_EQ(SeqlockArray(2).num_stripes(), 2u);
+  EXPECT_EQ(SeqlockArray(3).num_stripes(), 4u);
+  EXPECT_EQ(SeqlockArray(700).num_stripes(), 1024u);
+  EXPECT_EQ(SeqlockArray(1 << 20).num_stripes(), SeqlockArray::kMaxStripes);
+}
+
+TEST(SeqlockArrayTest, StripeMappingIsMaskedAndSizeIndependent) {
+  SeqlockArray arr(8);
+  ASSERT_EQ(arr.num_stripes(), 8u);
+  for (size_t b = 0; b < 100; ++b) {
+    EXPECT_EQ(arr.StripeOf(b), b & 7u);
+  }
+  // aux stripe is one past the bucket stripes.
+  EXPECT_EQ(arr.aux_stripe(), 8u);
+}
+
+TEST(SeqlockArrayTest, WriteCycleOddThenEven) {
+  SeqlockArray arr(4);
+  EXPECT_EQ(arr.Version(2), 0u);
+  EXPECT_FALSE(SeqlockArray::IsWriting(arr.Version(2)));
+
+  arr.WriteBegin(2);
+  EXPECT_EQ(arr.Version(2), 1u);
+  EXPECT_TRUE(SeqlockArray::IsWriting(arr.Version(2)));
+
+  arr.WriteEnd(2);
+  EXPECT_EQ(arr.Version(2), 2u);
+  EXPECT_FALSE(SeqlockArray::IsWriting(arr.Version(2)));
+
+  // Other stripes (and aux) untouched.
+  EXPECT_EQ(arr.Version(0), 0u);
+  EXPECT_EQ(arr.Version(arr.aux_stripe()), 0u);
+}
+
+TEST(SeqlockArrayTest, ValidatePassesWhenUnchangedFailsWhenBumped) {
+  SeqlockArray arr(4);
+  const size_t stripes[] = {0, 3, arr.aux_stripe()};
+  uint32_t versions[3];
+  for (size_t i = 0; i < 3; ++i) versions[i] = arr.ReadBegin(stripes[i]);
+  EXPECT_TRUE(arr.Validate(stripes, versions, 3));
+
+  arr.WriteBegin(3);
+  EXPECT_FALSE(arr.Validate(stripes, versions, 3));  // mid-write: odd
+  arr.WriteEnd(3);
+  EXPECT_FALSE(arr.Validate(stripes, versions, 3));  // committed: moved on
+
+  // Re-reading after the write validates again.
+  for (size_t i = 0; i < 3; ++i) versions[i] = arr.ReadBegin(stripes[i]);
+  EXPECT_TRUE(arr.Validate(stripes, versions, 3));
+}
+
+TEST(SeqlockArrayTest, ReaderSeesInFlightVersionAsOdd) {
+  SeqlockArray arr(2);
+  arr.WriteBegin(1);
+  EXPECT_TRUE(SeqlockArray::IsWriting(arr.ReadBegin(1)));
+  arr.WriteEnd(1);
+  EXPECT_FALSE(SeqlockArray::IsWriting(arr.ReadBegin(1)));
+}
+
+TEST(SeqlockArrayTest, VersionWraparoundStaysConsistent) {
+  SeqlockArray arr(2);
+  const uint32_t near_max = std::numeric_limits<uint32_t>::max() - 1;  // even
+  arr.TestSetVersion(0, near_max);
+
+  uint32_t v = arr.ReadBegin(0);
+  EXPECT_FALSE(SeqlockArray::IsWriting(v));
+  const size_t s = 0;
+  EXPECT_TRUE(arr.Validate(&s, &v, 1));
+
+  arr.WriteBegin(0);  // -> UINT32_MAX (odd)
+  EXPECT_TRUE(SeqlockArray::IsWriting(arr.Version(0)));
+  EXPECT_FALSE(arr.Validate(&s, &v, 1));
+  arr.WriteEnd(0);  // wraps -> 0 (even)
+  EXPECT_EQ(arr.Version(0), 0u);
+  EXPECT_FALSE(SeqlockArray::IsWriting(arr.Version(0)));
+  EXPECT_FALSE(arr.Validate(&s, &v, 1));  // old snapshot still rejected
+
+  v = arr.ReadBegin(0);
+  EXPECT_TRUE(arr.Validate(&s, &v, 1));
+}
+
+TEST(SeqlockWriterSetTest, OpenIsIdempotentPerStripe) {
+  SeqlockArray arr(8);
+  SeqlockWriterSet set;
+  EXPECT_TRUE(set.empty());
+
+  set.Open(arr, 5);
+  set.Open(arr, 5);  // dedup: no double bump (would flip odd -> even)
+  set.Open(arr, 2);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(arr.Version(5), 1u);
+  EXPECT_EQ(arr.Version(2), 1u);
+
+  set.CloseAll(arr);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(arr.Version(5), 2u);
+  EXPECT_EQ(arr.Version(2), 2u);
+}
+
+TEST(SeqlockWriterSetTest, HoldsAllStripesOddUntilCloseAll) {
+  // The property the kick-chain protocol depends on: every stripe an
+  // operation touched stays odd (invalidating readers) until the single
+  // commit point.
+  SeqlockArray arr(16);
+  SeqlockWriterSet set;
+  for (size_t s : {size_t{1}, size_t{4}, size_t{9}, arr.aux_stripe()}) {
+    set.Open(arr, s);
+  }
+  for (size_t s : {size_t{1}, size_t{4}, size_t{9}, arr.aux_stripe()}) {
+    EXPECT_TRUE(SeqlockArray::IsWriting(arr.Version(s))) << "stripe " << s;
+  }
+  set.CloseAll(arr);
+  for (size_t s : {size_t{1}, size_t{4}, size_t{9}, arr.aux_stripe()}) {
+    EXPECT_FALSE(SeqlockArray::IsWriting(arr.Version(s))) << "stripe " << s;
+  }
+  // Reusable for the next operation.
+  set.Open(arr, 1);
+  EXPECT_EQ(arr.Version(1), 3u);
+  set.CloseAll(arr);
+  EXPECT_EQ(arr.Version(1), 4u);
+}
+
+TEST(SeqlockArrayTest, MoveKeepsVersions) {
+  SeqlockArray a(4);
+  a.WriteBegin(1);
+  a.WriteEnd(1);
+  SeqlockArray b(std::move(a));
+  EXPECT_EQ(b.Version(1), 2u);
+  EXPECT_EQ(b.num_stripes(), 4u);
+}
+
+}  // namespace
+}  // namespace mccuckoo
