@@ -291,9 +291,14 @@ class BchtTable {
         cand[i][t] = b;
         const char* base =
             reinterpret_cast<const char*>(&slots_[SlotIndex(b, 0)]);
+        // Branch outside the intrinsic: its rw/locality arguments must be
+        // compile-time constants (a ?: only folds at -O1 and above).
         for (size_t off = 0; off < bucket_bytes; off += 64) {
-          __builtin_prefetch(base + off, for_write ? 1 : 0,
-                             for_write ? 3 : 1);
+          if (for_write) {
+            __builtin_prefetch(base + off, 1, 3);
+          } else {
+            __builtin_prefetch(base + off, 0, 1);
+          }
         }
       }
     }

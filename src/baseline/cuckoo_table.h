@@ -347,7 +347,13 @@ class CuckooTable {
         const size_t idx = static_cast<size_t>(t) * opts_.buckets_per_table +
                            static_cast<size_t>(buckets[i][t]);
         cand[i][t] = idx;
-        __builtin_prefetch(&table_[idx], for_write ? 1 : 0, for_write ? 3 : 1);
+        // Branch outside the intrinsic: its rw/locality arguments must be
+        // compile-time constants (a ?: only folds at -O1 and above).
+        if (for_write) {
+          __builtin_prefetch(&table_[idx], 1, 3);
+        } else {
+          __builtin_prefetch(&table_[idx], 0, 1);
+        }
       }
     }
   }

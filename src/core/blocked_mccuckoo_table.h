@@ -33,6 +33,7 @@
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -45,6 +46,7 @@
 #include "src/core/config.h"
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
+#include "src/core/growth.h"
 #include "src/core/seqlock.h"
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
@@ -125,7 +127,8 @@ class BlockedMcCuckooTable {
         flags_(static_cast<size_t>(options.num_hashes) *
                options.buckets_per_table),
         counters_(slots_.size(), options.num_hashes, stats_.get()),
-        rng_(SplitMix64(options.seed ^ 0xB10CB10CB10CB10Cull)) {
+        rng_(SplitMix64(options.seed ^ 0xB10CB10CB10CB10Cull)),
+        growth_(options.growth) {
     assert(options.Validate().ok());
     assert(options.slots_per_bucket >= 2);
     assert(options.eviction_policy != EvictionPolicy::kBfs);
@@ -264,9 +267,17 @@ class BlockedMcCuckooTable {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
       for (size_t i = 0; i < n; ++i) {
+        const uint64_t epoch = rehash_epoch_;
         const InsertResult r =
             InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
         if (results != nullptr) results[base + i] = r;
+        // An auto-growth rehash inside the insert replaced the geometry
+        // and hash seeds; the remaining staged candidates were computed
+        // against the old ones and must be re-derived.
+        if (rehash_epoch_ != epoch && i + 1 < n) {
+          StageCandidates(&keys[base + i + 1], n - i - 1, &cand[i + 1],
+                          /*for_write=*/true);
+        }
       }
     }
   }
@@ -561,6 +572,7 @@ class BlockedMcCuckooTable {
   /// Fails without touching the table if the new capacity cannot hold the
   /// current items.
   Status Rehash(uint64_t new_buckets_per_table, uint64_t new_seed) {
+    const uint64_t t0 = MetricsNowNs();
     TableOptions new_opts = opts_;
     new_opts.buckets_per_table = new_buckets_per_table;
     new_opts.seed = new_seed;
@@ -592,10 +604,19 @@ class BlockedMcCuckooTable {
       items.emplace_back(k, v);
     }
 
-    BlockedMcCuckooTable rebuilt(new_opts);
+    // The rebuild runs with growth disabled: a re-insertion overflow must
+    // not recursively rehash the table being built. The caller-visible
+    // growth config is restored onto the rebuilt options before commit.
+    TableOptions build_opts = new_opts;
+    build_opts.growth.enabled = false;
+    BlockedMcCuckooTable rebuilt(build_opts);
     for (const auto& [k, v] : items) {
       rebuilt.Insert(k, v);
     }
+    rebuilt.opts_.growth = new_opts.growth;
+    // Discard any degraded-state signal the growth-disabled rebuild
+    // raised; the live policy re-evaluates pressure after the commit.
+    rebuilt.metrics_->SetGrowthSuppressed(false);
     // Keep lifetime counters across the rebuild.
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
@@ -604,7 +625,14 @@ class BlockedMcCuckooTable {
     if (seq == nullptr) {
       *rebuilt.stats_ += *stats_;
       rebuilt.metrics_->MergeFrom(*metrics_);
+      // The policy and epoch describe this table's lifetime, not the
+      // scratch rebuild's: carry them across the wholesale move.
+      const uint64_t epoch = rehash_epoch_ + 1;
+      GrowthPolicy saved_growth = std::move(growth_);
       *this = std::move(rebuilt);
+      growth_ = std::move(saved_growth);
+      rehash_epoch_ = epoch;
+      metrics_->RecordRehash(MetricsNowNs() - t0);
       return Status::OK();
     }
     // The attached version array survives the rebuild (mask mapping is
@@ -619,6 +647,7 @@ class BlockedMcCuckooTable {
     if (!aux_held) seq->WriteBegin(seq->aux_stripe());
     CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
     if (!aux_held) seq->WriteEnd(seq->aux_stripe());
+    metrics_->RecordRehash(MetricsNowNs() - t0);
     return Status::OK();
   }
 
@@ -781,6 +810,59 @@ class BlockedMcCuckooTable {
     return Status::OK();
   }
 
+  /// Debug-only consistency check for tests: runs ValidateInvariants and
+  /// additionally verifies that every stashed key still has its stash flag
+  /// set at every candidate bucket (flags are set on all candidates at
+  /// stash time and only cleared by rebuilds, so a missing flag would make
+  /// the key invisible to screened lookups). Flags may be stale-set — they
+  /// are sticky by design — but never missing for a stashed key. Compiles
+  /// to a no-op in release builds.
+  Status CheckInvariants() const {
+#ifdef NDEBUG
+    return Status::OK();
+#else
+    if (Status s = ValidateInvariants(); !s.ok()) return s;
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      for (const auto& [k, v] : stash_.Items()) {
+        const Candidates cand = ComputeCandidates(k);
+        for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+          if (!flags_.Test(cand.bucket[t])) {
+            return Status::Internal(
+                "stashed key lacks a candidate stash flag at bucket " +
+                std::to_string(cand.bucket[t]));
+          }
+          // Without deletions the screen additionally relies on every
+          // stashed key's candidate buckets staying all-ones forever: the
+          // key was stashed only after TryPlace saw every slot at counter
+          // 1, and a counter-1 slot can never fall to 0 nor climb past 1.
+          if (opts_.deletion_mode == DeletionMode::kDisabled) {
+            for (uint32_t s = 0; s < opts_.slots_per_bucket; ++s) {
+              const size_t si = SlotIndex(Position{cand.bucket[t], s});
+              if (counters_.PeekCounter(si) != 1) {
+                return Status::Internal(
+                    "stashed key candidate bucket " +
+                    std::to_string(cand.bucket[t]) + " slot " +
+                    std::to_string(s) + " has counter " +
+                    std::to_string(counters_.PeekCounter(si)) +
+                    " != 1 under kDisabled; the stash screen would veto "
+                    "lookups");
+              }
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+#endif
+  }
+
+  /// Read-only view of the auto-growth state machine (tests/diagnostics).
+  const GrowthPolicy& growth_policy() const { return growth_; }
+
+  /// Bumps on every committed Rehash (manual or auto-growth); batch paths
+  /// use it to detect a mid-batch geometry/seed change.
+  uint64_t rehash_epoch() const { return rehash_epoch_; }
+
  private:
   /// Charges one stash probe: an off-chip read for the paper's off-chip
   /// stash, an on-chip read for the classic CHS stash.
@@ -891,6 +973,8 @@ class BlockedMcCuckooTable {
       ++size_;
       SeqFlush();
       metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
+      growth_.ObserveInsert(/*overflowed=*/false, 0, opts_.maxloop);
+      MaybeGrow();
       return InsertResult::kInserted;
     }
     if (first_collision_items_ == 0) {
@@ -901,7 +985,40 @@ class BlockedMcCuckooTable {
     // Whole chain published at once (see McCuckooTable).
     SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    growth_.ObserveInsert(r != InsertResult::kInserted, chain_len,
+                          opts_.maxloop);
+    MaybeGrow();
     return r;
+  }
+
+  /// Evaluates the growth policy after an insertion and acts on its
+  /// decision. Called with no stripes open (SeqFlush done): Rehash opens
+  /// the aux stripe itself when the outer writer section does not already
+  /// hold it, so a grow commits safely under live optimistic readers.
+  void MaybeGrow() {
+    const GrowthDecision d = growth_.Decide(
+        {TotalItems(), opts_.capacity(), stash_.size(),
+         opts_.buckets_per_table});
+    if (d.action == GrowthAction::kNone) return;
+    if (d.action == GrowthAction::kSuppressed) {
+      metrics_->SetGrowthSuppressed(true);
+      return;
+    }
+    Status s;
+    try {
+      s = Rehash(d.new_buckets_per_table, growth_.NextSeed(opts_.seed));
+    } catch (const std::bad_alloc&) {
+      s = Status::ResourceExhausted("auto-growth allocation failed");
+    }
+    if (s.ok()) {
+      growth_.OnRehashSuccess(d.action);
+      metrics_->RecordGrowthRehash(d.action == GrowthAction::kReseed);
+      metrics_->SetGrowthSuppressed(false);
+    } else {
+      growth_.OnRehashFailure();
+      metrics_->RecordGrowthFailure();
+      metrics_->SetGrowthSuppressed(true);
+    }
   }
 
   size_t SlotIndex(const Position& p) const {
@@ -1160,7 +1277,9 @@ class BlockedMcCuckooTable {
   }
 
   /// Random walk at slot granularity: eviction targets are sole copies
-  /// (all candidate slot counters are 1 when this is reached).
+  /// (all candidate slot counters are 1 when this is reached). On maxloop
+  /// overrun the in-hand item gets one final placement attempt and is
+  /// otherwise stashed — candidate buckets provably all-ones.
   InsertResult RandomWalkInsert(Key key, Value value,
                                 uint32_t* chain_len_out) {
     size_t exclude_bucket = kNoBucket;
@@ -1209,6 +1328,27 @@ class BlockedMcCuckooTable {
       key = std::move(victim.key);
       value = std::move(victim.value);
       ++chain;
+    }
+    // The loop's last iteration evicted one more victim without giving the
+    // newly carried item a placement attempt of its own. Complete that step
+    // before stashing: otherwise an item with an empty or redundant
+    // candidate lands in the stash, and the kDisabled stash screen — which
+    // relies on every stashed key having seen all-ones counters — would
+    // veto that key's own lookups.
+    {
+      const Candidates cand = ComputeCandidates(key);
+      const uint32_t placed = TryPlace(key, value, cand);
+      if (placed > 0) {
+        ++size_;
+        *chain_len_out = chain;
+        if constexpr (kMetricsEnabled) {
+          ev.chain_len = chain;
+          ev.n_steps =
+              static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+          trace_.Record(ev);
+        }
+        return InsertResult::kInserted;
+      }
     }
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
     *chain_len_out = chain;
@@ -1355,7 +1495,9 @@ class BlockedMcCuckooTable {
     redundant_writes_ = rebuilt.redundant_writes_;
     stale_stash_flag_keys_ = rebuilt.stale_stash_flag_keys_;
     forced_rehash_events_ = rebuilt.forced_rehash_events_;
-    // seq_, seq_open_ and retired_ deliberately keep this table's values.
+    ++rehash_epoch_;
+    // seq_, seq_open_, retired_ and growth_ deliberately keep this table's
+    // values (the policy's backoff/reseed state spans rebuilds).
   }
 
   TableOptions opts_;
@@ -1401,6 +1543,11 @@ class BlockedMcCuckooTable {
   uint64_t redundant_writes_ = 0;
   uint64_t stale_stash_flag_keys_ = 0;
   uint64_t forced_rehash_events_ = 0;
+  // Auto-growth state. Declared last and preserved across both Rehash
+  // commit paths: the policy tracks this table's lifetime (backoff,
+  // reseed quota), not any single geometry's.
+  GrowthPolicy growth_;
+  uint64_t rehash_epoch_ = 0;
 };
 
 }  // namespace mccuckoo

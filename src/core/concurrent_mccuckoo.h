@@ -64,7 +64,12 @@ class OneWriterManyReaders {
     }
   }
 
-  /// Writer-side operations (exclusive).
+  /// Writer-side operations (exclusive). With auto-growth enabled
+  /// (options.growth.enabled) an Insert may rehash the table in place;
+  /// that is safe under this writer lock alone even in kOptimistic mode,
+  /// because the table's Rehash opens its own aux seqlock stripe for the
+  /// commit when no maintenance guard holds it — concurrent optimistic
+  /// readers revalidate and retry exactly as for any other mutation.
   InsertResult Insert(const Key& key, const Value& value) {
     std::unique_lock lock(mutex_);
     return table_.Insert(key, value);

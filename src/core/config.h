@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/common/status.h"
+#include "src/core/growth.h"
 #include "src/hash/hash_family.h"
 
 namespace mccuckoo {
@@ -130,6 +131,10 @@ struct TableOptions {
   /// buckets during lookup. Off = read every non-empty candidate.
   bool lookup_pruning_enabled = true;
 
+  /// Auto-growth engine knobs (src/core/growth.h). Disabled by default so
+  /// fixed-size experiments stay reproducible.
+  GrowthConfig growth;
+
   /// Validates ranges; returns InvalidArgument describing the problem.
   Status Validate() const {
     if (num_hashes < 2 || num_hashes > kMaxHashes) {
@@ -144,6 +149,7 @@ struct TableOptions {
     if (kick_counter_bits < 1 || kick_counter_bits > 16) {
       return Status::InvalidArgument("kick_counter_bits must be in [1, 16]");
     }
+    if (Status s = growth.Validate(); !s.ok()) return s;
     return Status::OK();
   }
 

@@ -1,0 +1,253 @@
+// Load-adaptive auto-growth policy for the hash tables.
+//
+// The paper treats the table size as fixed and absorbs insertion failures
+// into the off-chip stash (§III.E); a long-lived deployment instead wants
+// the table to *grow itself* before the stash degrades into a linear
+// overflow list — the standard remedy in production cuckoo stores (MemC3,
+// Fan et al., NSDI 2013). The mechanism already exists: Rehash() rebuilds
+// into a larger bucket count and, when a seqlock is attached, commits
+// safely under live optimistic readers. This header supplies the *policy*
+// around it:
+//
+//  * Triggers. Growth fires on any of three pressure signals, checked
+//    after every insertion:
+//      - load factor above `max_load_factor` (the target band's ceiling);
+//      - stash occupancy above `stash_soft_limit` (each stashed item costs
+//        a charged off-chip probe on the lookups that reach it);
+//      - a streak of `pressure_streak_limit` consecutive "hard" inserts
+//        (a stash spill, or a kick chain that ran at least half of
+//        maxloop) — the leading indicator that the current geometry is
+//        nearly saturated even when the load factor still looks healthy.
+//  * Seed rotation. A pathological key set (or simple bad luck) can choke
+//    a table well below its nominal capacity. When pressure fires without
+//    the load-factor ceiling, the policy first retries the *same* size
+//    under a freshly rotated hash seed, up to `max_reseeds_per_size`
+//    times, before conceding that the table is genuinely full.
+//  * Exponential backoff. Every committed or failed attempt starts a
+//    cooldown measured in insertions; the window doubles after each
+//    reseed or failure (capped at `backoff_max_inserts`) so a key set
+//    that defeats every seed cannot cause a rehash storm. A successful
+//    capacity grow resets the window.
+//  * Graceful degradation. When growth is disabled, the size cap is hit,
+//    or the rebuild allocation fails, the policy reports kSuppressed: the
+//    table keeps absorbing inserts into the stash exactly as the paper
+//    prescribes, and surfaces the state through the `growth_suppressed`
+//    metrics gauge instead of erroring.
+//
+// The policy itself is pure bookkeeping — it never touches a table. The
+// tables feed it ObserveInsert() from their insert paths, ask Decide()
+// whether to act, and report the outcome back via OnRehashSuccess() /
+// OnRehashFailure(). Keeping it table-agnostic makes it unit-testable
+// without building a table (growth_soak_test.cc exercises both).
+
+#ifndef MCCUCKOO_CORE_GROWTH_H_
+#define MCCUCKOO_CORE_GROWTH_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace mccuckoo {
+
+/// Auto-growth knobs, embedded in TableOptions as `growth`. Disabled by
+/// default: the paper's experiments measure fixed-size tables, and growth
+/// must be an explicit opt-in for them to stay reproducible.
+struct GrowthConfig {
+  /// Master switch. Off: the table never rehashes on its own; pressure
+  /// that would have triggered growth raises the growth_suppressed gauge.
+  bool enabled = false;
+
+  /// Load-factor ceiling (TotalItems / capacity) that triggers a capacity
+  /// grow. 0.85 leaves the random walk enough slack that chains stay
+  /// short; the post-grow floor is max_load_factor / growth_factor.
+  double max_load_factor = 0.85;
+
+  /// Bucket-count multiplier per capacity grow (> 1).
+  double growth_factor = 2.0;
+
+  /// Stashed items tolerated before growth is triggered.
+  uint64_t stash_soft_limit = 8;
+
+  /// Consecutive hard inserts (stash spill or chain >= maxloop/2) that
+  /// trigger growth.
+  uint32_t pressure_streak_limit = 8;
+
+  /// Seed rotations attempted at the current size before growing anyway.
+  uint32_t max_reseeds_per_size = 1;
+
+  /// Hard size cap per sub-table; at the cap the policy suppresses
+  /// instead of growing.
+  uint64_t max_buckets_per_table = uint64_t{1} << 32;
+
+  /// Initial cooldown after a rehash attempt, in insertions.
+  uint64_t backoff_initial_inserts = 64;
+
+  /// Cooldown ceiling for the exponential backoff.
+  uint64_t backoff_max_inserts = uint64_t{1} << 20;
+
+  Status Validate() const {
+    if (!(max_load_factor > 0.0 && max_load_factor <= 1.0)) {
+      return Status::InvalidArgument(
+          "growth.max_load_factor must be in (0, 1]");
+    }
+    if (!(growth_factor > 1.0)) {
+      return Status::InvalidArgument("growth.growth_factor must exceed 1");
+    }
+    if (pressure_streak_limit == 0) {
+      return Status::InvalidArgument(
+          "growth.pressure_streak_limit must be positive");
+    }
+    if (max_buckets_per_table == 0) {
+      return Status::InvalidArgument(
+          "growth.max_buckets_per_table must be positive");
+    }
+    if (backoff_initial_inserts == 0 ||
+        backoff_initial_inserts > backoff_max_inserts) {
+      return Status::InvalidArgument(
+          "growth backoff window must satisfy 0 < initial <= max");
+    }
+    return Status::OK();
+  }
+};
+
+/// What the policy wants done after an insertion.
+enum class GrowthAction : uint8_t {
+  kNone,        ///< No pressure (or still cooling down): do nothing.
+  kGrow,        ///< Rehash to `new_buckets_per_table` under a fresh seed.
+  kReseed,      ///< Rehash at the current size under a rotated seed.
+  kSuppressed,  ///< Pressure exists but growth cannot act (disabled or at
+                ///< the size cap): degrade to the stash and raise the gauge.
+};
+
+struct GrowthDecision {
+  GrowthAction action = GrowthAction::kNone;
+  uint64_t new_buckets_per_table = 0;  ///< Valid for kGrow / kReseed.
+};
+
+/// Occupancy snapshot a table hands to Decide().
+struct GrowthInputs {
+  uint64_t total_items = 0;         ///< Live keys, main table + stash.
+  uint64_t capacity_slots = 0;      ///< Total slots.
+  uint64_t stash_items = 0;         ///< Keys currently stashed.
+  uint64_t buckets_per_table = 0;   ///< Current geometry.
+};
+
+/// The state machine. One instance per table; mutations happen only under
+/// the owning table's writer exclusion, so no atomics are needed.
+class GrowthPolicy {
+ public:
+  GrowthPolicy() = default;
+  explicit GrowthPolicy(const GrowthConfig& config) : cfg_(config) {}
+
+  const GrowthConfig& config() const { return cfg_; }
+
+  /// Feeds one insertion outcome into the pressure tracker. `overflowed`
+  /// is true when the insert spilled to the stash (kStashed/kFailed); a
+  /// chain of at least maxloop/2 also counts as a hard insert.
+  void ObserveInsert(bool overflowed, uint32_t chain_len, uint32_t maxloop) {
+    ++inserts_since_attempt_;
+    const bool hard = overflowed || (chain_len > 0 && 2 * chain_len >= maxloop);
+    pressure_streak_ = hard ? pressure_streak_ + 1 : 0;
+  }
+
+  /// Evaluates the triggers against the table's current occupancy. Cheap
+  /// enough to call after every insertion (a handful of compares).
+  GrowthDecision Decide(const GrowthInputs& in) {
+    const bool over_load =
+        in.capacity_slots > 0 &&
+        static_cast<double>(in.total_items) >
+            cfg_.max_load_factor * static_cast<double>(in.capacity_slots);
+    const bool over_stash = in.stash_items > cfg_.stash_soft_limit;
+    const bool over_streak = pressure_streak_ >= cfg_.pressure_streak_limit;
+    if (!over_load && !over_stash && !over_streak) return {};
+    if (!cfg_.enabled) {
+      suppressed_ = true;
+      return {GrowthAction::kSuppressed, 0};
+    }
+    if (attempts_ > 0 && inserts_since_attempt_ < backoff_window_) return {};
+    // Pressure without the load-factor ceiling smells like a bad seed, not
+    // a full table: rotate first, grow once rotations are spent.
+    if (!over_load && reseeds_at_size_ < cfg_.max_reseeds_per_size) {
+      return {GrowthAction::kReseed, in.buckets_per_table};
+    }
+    const uint64_t target = NextBucketCount(in.buckets_per_table);
+    if (target <= in.buckets_per_table) {
+      suppressed_ = true;  // at the size cap
+      return {GrowthAction::kSuppressed, 0};
+    }
+    return {GrowthAction::kGrow, target};
+  }
+
+  /// Rotates the seed for the next rehash (monotone across the policy's
+  /// lifetime, so a reseed never replays an already-defeated seed).
+  uint64_t NextSeed(uint64_t current_seed) {
+    return SplitMix64(current_seed ^
+                      (0x9E3779B97F4A7C15ull * ++seed_rotations_));
+  }
+
+  /// A Rehash committed. Grows reset the reseed quota and the backoff;
+  /// reseeds consume quota and double the backoff (the same keys are
+  /// about to contend with a new seed of unknown quality).
+  void OnRehashSuccess(GrowthAction action) {
+    ++attempts_;
+    inserts_since_attempt_ = 0;
+    pressure_streak_ = 0;
+    suppressed_ = false;
+    if (action == GrowthAction::kReseed) {
+      ++reseeds_at_size_;
+      backoff_window_ = NextBackoff();
+    } else {
+      reseeds_at_size_ = 0;
+      backoff_window_ = cfg_.backoff_initial_inserts;
+    }
+  }
+
+  /// A Rehash attempt failed (validation or allocation): back off and
+  /// degrade to the stash until the window passes.
+  void OnRehashFailure() {
+    ++attempts_;
+    inserts_since_attempt_ = 0;
+    pressure_streak_ = 0;
+    suppressed_ = true;
+    backoff_window_ = NextBackoff();
+  }
+
+  // Introspection (tests / diagnostics).
+  bool suppressed() const { return suppressed_; }
+  uint32_t pressure_streak() const { return pressure_streak_; }
+  uint32_t reseeds_at_size() const { return reseeds_at_size_; }
+  uint64_t attempts() const { return attempts_; }
+  uint64_t backoff_window() const { return backoff_window_; }
+  uint64_t seed_rotations() const { return seed_rotations_; }
+
+ private:
+  uint64_t NextBackoff() const {
+    const uint64_t base =
+        backoff_window_ > 0 ? backoff_window_ : cfg_.backoff_initial_inserts;
+    return base >= cfg_.backoff_max_inserts / 2 ? cfg_.backoff_max_inserts
+                                                : base * 2;
+  }
+
+  uint64_t NextBucketCount(uint64_t buckets) const {
+    const double scaled = static_cast<double>(buckets) * cfg_.growth_factor;
+    uint64_t target = scaled >= static_cast<double>(cfg_.max_buckets_per_table)
+                          ? cfg_.max_buckets_per_table
+                          : static_cast<uint64_t>(scaled);
+    if (target <= buckets) target = buckets + 1;  // growth_factor ~1+eps
+    return target > cfg_.max_buckets_per_table ? buckets : target;
+  }
+
+  GrowthConfig cfg_;
+  uint32_t pressure_streak_ = 0;
+  uint32_t reseeds_at_size_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t inserts_since_attempt_ = 0;
+  uint64_t backoff_window_ = 0;
+  uint64_t seed_rotations_ = 0;
+  bool suppressed_ = false;
+};
+
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_CORE_GROWTH_H_

@@ -43,6 +43,7 @@
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -54,6 +55,7 @@
 #include "src/core/config.h"
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
+#include "src/core/growth.h"
 #include "src/core/seqlock.h"
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
@@ -129,7 +131,8 @@ class McCuckooTable {
         table_(options.num_hashes * options.buckets_per_table),
         counters_(options.num_hashes * options.buckets_per_table,
                   options.num_hashes, stats_.get()),
-        rng_(SplitMix64(options.seed ^ 0xA5A5A5A5A5A5A5A5ull)) {
+        rng_(SplitMix64(options.seed ^ 0xA5A5A5A5A5A5A5A5ull)),
+        growth_(options.growth) {
     assert(options.Validate().ok());
     assert(options.slots_per_bucket == 1);
     assert(options.eviction_policy != EvictionPolicy::kBfs);
@@ -288,9 +291,17 @@ class McCuckooTable {
       const size_t n = std::min(kBatchTile, keys.size() - base);
       StageCandidates(&keys[base], n, cand.data(), /*for_write=*/true);
       for (size_t i = 0; i < n; ++i) {
+        const uint64_t epoch = rehash_epoch_;
         const InsertResult r =
             InsertWithCandidates(keys[base + i], values[base + i], cand[i]);
         if (results != nullptr) results[base + i] = r;
+        // An auto-growth rehash inside the insert replaced the geometry
+        // and hash seeds; the remaining staged candidates were computed
+        // against the old ones and must be re-derived.
+        if (rehash_epoch_ != epoch && i + 1 < n) {
+          StageCandidates(&keys[base + i + 1], n - i - 1, &cand[i + 1],
+                          /*for_write=*/true);
+        }
       }
     }
   }
@@ -631,6 +642,7 @@ class McCuckooTable {
   /// Fails without touching the table if the new capacity cannot hold the
   /// current items.
   Status Rehash(uint64_t new_buckets_per_table, uint64_t new_seed) {
+    const uint64_t t0 = MetricsNowNs();
     TableOptions new_opts = opts_;
     new_opts.buckets_per_table = new_buckets_per_table;
     new_opts.seed = new_seed;
@@ -658,10 +670,19 @@ class McCuckooTable {
       items.emplace_back(k, v);
     }
 
-    McCuckooTable rebuilt(new_opts);
+    // The rebuild runs with growth disabled: a re-insertion overflow must
+    // not recursively rehash the table being built. The caller-visible
+    // growth config is restored onto the rebuilt options before commit.
+    TableOptions build_opts = new_opts;
+    build_opts.growth.enabled = false;
+    McCuckooTable rebuilt(build_opts);
     for (const auto& [k, v] : items) {
       rebuilt.Insert(k, v);
     }
+    rebuilt.opts_.growth = new_opts.growth;
+    // Discard any degraded-state signal the growth-disabled rebuild
+    // raised; the live policy re-evaluates pressure after the commit.
+    rebuilt.metrics_->SetGrowthSuppressed(false);
     // Keep lifetime counters across the rebuild.
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
@@ -670,7 +691,14 @@ class McCuckooTable {
     if (seq == nullptr) {
       *rebuilt.stats_ += *stats_;
       rebuilt.metrics_->MergeFrom(*metrics_);
+      // The policy and epoch describe this table's lifetime, not the
+      // scratch rebuild's: carry them across the wholesale move.
+      const uint64_t epoch = rehash_epoch_ + 1;
+      GrowthPolicy saved_growth = std::move(growth_);
       *this = std::move(rebuilt);
+      growth_ = std::move(saved_growth);
+      rehash_epoch_ = epoch;
+      metrics_->RecordRehash(MetricsNowNs() - t0);
       return Status::OK();
     }
     // The attached version array survives the rebuild (its mask mapping is
@@ -685,6 +713,7 @@ class McCuckooTable {
     if (!aux_held) seq->WriteBegin(seq->aux_stripe());
     CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
     if (!aux_held) seq->WriteEnd(seq->aux_stripe());
+    metrics_->RecordRehash(MetricsNowNs() - t0);
     return Status::OK();
   }
 
@@ -878,6 +907,53 @@ class McCuckooTable {
     return Status::OK();
   }
 
+  /// Debug-build deep check for the chaos/property harnesses:
+  /// ValidateInvariants plus the stash-screen rule that every stashed
+  /// key's candidate buckets carry the stash flag (flags may be stale-set
+  /// — they are sticky by design — but never missing). Compiles to an
+  /// unconditional OK in NDEBUG builds so release benchmarks can keep the
+  /// call sites.
+  Status CheckInvariants() const {
+#ifdef NDEBUG
+    return Status::OK();
+#else
+    if (Status s = ValidateInvariants(); !s.ok()) return s;
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      for (const auto& [k, v] : stash_.Items()) {
+        (void)v;
+        const Candidates cand = ComputeCandidates(k);
+        for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+          if (!table_[cand.idx[t]].stash_flag) {
+            return Status::Internal(
+                "stashed key lacks a candidate stash flag at bucket " +
+                std::to_string(cand.idx[t]));
+          }
+          // Without deletions the screen additionally relies on every
+          // stashed key's candidates holding sole copies forever: the key
+          // was stashed only after TryPlace saw all-ones, and a counter-1
+          // bucket can never fall to 0 nor climb past 1 again.
+          if (opts_.deletion_mode == DeletionMode::kDisabled &&
+              counters_.PeekCounter(cand.idx[t]) != 1) {
+            return Status::Internal(
+                "stashed key candidate bucket " + std::to_string(cand.idx[t]) +
+                " has counter " +
+                std::to_string(counters_.PeekCounter(cand.idx[t])) +
+                " != 1 under kDisabled; the stash screen would veto lookups");
+          }
+        }
+      }
+    }
+    return Status::OK();
+#endif
+  }
+
+  /// Read-only view of the auto-growth state machine.
+  const GrowthPolicy& growth_policy() const { return growth_; }
+
+  /// Completed rehash commits over this table's lifetime (manual and
+  /// growth-triggered). Changes exactly when the geometry/seeds may have.
+  uint64_t rehash_epoch() const { return rehash_epoch_; }
+
  private:
   /// Charges one stash probe: an off-chip read for the paper's off-chip
   /// stash, an on-chip read for the classic CHS stash.
@@ -988,6 +1064,8 @@ class McCuckooTable {
       ++size_;
       SeqFlush();
       metrics_->RecordInsert(/*chain_len=*/0, MetricsNowNs() - t0);
+      growth_.ObserveInsert(/*overflowed=*/false, 0, opts_.maxloop);
+      MaybeGrow();
       return InsertResult::kInserted;
     }
     // All candidates hold sole copies: a real collision (§III.D).
@@ -1000,7 +1078,43 @@ class McCuckooTable {
     // in-hand key absent from a stripe readers could have validated.
     SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    growth_.ObserveInsert(r != InsertResult::kInserted, chain_len,
+                          opts_.maxloop);
+    MaybeGrow();
     return r;
+  }
+
+  /// Runs the growth policy against the post-insert occupancy and performs
+  /// the rehash it asks for. Called with no stripes open (SeqFlush done):
+  /// Rehash opens the aux stripe itself when the outer writer section does
+  /// not already hold it, so optimistic readers stay correct whether the
+  /// trigger fires inside a concurrent wrapper's Insert or a bare table.
+  void MaybeGrow() {
+    const GrowthDecision d = growth_.Decide(
+        {TotalItems(), opts_.capacity(), stash_.size(),
+         opts_.buckets_per_table});
+    if (d.action == GrowthAction::kNone) return;
+    if (d.action == GrowthAction::kSuppressed) {
+      metrics_->SetGrowthSuppressed(true);
+      return;
+    }
+    Status s;
+    try {
+      s = Rehash(d.new_buckets_per_table, growth_.NextSeed(opts_.seed));
+    } catch (const std::bad_alloc&) {
+      // Graceful degradation: the table is untouched (the rebuild never
+      // reached its commit), inserts keep landing in the stash.
+      s = Status::ResourceExhausted("auto-growth allocation failed");
+    }
+    if (s.ok()) {
+      growth_.OnRehashSuccess(d.action);
+      metrics_->RecordGrowthRehash(d.action == GrowthAction::kReseed);
+      metrics_->SetGrowthSuppressed(false);
+    } else {
+      growth_.OnRehashFailure();
+      metrics_->RecordGrowthFailure();
+      metrics_->SetGrowthSuppressed(true);
+    }
   }
 
   // --- seqlock writer hooks ---------------------------------------------
@@ -1171,7 +1285,8 @@ class McCuckooTable {
   /// has any empty or redundant candidate the counters reveal it and the
   /// chain ends immediately; otherwise a random sole-copy occupant (never
   /// the bucket just written) is evicted. On maxloop overrun the in-hand
-  /// item is stashed and its candidates' flags are set (§III.E).
+  /// item gets one final placement attempt and is otherwise stashed —
+  /// candidates provably all sole copies — with its flags set (§III.E).
   InsertResult RandomWalkInsert(Key key, Value value,
                                 uint32_t* chain_len_out) {
     size_t exclude = kNoBucket;
@@ -1217,6 +1332,27 @@ class McCuckooTable {
       key = std::move(vk);
       value = std::move(vv);
       ++chain;
+    }
+    // The loop's last iteration evicted one more victim without giving the
+    // newly carried item a placement attempt of its own. Complete that step
+    // before stashing: otherwise an item with an empty or redundant
+    // candidate lands in the stash, and the kDisabled stash screen — which
+    // relies on every stashed key having seen all-ones counters — would
+    // veto that key's own lookups.
+    {
+      const Candidates cand = ComputeCandidates(key);
+      const uint32_t placed = TryPlace(key, value, cand);
+      if (placed > 0) {
+        ++size_;
+        *chain_len_out = chain;
+        if constexpr (kMetricsEnabled) {
+          ev.chain_len = chain;
+          ev.n_steps =
+              static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+          trace_.Record(ev);
+        }
+        return InsertResult::kInserted;
+      }
     }
     // Insertion failure: park the in-hand item in the stash.
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
@@ -1382,7 +1518,9 @@ class McCuckooTable {
     redundant_writes_ = rebuilt.redundant_writes_;
     stale_stash_flag_keys_ = rebuilt.stale_stash_flag_keys_;
     forced_rehash_events_ = rebuilt.forced_rehash_events_;
-    // seq_, seq_open_ and retired_ deliberately keep this table's values.
+    ++rehash_epoch_;
+    // seq_, seq_open_, retired_ and growth_ deliberately keep this
+    // table's values (the policy's backoff/reseed state spans rebuilds).
   }
 
   TableOptions opts_;
@@ -1423,6 +1561,11 @@ class McCuckooTable {
   uint64_t redundant_writes_ = 0;
   uint64_t stale_stash_flag_keys_ = 0;
   uint64_t forced_rehash_events_ = 0;
+  // Auto-growth engine: the policy state machine and the commit counter
+  // the batched insert path uses to detect mid-batch geometry changes.
+  // Both survive Rehash commits (see CommitRebuildLockFree).
+  GrowthPolicy growth_;
+  uint64_t rehash_epoch_ = 0;
 };
 
 }  // namespace mccuckoo

@@ -19,6 +19,13 @@
 // per-shard prefetch pipeline (the underlying FindBatchNoStats/InsertBatch)
 // and never holding more than one shard lock at once — so no lock-order
 // deadlock is possible against concurrent batches.
+//
+// Auto-growth (options.growth.enabled) is per shard: each shard's table
+// runs its own GrowthPolicy inside Insert, under that shard's unique_lock
+// — a hot shard grows without pausing the others, and with optimistic
+// reads the growing shard's rehash commits under its aux seqlock stripe
+// so that shard's readers never block either. Aggregate metrics sum the
+// per-shard growth counters; growth_suppressed counts degraded shards.
 
 #ifndef MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
 #define MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
@@ -257,8 +264,14 @@ class ShardedMcCuckoo {
   }
 
   uint64_t capacity() const {
+    // Capacity is no longer a construction-time constant: a shard's
+    // auto-growth rehash (inside Insert, under the shard's unique_lock)
+    // changes its geometry, so reading it requires the shard lock too.
     uint64_t total = 0;
-    for (const auto& s : shards_) total += s->table.capacity();
+    for (const auto& s : shards_) {
+      std::shared_lock lock(s->mutex);
+      total += s->table.capacity();
+    }
     return total;
   }
 

@@ -190,6 +190,28 @@ std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
   AppendSample(&out, "mccuckoo_optimistic_fallbacks_total", labels,
                m.optimistic_fallbacks);
 
+  AppendMeta(&out, "mccuckoo_growth_rehashes_total", "counter",
+             "Auto-growth rehashes committed (capacity grows).");
+  AppendSample(&out, "mccuckoo_growth_rehashes_total", labels,
+               m.growth_rehashes);
+  AppendMeta(&out, "mccuckoo_growth_reseeds_total", "counter",
+             "Auto-growth same-size rehashes under a rotated seed.");
+  AppendSample(&out, "mccuckoo_growth_reseeds_total", labels,
+               m.growth_reseeds);
+  AppendMeta(&out, "mccuckoo_growth_failures_total", "counter",
+             "Auto-growth rehash attempts that failed (e.g. allocation).");
+  AppendSample(&out, "mccuckoo_growth_failures_total", labels,
+               m.growth_failures);
+  AppendMeta(&out, "mccuckoo_growth_suppressed", "gauge",
+             "1 when growth pressure exists but growth cannot act (disabled, "
+             "size cap, or failed) and inserts degrade to the stash; sharded "
+             "snapshots sum this over shards.");
+  AppendSample(&out, "mccuckoo_growth_suppressed", labels,
+               m.growth_suppressed);
+  AppendHistogram(&out, "mccuckoo_rehash_duration_ns", labels, m.rehash_ns,
+                  "Wall-clock nanoseconds per table rehash (manual or "
+                  "auto-growth).");
+
   AppendMeta(&out, "mccuckoo_occupancy_items", "gauge",
              "Live items (main table + stash).");
   AppendSample(&out, "mccuckoo_occupancy_items", labels, m.occupancy_items);
@@ -241,6 +263,11 @@ std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
   AppendJsonField(&out, "stash_misses", m.stash_misses, true);
   AppendJsonField(&out, "optimistic_retries", m.optimistic_retries, true);
   AppendJsonField(&out, "optimistic_fallbacks", m.optimistic_fallbacks, true);
+  AppendJsonField(&out, "growth_rehashes", m.growth_rehashes, true);
+  AppendJsonField(&out, "growth_reseeds", m.growth_reseeds, true);
+  AppendJsonField(&out, "growth_failures", m.growth_failures, true);
+  AppendJsonField(&out, "growth_suppressed", m.growth_suppressed, true);
+  AppendJsonHistogram(&out, "rehash_duration_ns", m.rehash_ns, true);
   AppendJsonField(&out, "occupancy_items", m.occupancy_items, true);
   AppendJsonField(&out, "capacity_slots", m.capacity_slots, true);
   char buf[64];
@@ -268,6 +295,7 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
       {"kick_chain_len", m.kick_chain_len},
       {"insert_ns", m.insert_ns},
       {"lookup_probes", m.lookup_probes},
+      {"rehash_duration_ns", m.rehash_ns},
   };
   for (const auto& [name, h] : hists) {
     const std::string base = std::string(name) + ".";
@@ -281,6 +309,10 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
   put("stash_misses", static_cast<double>(m.stash_misses));
   put("optimistic_retries", static_cast<double>(m.optimistic_retries));
   put("optimistic_fallbacks", static_cast<double>(m.optimistic_fallbacks));
+  put("growth_rehashes", static_cast<double>(m.growth_rehashes));
+  put("growth_reseeds", static_cast<double>(m.growth_reseeds));
+  put("growth_failures", static_cast<double>(m.growth_failures));
+  put("growth_suppressed", static_cast<double>(m.growth_suppressed));
   put("occupancy_items", static_cast<double>(m.occupancy_items));
   put("load_factor", m.LoadFactor());
   return out;

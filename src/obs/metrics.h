@@ -143,6 +143,17 @@ struct MetricsSnapshot {
   uint64_t optimistic_retries = 0;
   uint64_t optimistic_fallbacks = 0;
 
+  /// Auto-growth engine (zero while growth is disabled and unpressured).
+  uint64_t growth_rehashes = 0;   ///< Rehashes the engine committed.
+  uint64_t growth_reseeds = 0;    ///< Subset that rotated the seed in place.
+  uint64_t growth_failures = 0;   ///< Attempts that failed (e.g. bad_alloc).
+  /// Gauge: 1 while the table is degraded to stash-backed inserts because
+  /// growth cannot act (disabled, size cap, or a failed attempt backing
+  /// off). Shard merges sum it: the count of degraded shards.
+  uint64_t growth_suppressed = 0;
+  /// Wall-clock nanoseconds per rehash (manual Rehash() calls included).
+  HistogramSnapshot rehash_ns;
+
   /// Gauges, filled by the table at snapshot time (no hot-path cost).
   uint64_t occupancy_items = 0;  ///< Live items (main table + stash).
   uint64_t capacity_slots = 0;   ///< Total slots.
@@ -168,6 +179,11 @@ struct MetricsSnapshot {
     stash_misses += o.stash_misses;
     optimistic_retries += o.optimistic_retries;
     optimistic_fallbacks += o.optimistic_fallbacks;
+    growth_rehashes += o.growth_rehashes;
+    growth_reseeds += o.growth_reseeds;
+    growth_failures += o.growth_failures;
+    growth_suppressed += o.growth_suppressed;
+    rehash_ns += o.rehash_ns;
     occupancy_items += o.occupancy_items;
     capacity_slots += o.capacity_slots;
     return *this;
@@ -271,6 +287,11 @@ struct TableMetrics {
   Counter erases;
   Counter stash_hits;
   Counter stash_misses;
+  Log2Histogram rehash_ns;
+  Counter growth_rehashes;
+  Counter growth_reseeds;
+  Counter growth_failures;
+  Gauge growth_suppressed;
 
   void RecordInsert(uint64_t chain_len, uint64_t ns) {
     kick_chain_len.Record(chain_len);
@@ -297,6 +318,19 @@ struct TableMetrics {
 
   void RecordErase() { erases.Inc(); }
 
+  /// Any rehash's wall-clock duration (manual or growth-triggered).
+  void RecordRehash(uint64_t ns) { rehash_ns.Record(ns); }
+
+  /// A growth-engine rehash committed (`reseed`: in-place seed rotation).
+  void RecordGrowthRehash(bool reseed) {
+    growth_rehashes.Inc();
+    if (reseed) growth_reseeds.Inc();
+  }
+
+  void RecordGrowthFailure() { growth_failures.Inc(); }
+
+  void SetGrowthSuppressed(bool on) { growth_suppressed.Set(on ? 1 : 0); }
+
   /// Operation counters are derived, not separately maintained, so the
   /// "count" invariants in MetricsSnapshot hold by construction. Gauges
   /// (occupancy/capacity) are left zero — the owning table fills them.
@@ -314,6 +348,11 @@ struct TableMetrics {
     }
     s.stash_hits = stash_hits.Value();
     s.stash_misses = stash_misses.Value();
+    s.rehash_ns = rehash_ns.Snapshot();
+    s.growth_rehashes = growth_rehashes.Value();
+    s.growth_reseeds = growth_reseeds.Value();
+    s.growth_failures = growth_failures.Value();
+    s.growth_suppressed = growth_suppressed.Value();
     return s;
   }
 
@@ -330,6 +369,13 @@ struct TableMetrics {
     erases.Inc(o.erases.Value());
     stash_hits.Inc(o.stash_hits.Value());
     stash_misses.Inc(o.stash_misses.Value());
+    rehash_ns.MergeFrom(o.rehash_ns);
+    growth_rehashes.Inc(o.growth_rehashes.Value());
+    growth_reseeds.Inc(o.growth_reseeds.Value());
+    growth_failures.Inc(o.growth_failures.Value());
+    // Sticky OR: merging a fresh rebuild's metrics must not clear a
+    // degraded state this table already reported.
+    if (o.growth_suppressed.Value() != 0) growth_suppressed.Set(1);
   }
 
   void Reset() {
@@ -341,6 +387,11 @@ struct TableMetrics {
     erases.Reset();
     stash_hits.Reset();
     stash_misses.Reset();
+    rehash_ns.Reset();
+    growth_rehashes.Reset();
+    growth_reseeds.Reset();
+    growth_failures.Reset();
+    growth_suppressed.Set(0);
   }
 };
 
@@ -416,6 +467,10 @@ struct TableMetrics {
   void RecordPartitionHit(uint32_t) {}
   void RecordStashProbe(bool) {}
   void RecordErase() {}
+  void RecordRehash(uint64_t) {}
+  void RecordGrowthRehash(bool) {}
+  void RecordGrowthFailure() {}
+  void SetGrowthSuppressed(bool) {}
   MetricsSnapshot Snapshot() const { return {}; }
   void MergeFrom(const TableMetrics&) {}
   void Reset() {}

@@ -34,6 +34,11 @@ TableOptions RandomOptions(Xoshiro256& rng, bool blocked) {
       rng.Bernoulli(0.3) ? StashKind::kOnchipChs : StashKind::kOffchip;
   o.stash_screen_enabled = rng.Bernoulli(0.8);
   o.lookup_pruning_enabled = rng.Bernoulli(0.8);
+  // A third of the configs run with auto-growth live, so rehashes land in
+  // the middle of the op stream and interact with every other toggle.
+  o.growth.enabled = rng.Bernoulli(0.33);
+  o.growth.stash_soft_limit = 2 + rng.Below(8);
+  o.growth.pressure_streak_limit = 4 + static_cast<uint32_t>(rng.Below(8));
   return o;
 }
 
@@ -82,7 +87,11 @@ void RunChaos(uint64_t master_seed, bool blocked) {
         ASSERT_EQ(v, model[k]) << k;
       }
       if (i % (ops / 4) == ops / 4 - 1) {
-        const Status s = t.ValidateInvariants();
+        // Full structural validation plus the debug-only stash-flag
+        // consistency sweep (a no-op in release builds).
+        Status s = t.ValidateInvariants();
+        ASSERT_TRUE(s.ok()) << "op " << i << ": " << s.ToString();
+        s = t.CheckInvariants();
         ASSERT_TRUE(s.ok()) << "op " << i << ": " << s.ToString();
       }
     }

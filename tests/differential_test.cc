@@ -13,6 +13,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/blocked_mccuckoo_table.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/core/sharded_mccuckoo.h"
 #include "src/sim/schemes.h"
 #include "src/sim/sweep.h"
 #include "src/workload/keyset.h"
@@ -176,6 +179,87 @@ TEST(BatchDifferentialTest, BatchPathsMatchScalarBitForBit) {
         << SchemeName(kind) << " stats diverged after miss lookups";
     EXPECT_TRUE(batched->ValidateInvariants().ok()) << SchemeName(kind);
   }
+}
+
+// Auto-growth differential: a growth-enabled table processing an op
+// stream that pushes far past its initial capacity must agree with
+// std::unordered_map at every step — growth rehashes in the middle of the
+// stream (triggered by the stream itself, not by the test) must be
+// invisible to callers. Run directly over both core tables and the
+// sharded front-end, which grows each shard independently.
+template <typename TableLike>
+void RunGrowthOracle(TableLike& t, uint64_t seed, uint64_t initial_capacity,
+                     uint64_t ops) {
+  std::unordered_map<uint64_t, uint64_t> model;
+  std::vector<uint64_t> live;
+  Xoshiro256 rng(seed);
+  uint64_t next_key = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const double u = rng.NextDouble();
+    if (u < 0.55 || live.empty()) {
+      const uint64_t k = SplitMix64((seed << 16) ^ next_key++);
+      const uint64_t v = rng.Next();
+      ASSERT_NE(t.Insert(k, v), InsertResult::kFailed) << "step " << i;
+      model.emplace(k, v);
+      live.push_back(k);
+    } else if (u < 0.70) {
+      const size_t pick = rng.Below(live.size());
+      ASSERT_TRUE(t.Erase(live[pick])) << "step " << i;
+      model.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const uint64_t k = live[rng.Below(live.size())];
+      uint64_t v = 0;
+      ASSERT_TRUE(t.Find(k, &v)) << "step " << i << " key " << k;
+      ASSERT_EQ(v, model[k]) << "step " << i;
+    }
+  }
+  ASSERT_EQ(t.TotalItems(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(t.Find(k, &got)) << k;
+    ASSERT_EQ(got, v) << k;
+  }
+  // The stream's net insertions dwarf the initial capacity, so the agree-
+  // at-every-step loop above must have crossed several growth commits.
+  EXPECT_GT(t.TotalItems(), initial_capacity);
+}
+
+TableOptions GrowthOracleOptions() {
+  TableOptions o;
+  o.buckets_per_table = 128;
+  o.maxloop = 100;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  o.growth.enabled = true;
+  return o;
+}
+
+TEST(GrowthDifferentialTest, SingleSlotMatchesUnorderedMap) {
+  TableOptions o = GrowthOracleOptions();
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const uint64_t initial = t.capacity();
+  RunGrowthOracle(t, 0x6001, initial, 30000);
+  EXPECT_GT(t.growth_policy().attempts(), 0u);
+  EXPECT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants().ToString();
+}
+
+TEST(GrowthDifferentialTest, BlockedMatchesUnorderedMap) {
+  TableOptions o = GrowthOracleOptions();
+  o.slots_per_bucket = 3;
+  BlockedMcCuckooTable<uint64_t, uint64_t> t(o);
+  const uint64_t initial = t.capacity();
+  RunGrowthOracle(t, 0x6002, initial, 30000);
+  EXPECT_GT(t.growth_policy().attempts(), 0u);
+  EXPECT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants().ToString();
+}
+
+TEST(GrowthDifferentialTest, ShardedMatchesUnorderedMap) {
+  ShardedMcCuckoo<McCuckooTable<uint64_t, uint64_t>> t(GrowthOracleOptions(),
+                                                       /*num_shards=*/4);
+  const uint64_t initial = t.capacity();
+  RunGrowthOracle(t, 0x6003, initial, 30000);
+  EXPECT_GT(t.metrics_snapshot().growth_rehashes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -365,6 +365,67 @@ TEST(OptimisticStressTest, RehashUnderOptimisticReaders) {
   for (uint64_t k : keys) EXPECT_TRUE(table.Contains(k)) << k;
 }
 
+// Auto-growth firing repeatedly while optimistic readers run: the writer
+// pushes ~16x the initial capacity so growth rehashes land mid-stream,
+// every committed key must stay visible with its exact value across each
+// growth commit, and the readers' lock fallbacks stay bounded — each
+// scalar read can fall back at most once, so fallbacks <= reads performed
+// holds on any scheduler (non-flaky), while torn reads or lost keys would
+// show up as reader_errors.
+TEST(OptimisticStressTest, AutoGrowthUnderOptimisticReaders) {
+  using Table = McCuckooTable<uint64_t, uint64_t>;
+  TableOptions o;
+  o.buckets_per_table = 256;
+  o.maxloop = 200;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  o.growth.enabled = true;
+  OptimisticReaders<Table> table(o);
+
+  const auto keys = MakeUniqueKeys(12000, 23, 0);
+  std::atomic<size_t> committed{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<uint64_t> reader_ops{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t i = static_cast<uint64_t>(r) * 7919;
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t limit = committed.load(std::memory_order_acquire);
+        if (limit > 0) {
+          const uint64_t k = keys[i % limit];
+          uint64_t v = 0;
+          if (!table.Find(k, &v) || v != k + 42) reader_errors.fetch_add(1);
+          ++ops;
+        }
+        ++i;
+      }
+      reader_ops.fetch_add(ops);
+    });
+  }
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(table.Insert(keys[i], keys[i] + 42), InsertResult::kFailed);
+    committed.store(i + 1, std::memory_order_release);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(table.size() + table.stash_size(), keys.size());
+
+  const MetricsSnapshot snap = table.metrics_snapshot();
+  EXPECT_GT(snap.growth_rehashes, 0u);
+  EXPECT_LE(snap.optimistic_fallbacks, reader_ops.load());
+  // Growth pressure was satisfied by growing, never by degrading.
+  EXPECT_EQ(snap.growth_suppressed, 0u);
+  EXPECT_TRUE(table.WithExclusive(
+      [](Table& t) { return t.CheckInvariants(); }).ok());
+}
+
 TEST(OptimisticStressTest, MetricsCountersExported) {
   OptimisticReaders<McCuckooTable<uint64_t, uint64_t>> table(SmallOptions(1));
   for (uint64_t k = 0; k < 500; ++k) table.Insert(k * 2654435761u, k);

@@ -25,7 +25,7 @@ done < "$schema"
 
 # Histogram invariant: cumulative le="+Inf" bucket == _count.
 for hist in mccuckoo_kick_chain_length mccuckoo_insert_latency_ns \
-            mccuckoo_lookup_probes; do
+            mccuckoo_lookup_probes mccuckoo_rehash_duration_ns; do
   inf=$(grep -E "^${hist}_bucket\{.*le=\"\+Inf\"\} [0-9]+$" <<<"$out" |
         awk '{print $2}')
   count=$(grep -E "^${hist}_count\{" <<<"$out" | awk '{print $2}')
