@@ -30,25 +30,30 @@ SchemeConfig Config() {
   return c;
 }
 
-std::unique_ptr<SchemeTable> FilledTable(SchemeKind kind, double load) {
-  auto t = MakeScheme(kind, Config());
+std::unique_ptr<SchemeTable> FilledTable(
+    SchemeKind kind, double load,
+    EvictionPolicy policy = EvictionPolicy::kRandomWalk) {
+  SchemeConfig c = Config();
+  c.eviction_policy = policy;
+  auto t = MakeScheme(kind, c);
   const auto keys = MakeUniqueKeys(t->capacity(), 7, 0);
   size_t cursor = 0;
   FillToLoad(*t, keys, load, &cursor);
   return t;
 }
 
-void BM_Insert(benchmark::State& state, SchemeKind kind, double load) {
+void BM_Insert(benchmark::State& state, SchemeKind kind, double load,
+               EvictionPolicy policy = EvictionPolicy::kRandomWalk) {
   // Rebuild periodically: inserting past the target load would distort the
   // measurement, so insert in bounded bursts from the prefill point.
-  auto table = FilledTable(kind, load);
+  auto table = FilledTable(kind, load, policy);
   const auto fresh = MakeUniqueKeys(kSlots, 7, 3);
   size_t i = 0;
   const size_t burst_limit = static_cast<size_t>(kSlots) / 20;
   for (auto _ : state) {
     if (i >= burst_limit) {
       state.PauseTiming();
-      table = FilledTable(kind, load);
+      table = FilledTable(kind, load, policy);
       i = 0;
       state.ResumeTiming();
     }
@@ -99,12 +104,26 @@ void RegisterAll() {
       const std::string suffix =
           std::string(".") + SchemeName(kind) + ".load" + std::to_string(load);
       benchmark::RegisterBenchmark(("insert" + suffix).c_str(), BM_Insert,
-                                   kind, load / 100.0)
+                                   kind, load / 100.0,
+                                   EvictionPolicy::kRandomWalk)
           ->Iterations(30000);
       benchmark::RegisterBenchmark(("lookup_hit" + suffix).c_str(),
                                    BM_LookupHit, kind, load / 100.0);
       benchmark::RegisterBenchmark(("lookup_miss" + suffix).c_str(),
                                    BM_LookupMiss, kind, load / 100.0);
+    }
+  }
+  // Counter-guided BFS insert variants on the tables that support kBfs —
+  // the load90 rows are the direct fix for the recorded insert collapse
+  // (micro.insert.McCuckoo.load90 under random walk).
+  for (const SchemeKind kind :
+       {SchemeKind::kCuckoo, SchemeKind::kMcCuckoo, SchemeKind::kBMcCuckoo}) {
+    for (const int load : {50, 90}) {
+      const std::string name = std::string("insert_bfs.") + SchemeName(kind) +
+                               ".load" + std::to_string(load);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Insert, kind, load / 100.0,
+                                   EvictionPolicy::kBfs)
+          ->Iterations(30000);
     }
   }
   benchmark::RegisterBenchmark("lookup_hit.std_unordered_map",

@@ -16,6 +16,7 @@
 #include "src/workload/keyset.h"
 
 using mccuckoo::DeletionMode;
+using mccuckoo::EvictionPolicy;
 using mccuckoo::ExportJson;
 using mccuckoo::ExportPrometheus;
 using mccuckoo::FormatTraceEvents;
@@ -73,8 +74,26 @@ int main() {
               grow_target, growing.capacity(), grow_snap.growth_rehashes,
               grow_snap.growth_reseeds);
 
+  // A third table driven with BFS eviction at the same punishing load: its
+  // counter-guided searches populate the per-policy chain histogram and the
+  // nodes-expanded counter, so the sections below show them nonzero.
+  TableOptions bfs_options;
+  bfs_options.num_hashes = 3;
+  bfs_options.buckets_per_table = 2'000;
+  bfs_options.maxloop = 100;
+  bfs_options.eviction_policy = EvictionPolicy::kBfs;
+  McCuckooTable<uint64_t, uint64_t> bfs_table(bfs_options);
+  for (uint64_t k : MakeUniqueKeys(bfs_table.capacity() * 95 / 100, 1, 42)) {
+    bfs_table.Insert(k, k + 1);
+  }
+  const MetricsSnapshot bfs_snap = bfs_table.SnapshotMetrics();
+  std::printf("bfs demo: %" PRIu64 " colliding inserts expanded %" PRIu64
+              " search nodes\n\n",
+              bfs_snap.policy_chain_len[2].count, bfs_snap.bfs_nodes_expanded);
+
   MetricsSnapshot snap = table.SnapshotMetrics();
   snap += grow_snap;
+  snap += bfs_snap;
 
   std::printf("=== prometheus ===\n%s\n",
               ExportPrometheus(snap, table.stats(), {{"scheme", "McCuckoo"}})

@@ -14,6 +14,8 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -55,9 +57,13 @@ class BchtTable {
         slots_(static_cast<size_t>(options.num_hashes) *
                options.buckets_per_table * options.slots_per_bucket),
         rng_(SplitMix64(options.seed ^ 0xBC47BC47BC47BC47ull)) {
-    assert(options.Validate().ok());
-    assert(options.slots_per_bucket >= 2);
-    assert(options.eviction_policy != EvictionPolicy::kBfs);
+    // Constructor and Create() enforce the same rules; a direct construction
+    // with bad options dies loudly in every build mode instead of asserting
+    // only in Debug.
+    if (Status s = CheckOptions(options); !s.ok()) {
+      std::fprintf(stderr, "BchtTable: %s\n", s.message().c_str());
+      std::abort();
+    }
     if (options.eviction_policy == EvictionPolicy::kMinCounter) {
       kick_history_ = KickHistory(
           static_cast<size_t>(options.num_hashes) * options.buckets_per_table,
@@ -67,6 +73,12 @@ class BchtTable {
 
   /// Validating factory for untrusted configuration.
   static Result<BchtTable> Create(const TableOptions& options) {
+    if (Status s = CheckOptions(options); !s.ok()) return s;
+    return BchtTable(options);
+  }
+
+  /// Shared option screen for the constructor and Create().
+  static Status CheckOptions(const TableOptions& options) {
     Status s = options.Validate();
     if (!s.ok()) return s;
     if (options.slots_per_bucket < 2) {
@@ -75,9 +87,10 @@ class BchtTable {
     }
     if (options.eviction_policy == EvictionPolicy::kBfs) {
       return Status::InvalidArgument(
-          "BFS eviction is only supported by the CuckooTable baseline");
+          "BchtTable does not support BFS eviction; use CuckooTable, "
+          "McCuckooTable or BlockedMcCuckooTable");
     }
-    return BchtTable(options);
+    return Status::OK();
   }
 
   // --- Core operations ---------------------------------------------------
@@ -175,8 +188,10 @@ class BchtTable {
   InsertResult InsertWithCandidates(Key key, Value value,
                                     std::array<size_t, kMaxHashes> cand) {
     const uint64_t t0 = MetricsNowNs();
-    // Scan candidate buckets (one read each) for a free slot.
-    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+    // Scan candidate buckets (one read each) for a free slot. Bubbling scans
+    // the highest-numbered level first, keeping low levels in reserve.
+    for (uint32_t i = 0; i < opts_.num_hashes; ++i) {
+      const uint32_t t = ScanLevel(i);
       const int slot = FreeSlotIn(cand[t]);
       if (slot >= 0) {
         StoreSlot(cand[t], static_cast<uint32_t>(slot), key, value);
@@ -190,16 +205,18 @@ class BchtTable {
     }
     // Kick-out chain over random slots.
     size_t exclude_bucket = kNoBucket;
+    int32_t from_level = -1;  // bubbling: level the displaced item came from
     uint32_t chain = 0;
     KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       if (loop > 0) {
         cand = CandidateBuckets(key);
-        for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-          if (cand[t] == exclude_bucket) continue;
-          const int slot = FreeSlotIn(cand[t]);
+        for (uint32_t i = 0; i < opts_.num_hashes; ++i) {
+          const uint32_t lvl = ScanLevel(i);
+          if (cand[lvl] == exclude_bucket) continue;
+          const int slot = FreeSlotIn(cand[lvl]);
           if (slot >= 0) {
-            StoreSlot(cand[t], static_cast<uint32_t>(slot), key, value);
+            StoreSlot(cand[lvl], static_cast<uint32_t>(slot), key, value);
             ++size_;
             if constexpr (kMetricsEnabled) {
               ev.chain_len = chain;
@@ -208,12 +225,18 @@ class BchtTable {
               trace_.Record(ev);
             }
             metrics_->RecordInsert(chain, MetricsNowNs() - t0);
+            metrics_->RecordPolicyChain(
+                static_cast<uint32_t>(opts_.eviction_policy), chain);
             return InsertResult::kInserted;
           }
         }
       }
-      const uint32_t t = PickVictim(cand, opts_.num_hashes, exclude_bucket,
-                                    kick_history_, rng_);
+      const uint32_t t =
+          opts_.eviction_policy == EvictionPolicy::kBubble
+              ? PickBubbleVictim(cand, opts_.num_hashes, exclude_bucket,
+                                 from_level)
+              : PickVictim(cand, opts_.num_hashes, exclude_bucket,
+                           kick_history_, rng_);
       const uint32_t s =
           static_cast<uint32_t>(rng_.Below(opts_.slots_per_bucket));
       if constexpr (kMetricsEnabled) {
@@ -229,6 +252,7 @@ class BchtTable {
       ++stats_->kickouts;
       if (kick_history_.enabled()) kick_history_.Increment(cand[t]);
       exclude_bucket = cand[t];
+      from_level = static_cast<int32_t>(t);
       key = std::move(vk);
       value = std::move(vv);
       ++chain;
@@ -243,6 +267,8 @@ class BchtTable {
       trace_.NoteStashed();
     }
     metrics_->RecordInsert(chain, MetricsNowNs() - t0);
+    metrics_->RecordPolicyChain(static_cast<uint32_t>(opts_.eviction_policy),
+                                chain);
     ChargeStashWrite();
     stash_.Insert(key, value);
     if (opts_.stash_kind == StashKind::kOnchipChs &&
@@ -435,6 +461,14 @@ class BchtTable {
 
   size_t SlotIndex(size_t bucket, uint32_t slot) const {
     return bucket * opts_.slots_per_bucket + slot;
+  }
+
+  /// Free-slot scan order: natural (level 0 first) for most policies,
+  /// reversed for kBubble so the low levels keep headroom for bubbling.
+  uint32_t ScanLevel(uint32_t i) const {
+    return opts_.eviction_policy == EvictionPolicy::kBubble
+               ? opts_.num_hashes - 1 - i
+               : i;
   }
 
   /// Reads bucket `idx` (one off-chip access) and returns a free slot index

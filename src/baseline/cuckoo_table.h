@@ -21,7 +21,7 @@
 #include <cstdlib>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -55,13 +55,29 @@ class CuckooTable {
     bool occupied = false;
   };
 
+  /// The configuration conditions Create() reports as Status. The
+  /// constructor enforces the same conditions with an unconditional abort,
+  /// so Debug and Release builds agree on what direct construction with
+  /// unsupported options does (it used to be a Debug-only assert).
+  static Status CheckOptions(const TableOptions& options) {
+    if (Status s = options.Validate(); !s.ok()) return s;
+    if (options.slots_per_bucket != 1) {
+      return Status::InvalidArgument("CuckooTable is single-slot; use BchtTable");
+    }
+    return Status::OK();
+  }
+
+  /// Constructs a table; `options` must satisfy CheckOptions() (aborts
+  /// otherwise — use Create() for untrusted configuration).
   explicit CuckooTable(const TableOptions& options)
       : opts_(options),
         family_(options.num_hashes, options.buckets_per_table, options.seed),
         table_(options.num_hashes * options.buckets_per_table),
         rng_(SplitMix64(options.seed ^ 0x1234ABCD5678EF00ull)) {
-    assert(options.Validate().ok());
-    assert(options.slots_per_bucket == 1);
+    if (Status s = CheckOptions(options); !s.ok()) {
+      std::fprintf(stderr, "CuckooTable: %s\n", s.message().c_str());
+      std::abort();
+    }
     if (options.eviction_policy == EvictionPolicy::kMinCounter) {
       kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
                                   stats_.get());
@@ -70,11 +86,7 @@ class CuckooTable {
 
   /// Validating factory for untrusted configuration.
   static Result<CuckooTable> Create(const TableOptions& options) {
-    Status s = options.Validate();
-    if (!s.ok()) return s;
-    if (options.slots_per_bucket != 1) {
-      return Status::InvalidArgument("CuckooTable is single-slot; use BchtTable");
-    }
+    if (Status s = CheckOptions(options); !s.ok()) return s;
     return CuckooTable(options);
   }
 
@@ -285,12 +297,24 @@ class CuckooTable {
 
   static constexpr size_t kNoBucket = static_cast<size_t>(-1);
 
+  /// Scan order for the empty-candidate scans: bubbling places fresh and
+  /// displaced items as *high* (largest sub-table index) as possible,
+  /// reserving headroom in the low levels for the items its eviction cycle
+  /// sweeps upward (arXiv 2501.02312); every other policy scans in table
+  /// order. Returns the t-th candidate to try at scan position `i`.
+  uint32_t ScanLevel(uint32_t i) const {
+    return opts_.eviction_policy == EvictionPolicy::kBubble
+               ? opts_.num_hashes - 1 - i
+               : i;
+  }
+
   /// Scalar Insert body operating on precomputed candidates.
   InsertResult InsertWithCandidates(Key key, Value value,
                                     const std::array<size_t, kMaxHashes>& cand) {
     const uint64_t t0 = MetricsNowNs();
     // Scan candidates for an empty bucket (each check is an off-chip read).
-    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+    for (uint32_t i = 0; i < opts_.num_hashes; ++i) {
+      const uint32_t t = ScanLevel(i);
       if (!LoadBucket(cand[t]).occupied) {
         StoreBucket(cand[t], key, value, true);
         ++size_;
@@ -302,14 +326,20 @@ class CuckooTable {
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
+    const bool bfs = opts_.eviction_policy == EvictionPolicy::kBfs;
     uint32_t chain_len = 0;
+    uint32_t bfs_nodes = 0;
     InsertResult r;
-    if (opts_.eviction_policy == EvictionPolicy::kBfs) {
-      r = BfsInsert(std::move(key), std::move(value), cand, &chain_len);
+    if (bfs) {
+      r = BfsInsert(std::move(key), std::move(value), cand, &chain_len,
+                    &bfs_nodes);
     } else {
       r = WalkInsert(std::move(key), std::move(value), cand, &chain_len);
     }
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    metrics_->RecordPolicyChain(
+        static_cast<uint32_t>(opts_.eviction_policy), chain_len);
+    if (bfs) metrics_->RecordBfsNodes(bfs_nodes);
     return r;
   }
 
@@ -358,18 +388,20 @@ class CuckooTable {
     }
   }
 
-  /// Random-walk / MinCounter kick-out chain. `cand` are the (already read,
-  /// all occupied) candidates of `key`.
+  /// Random-walk / MinCounter / bubbling kick-out chain. `cand` are the
+  /// (already read, all occupied) candidates of `key`.
   InsertResult WalkInsert(Key key, Value value,
                           std::array<size_t, kMaxHashes> cand,
                           uint32_t* chain_len_out) {
     size_t exclude = kNoBucket;
+    int32_t from_level = -1;  // bubbling: level the in-hand item left
     uint32_t chain = 0;
     KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
       if (loop > 0) {
         cand = Candidates(key);
-        for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        for (uint32_t i = 0; i < opts_.num_hashes; ++i) {
+          const uint32_t t = ScanLevel(i);
           if (cand[t] == exclude) continue;  // just evicted from there
           if (!LoadBucket(cand[t]).occupied) {
             StoreBucket(cand[t], key, value, true);
@@ -386,7 +418,10 @@ class CuckooTable {
         }
       }
       const uint32_t t =
-          PickVictim(cand, opts_.num_hashes, exclude, kick_history_, rng_);
+          opts_.eviction_policy == EvictionPolicy::kBubble
+              ? PickBubbleVictim(cand, opts_.num_hashes, exclude, from_level)
+              : PickVictim(cand, opts_.num_hashes, exclude, kick_history_,
+                           rng_);
       if constexpr (kMetricsEnabled) {
         if (chain < kMaxTraceSteps) {
           // No copy counters in the baseline: record counter 0.
@@ -400,6 +435,7 @@ class CuckooTable {
       ++stats_->kickouts;
       if (kick_history_.enabled()) kick_history_.Increment(cand[t]);
       exclude = cand[t];
+      from_level = static_cast<int32_t>(t);
       key = std::move(vk);
       value = std::move(vv);
       ++chain;
@@ -424,67 +460,67 @@ class CuckooTable {
                                : InsertResult::kFailed;
   }
 
-  /// Breadth-first search for the shortest cuckoo path [3]: explore the
-  /// eviction tree level by level until an empty bucket appears, then shift
-  /// the items along the path *backwards* (empty end first) so no item is
-  /// ever absent from the table. The node budget is maxloop, making the
-  /// work bound comparable to the walk policies.
+  /// Breadth-first search for the shortest cuckoo path [3], driven by the
+  /// shared BfsFindPath engine (src/core/eviction.h): explore the eviction
+  /// tree level by level until an empty bucket appears, then shift the
+  /// items along the path *backwards* (empty end first) so no item is ever
+  /// absent from the table. The baseline has no counters, so the only
+  /// terminal is a true hole and every child check costs a charged bucket
+  /// read; a local visited mirror keeps each bucket read at most once, as
+  /// before the refactor. The node budget is maxloop, making the work
+  /// bound comparable to the walk policies.
   InsertResult BfsInsert(Key key, Value value,
                          const std::array<size_t, kMaxHashes>& cand,
-                         uint32_t* chain_len_out) {
-    struct Node {
-      size_t bucket;
-      int32_t parent;  // index into nodes, -1 for roots
-    };
-    std::vector<Node> nodes;
-    nodes.reserve(opts_.maxloop);
-    std::unordered_map<size_t, bool> visited;
-    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-      if (visited.emplace(cand[t], true).second) {
-        nodes.push_back({cand[t], -1});
-      }
-    }
-    for (size_t head = 0; head < nodes.size(); ++head) {
-      const Key occupant = table_[nodes[head].bucket].key;  // read earlier
-      const std::array<size_t, kMaxHashes> alt = Candidates(occupant);
-      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-        if (alt[t] == nodes[head].bucket) continue;
-        if (!visited.emplace(alt[t], true).second) continue;
-        if (!LoadBucket(alt[t]).occupied) {
-          // Found the path; move items from the empty end backwards.
-          size_t hole = alt[t];
-          int32_t n = static_cast<int32_t>(head);
-          uint32_t chain = 0;
-          KickChainEvent ev{};
-          while (n >= 0) {
-            const Bucket& src = table_[nodes[n].bucket];
-            StoreBucket(hole, src.key, src.value, true);
-            ++stats_->kickouts;
-            if constexpr (kMetricsEnabled) {
-              if (chain < kMaxTraceSteps) {
-                ev.step[chain] =
-                    KickStep{static_cast<uint64_t>(nodes[n].bucket), 0};
-              }
+                         uint32_t* chain_len_out, uint32_t* nodes_out) {
+    std::array<uint64_t, kMaxHashes> roots{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) roots[t] = cand[t];
+    std::unordered_set<uint64_t> seen(roots.begin(),
+                                      roots.begin() + opts_.num_hashes);
+    const BfsPathResult path = BfsFindPath(
+        roots.data(), opts_.num_hashes, BfsNodeBudget(opts_.maxloop),
+        [&](uint64_t id, auto&& emit, auto&& terminal) {
+          const size_t bucket = static_cast<size_t>(id);
+          const Key occupant = table_[bucket].key;  // read earlier
+          const std::array<size_t, kMaxHashes> alt = Candidates(occupant);
+          for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+            if (alt[t] == bucket) continue;
+            if (!seen.insert(alt[t]).second) continue;
+            if (!LoadBucket(alt[t]).occupied) {
+              terminal(alt[t]);
+              return;
             }
-            ++chain;
-            hole = nodes[n].bucket;
-            n = nodes[n].parent;
+            emit(alt[t]);
           }
-          StoreBucket(hole, key, value, true);
-          ++size_;
-          *chain_len_out = chain;
-          if constexpr (kMetricsEnabled) {
-            ev.chain_len = chain;
-            ev.n_steps = static_cast<uint32_t>(
-                std::min<size_t>(chain, kMaxTraceSteps));
-            trace_.Record(ev);
+        });
+    *nodes_out = path.nodes_expanded;
+    if (path.found) {
+      // Move items from the empty end backwards.
+      KickChainEvent ev{};
+      size_t hole = static_cast<size_t>(path.terminal);
+      for (size_t i = path.node.size(); i-- > 0;) {
+        const size_t src = static_cast<size_t>(path.node[i]);
+        const Bucket& b = table_[src];
+        StoreBucket(hole, b.key, b.value, true);
+        ++stats_->kickouts;
+        if constexpr (kMetricsEnabled) {
+          if (i < kMaxTraceSteps) {
+            // No copy counters in the baseline: record counter 0.
+            ev.step[i] = KickStep{static_cast<uint64_t>(src), 0};
           }
-          return InsertResult::kInserted;
         }
-        if (nodes.size() >= opts_.maxloop) break;
-        nodes.push_back({alt[t], static_cast<int32_t>(head)});
+        hole = src;
       }
-      if (nodes.size() >= opts_.maxloop) break;
+      StoreBucket(hole, key, value, true);
+      ++size_;
+      const uint32_t chain = static_cast<uint32_t>(path.node.size());
+      *chain_len_out = chain;
+      if constexpr (kMetricsEnabled) {
+        ev.chain_len = chain;
+        ev.n_steps =
+            static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+        trace_.Record(ev);
+      }
+      return InsertResult::kInserted;
     }
     // Node budget exhausted without finding an empty bucket.
     if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;

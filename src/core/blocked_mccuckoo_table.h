@@ -119,6 +119,22 @@ class BlockedMcCuckooTable {
   };
 
  public:
+  /// The configuration conditions Create() reports as Status. The
+  /// constructor enforces the same conditions with an unconditional abort,
+  /// so Debug and Release builds agree on what direct construction with
+  /// unsupported options does (it used to be a Debug-only assert).
+  static Status CheckOptions(const TableOptions& options) {
+    if (Status s = options.Validate(); !s.ok()) return s;
+    if (options.slots_per_bucket < 2) {
+      return Status::InvalidArgument(
+          "BlockedMcCuckooTable needs slots_per_bucket >= 2; "
+          "use McCuckooTable");
+    }
+    return Status::OK();
+  }
+
+  /// Constructs a table; `options` must satisfy CheckOptions() (aborts
+  /// otherwise — use Create() for untrusted configuration).
   explicit BlockedMcCuckooTable(const TableOptions& options)
       : opts_(options),
         family_(options.num_hashes, options.buckets_per_table, options.seed),
@@ -129,9 +145,10 @@ class BlockedMcCuckooTable {
         counters_(slots_.size(), options.num_hashes, stats_.get()),
         rng_(SplitMix64(options.seed ^ 0xB10CB10CB10CB10Cull)),
         growth_(options.growth) {
-    assert(options.Validate().ok());
-    assert(options.slots_per_bucket >= 2);
-    assert(options.eviction_policy != EvictionPolicy::kBfs);
+    if (Status s = CheckOptions(options); !s.ok()) {
+      std::fprintf(stderr, "BlockedMcCuckooTable: %s\n", s.message().c_str());
+      std::abort();
+    }
     if (options.eviction_policy == EvictionPolicy::kMinCounter) {
       kick_history_ =
           KickHistory(flags_.size(), options.kick_counter_bits, stats_.get());
@@ -140,17 +157,7 @@ class BlockedMcCuckooTable {
 
   /// Validating factory for untrusted configuration.
   static Result<BlockedMcCuckooTable> Create(const TableOptions& options) {
-    Status s = options.Validate();
-    if (!s.ok()) return s;
-    if (options.slots_per_bucket < 2) {
-      return Status::InvalidArgument(
-          "BlockedMcCuckooTable needs slots_per_bucket >= 2; "
-          "use McCuckooTable");
-    }
-    if (options.eviction_policy == EvictionPolicy::kBfs) {
-      return Status::InvalidArgument(
-          "BFS eviction is only supported by the CuckooTable baseline");
-    }
+    if (Status s = CheckOptions(options); !s.ok()) return s;
     return BlockedMcCuckooTable(options);
   }
 
@@ -980,13 +987,21 @@ class BlockedMcCuckooTable {
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
+    const bool bfs = opts_.eviction_policy == EvictionPolicy::kBfs;
     uint32_t chain_len = 0;
-    const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    uint32_t bfs_nodes = 0;
+    uint32_t bfs_budget = 0;
+    const InsertResult r =
+        bfs ? BfsInsert(key, value, cand, &chain_len, &bfs_nodes, &bfs_budget)
+            : RandomWalkInsert(key, value, &chain_len);
     // Whole chain published at once (see McCuckooTable).
     SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    metrics_->RecordPolicyChain(
+        static_cast<uint32_t>(opts_.eviction_policy), chain_len);
+    if (bfs) metrics_->RecordBfsNodes(bfs_nodes);
     growth_.ObserveInsert(r != InsertResult::kInserted, chain_len,
-                          opts_.maxloop);
+                          opts_.maxloop, bfs_nodes, bfs_budget);
     MaybeGrow();
     return r;
   }
@@ -1276,13 +1291,34 @@ class BlockedMcCuckooTable {
     return out;
   }
 
+  /// Shared insertion-failure tail (see McCuckooTable::StashOverflow): the
+  /// caller guarantees the item's candidate slots are all sole copies and
+  /// records its own trace event.
+  InsertResult StashOverflow(const Key& key, const Value& value) {
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    SeqOpenAux();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      Candidates cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
+    } else if (stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+  }
+
   /// Random walk at slot granularity: eviction targets are sole copies
-  /// (all candidate slot counters are 1 when this is reached). On maxloop
-  /// overrun the in-hand item gets one final placement attempt and is
-  /// otherwise stashed — candidate buckets provably all-ones.
+  /// (all candidate slot counters are 1 when this is reached). The victim
+  /// bucket follows the configured policy — uniform random, MinCounter's
+  /// coldest, or bubbling's deterministic level cycle — the slot within it
+  /// is uniform. On maxloop overrun the in-hand item gets one final
+  /// placement attempt and is otherwise stashed — candidate buckets
+  /// provably all-ones.
   InsertResult RandomWalkInsert(Key key, Value value,
                                 uint32_t* chain_len_out) {
     size_t exclude_bucket = kNoBucket;
+    int32_t from_level = -1;  // bubbling: level the in-hand item left
     uint32_t chain = 0;
     KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
@@ -1301,8 +1337,12 @@ class BlockedMcCuckooTable {
           return InsertResult::kInserted;
         }
       }
-      const uint32_t t = PickVictim(cand.bucket, opts_.num_hashes,
-                                    exclude_bucket, kick_history_, rng_);
+      const uint32_t t =
+          opts_.eviction_policy == EvictionPolicy::kBubble
+              ? PickBubbleVictim(cand.bucket, opts_.num_hashes,
+                                 exclude_bucket, from_level)
+              : PickVictim(cand.bucket, opts_.num_hashes, exclude_bucket,
+                           kick_history_, rng_);
       const uint32_t s =
           static_cast<uint32_t>(rng_.Below(opts_.slots_per_bucket));
       const Position p{cand.bucket[t], s};
@@ -1325,6 +1365,7 @@ class BlockedMcCuckooTable {
       ++stats_->kickouts;
       if (kick_history_.enabled()) kick_history_.Increment(cand.bucket[t]);
       exclude_bucket = cand.bucket[t];
+      from_level = static_cast<int32_t>(t);
       key = std::move(victim.key);
       value = std::move(victim.value);
       ++chain;
@@ -1350,7 +1391,6 @@ class BlockedMcCuckooTable {
         return InsertResult::kInserted;
       }
     }
-    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
     *chain_len_out = chain;
     if constexpr (kMetricsEnabled) {
       ev.chain_len = chain;
@@ -1360,16 +1400,123 @@ class BlockedMcCuckooTable {
       trace_.Record(ev);
       trace_.NoteStashed();
     }
-    ChargeStashWrite();
-    SeqOpenAux();
-    stash_.Insert(key, value);
-    if (opts_.stash_kind == StashKind::kOffchip) {
-      Candidates cand = ComputeCandidates(key);
-      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
-    } else if (stash_.size() > opts_.onchip_stash_capacity) {
-      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    return StashOverflow(key, value);
+  }
+
+  /// Counter-aware BFS at slot granularity (see McCuckooTable::BfsInsert
+  /// for the terminal rules). Node ids are global slot indices. Entered
+  /// only when TryPlace placed nothing, which proves every candidate slot
+  /// of the in-hand key holds a sole copy (phase 1 fills empties, phase 2
+  /// with n_placed == 0 takes any counter >= 2), so all d*l candidate
+  /// slots are valid interior roots. Expanding a node costs one charged
+  /// bucket fetch (occupant key + hints); the occupant's alternate buckets
+  /// are screened slot-by-slot entirely on-chip.
+  InsertResult BfsInsert(const Key& key, const Value& value,
+                         const Candidates& cand, uint32_t* chain_len_out,
+                         uint32_t* nodes_out, uint32_t* budget_out) {
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    std::array<uint64_t, kMaxHashes * 8> roots{};
+    uint32_t n_roots = 0;
+    for (uint32_t t = 0; t < d; ++t) {
+      for (uint32_t s = 0; s < l; ++s) {
+        roots[n_roots++] = static_cast<uint64_t>(cand.bucket[t] * l + s);
+      }
     }
-    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+    *budget_out = bfs_throttle_.Budget(BfsNodeBudget(opts_.maxloop));
+    const BfsPathResult path = BfsFindPath(
+        roots.data(), n_roots, *budget_out,
+        [&](uint64_t id, auto&& emit, auto&& terminal) {
+          const size_t slot_idx = static_cast<size_t>(id);
+          const size_t bucket = slot_idx / l;
+          ChargeBucketRead();  // the occupant's record, one bucket fetch
+          const Key okey = slots_[slot_idx].key;
+          const Candidates oc = ComputeCandidates(okey);
+          for (uint32_t t = 0; t < d; ++t) {
+            const size_t alt = oc.bucket[t];
+            if (alt == bucket) continue;
+            for (uint32_t s = 0; s < l; ++s) {
+              const size_t alt_idx = alt * l + s;
+              const uint64_t c = counters_.Get(alt_idx);
+              if (c != 1) {
+                terminal(alt_idx);  // 0 = free, >= 2 = redundant copy
+                return;
+              }
+              // Overlap the frontier's DRAM latency (see McCuckooTable).
+              __builtin_prefetch(&slots_[alt_idx], 0, 1);
+              emit(alt_idx);
+            }
+          }
+        });
+    *nodes_out = path.nodes_expanded;
+    bfs_throttle_.Observe(path.found);
+    if (!path.found) {
+      *chain_len_out = 0;
+      if constexpr (kMetricsEnabled) {
+        KickChainEvent ev{};
+        ev.stashed = true;
+        trace_.Record(ev);
+        trace_.NoteStashed();
+      }
+      return StashOverflow(key, value);
+    }
+    // Apply backward: the last interior occupant moves into the terminal,
+    // each predecessor into its successor, the new key into the root. A
+    // relocated occupant is a sole copy, so its record is rewritten with a
+    // fresh hint set pointing only at its new position.
+    KickChainEvent ev{};
+    auto position_of = [l](uint64_t id) {
+      return Position{static_cast<size_t>(id) / l,
+                      static_cast<uint32_t>(id % l)};
+    };
+    size_t dst = static_cast<size_t>(path.terminal);
+    const uint64_t term_v = counters_.PeekCounter(dst);
+    for (size_t i = path.node.size(); i-- > 0;) {
+      const size_t src = static_cast<size_t>(path.node[i]);
+      const Position dst_pos = position_of(dst);
+      Slot record = slots_[src];  // read during the search
+      record.hint.fill(kNoHint);
+      record.hint[TableOf(dst_pos.bucket, opts_.buckets_per_table)] =
+          static_cast<uint8_t>(dst_pos.slot);
+      if (dst == static_cast<size_t>(path.terminal) && term_v >= 2) {
+        // Redundant terminal: displace one copy of the occupant, which
+        // decrements its other copies' counters (zero relocations).
+        OverwriteRedundantCopy(dst_pos, term_v);
+      }
+      WriteSlot(dst_pos, record);  // opens the bucket's stripe
+      if (dst == static_cast<size_t>(path.terminal)) {
+        counters_.Set(dst, 1);  // the moved item is a sole copy
+      }
+      // Interior destinations already held a sole copy: counter stays 1.
+      ++stats_->kickouts;
+      if (kick_history_.enabled()) kick_history_.Increment(src / l);
+      if constexpr (kMetricsEnabled) {
+        if (i < kMaxTraceSteps) {
+          ev.step[i] = KickStep{
+              static_cast<uint64_t>(src / l),
+              static_cast<uint32_t>(counters_.PeekCounter(src))};
+        }
+      }
+      dst = src;
+    }
+    const Position root_pos = position_of(path.node.front());
+    Slot record;
+    record.key = key;
+    record.value = value;
+    record.hint.fill(kNoHint);
+    record.hint[TableOf(root_pos.bucket, opts_.buckets_per_table)] =
+        static_cast<uint8_t>(root_pos.slot);
+    WriteSlot(root_pos, record);
+    ++size_;
+    const uint32_t chain = static_cast<uint32_t>(path.node.size());
+    *chain_len_out = chain;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      trace_.Record(ev);
+    }
+    return InsertResult::kInserted;
   }
 
   // --- lookup -----------------------------------------------------------------
@@ -1489,6 +1636,8 @@ class BlockedMcCuckooTable {
     kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
     stash_ = std::move(rebuilt.stash_);
     rng_ = std::move(rebuilt.rng_);
+    // The rebuild just freed space, so any dead-end streak is stale.
+    bfs_throttle_ = {};
     size_ = rebuilt.size_;
     first_collision_items_ = rebuilt.first_collision_items_;
     first_failure_items_ = rebuilt.first_failure_items_;
@@ -1521,6 +1670,7 @@ class BlockedMcCuckooTable {
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
+  BfsThrottle bfs_throttle_;
   // Optimistic-read support: non-owning version array attached by the
   // concurrent wrapper (null in single-threaded use) and the set of
   // stripes the in-flight mutation holds odd until its SeqFlush().

@@ -40,11 +40,31 @@ enum class EvictionPolicy {
   /// evict the bucket kicked least often (ties random). Spreads relocations
   /// away from "hot" buckets.
   kMinCounter,
-  /// Breadth-first search for the shortest cuckoo path [3]. Only supported
-  /// by the single-copy CuckooTable baseline (the original algorithm);
-  /// multi-copy tables reject it at Create().
+  /// Breadth-first search for the shortest cuckoo path [3]. On the
+  /// multi-copy tables the search is counter-aware: a bucket whose
+  /// occupant holds a redundant copy (counter > 1) terminates the chain
+  /// with a pure counter decrement — no relocation. Supported by
+  /// CuckooTable, McCuckooTable and BlockedMcCuckooTable; BchtTable
+  /// rejects it at Create().
   kBfs,
+  /// Bubbling-up (arXiv 2501.02312): reserve headroom in the low-numbered
+  /// sub-tables by placing fresh items as "high" as possible and cycling
+  /// eviction deterministically through the levels, so displaced items
+  /// drift toward the reserved headroom instead of random-walking.
+  /// Supported by all four tables.
+  kBubble,
 };
+
+/// Returns a short stable policy name ("random_walk", "min_counter", ...).
+inline const char* EvictionPolicyToString(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kRandomWalk: return "random_walk";
+    case EvictionPolicy::kMinCounter: return "min_counter";
+    case EvictionPolicy::kBfs:        return "bfs";
+    case EvictionPolicy::kBubble:     return "bubble";
+  }
+  return "unknown";
+}
 
 /// Where the overflow stash lives.
 enum class StashKind {

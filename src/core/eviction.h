@@ -5,13 +5,21 @@
 // McCuckoo's relocation, with the on-chip copy counters pinpointing usable
 // buckets at every step. Random-walk is the paper's running example; this
 // header adds the MinCounter policy (a per-bucket kick-history counter,
-// evict the "coldest" bucket) for all four tables, and the classic BFS
-// shortest-path search [3] for the single-copy baseline.
+// evict the "coldest" bucket) for all four tables, the deterministic
+// level-cycling victim choice behind the bubbling-up policy
+// (arXiv 2501.02312), and a shared breadth-first shortest-path engine [3]
+// that each table drives with its own notion of "terminal" node — an empty
+// bucket for the single-copy baseline, an empty *or redundant-copy*
+// (counter > 1) bucket for the multi-copy tables, where eviction is a pure
+// on-chip counter decrement.
 
 #ifndef MCCUCKOO_CORE_EVICTION_H_
 #define MCCUCKOO_CORE_EVICTION_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <unordered_set>
+#include <vector>
 
 #include "src/common/packed_array.h"
 #include "src/common/rng.h"
@@ -74,7 +82,9 @@ uint32_t PickVictim(const Candidates& buckets, uint32_t d, size_t exclude,
                     const KickHistory& history, Xoshiro256& rng) {
   if (!history.enabled()) {
     uint32_t t = static_cast<uint32_t>(rng.Below(d));
-    if (buckets[t] == exclude) {
+    // d == 1 leaves no alternative to the excluded bucket (and Below(0)
+    // would divide by zero): keep the single candidate.
+    if (buckets[t] == exclude && d > 1) {
       t = (t + 1 + static_cast<uint32_t>(rng.Below(d - 1))) % d;
     }
     return t;
@@ -91,7 +101,152 @@ uint32_t PickVictim(const Candidates& buckets, uint32_t d, size_t exclude,
     }
     if (c == best_count) best[n_best++] = t;
   }
+  if (n_best == 0) return 0;  // d == 1 and the only candidate is excluded
   return best[rng.Below(n_best)];
+}
+
+/// Bubbling-up victim choice (arXiv 2501.02312): instead of a random pick,
+/// eviction cycles deterministically through the levels — an item displaced
+/// from level `from_level` (-1 for the freshly inserted item) evicts at
+/// level (from_level + 1) % d, so chains sweep "upward" through the
+/// sub-tables and displaced items drift toward the headroom the placement
+/// rule reserves in the low levels. Skips the bucket the in-hand item was
+/// just evicted from when an alternative exists.
+template <typename Candidates>
+uint32_t PickBubbleVictim(const Candidates& buckets, uint32_t d,
+                          size_t exclude, int32_t from_level) {
+  uint32_t t = static_cast<uint32_t>(from_level + 1) % d;
+  if (buckets[t] == exclude && d > 1) t = (t + 1) % d;
+  return t;
+}
+
+// --- Shared breadth-first path search ------------------------------------
+
+/// Result of one BfsFindPath() search. On success `node` holds the global
+/// ids of the interior chain root..last (every one occupied by a sole
+/// copy) and `terminal` the id that ends it (empty, or redundant-copy for
+/// the multi-copy tables); items shift backward terminal-first, then the
+/// new key lands in node.front(). `nodes_expanded` counts the interior
+/// nodes whose occupant was read to generate children — the search-effort
+/// signal the growth policy and metrics consume.
+struct BfsPathResult {
+  std::vector<uint64_t> node;
+  uint64_t terminal = 0;
+  bool found = false;
+  uint32_t nodes_expanded = 0;
+};
+
+/// Node-expansion budget for one BFS search. `maxloop` bounds the random
+/// walk's *relocations*; reusing it verbatim as the BFS frontier bound
+/// would make every beyond-threshold insert pay maxloop occupant reads
+/// before stashing — exactly the wall-clock collapse BFS exists to fix.
+/// Because BFS explores breadth-first, a frontier of a few dozen nodes
+/// already covers every path the walk could realistically commit (the
+/// observed shortest chains at 90% load are 1-3 relocations), so capping
+/// the budget keeps below-threshold success intact while letting doomed
+/// inserts fail in ~kBfsMaxNodes on-chip-guided reads.
+inline constexpr uint32_t kBfsMaxNodes = 48;
+
+inline uint32_t BfsNodeBudget(uint32_t maxloop) {
+  return maxloop < kBfsMaxNodes ? maxloop : kBfsMaxNodes;
+}
+
+/// Adaptive dead-end throttle for BFS insertion. Failed searches mean the
+/// reachable region around the probe keys is saturated; spending the full
+/// node budget on every further insert just multiplies the cost of an
+/// outcome that is already known. The throttle is two-stage: any dead end
+/// drops the next search to `kProbeBudget` nodes (at high load successes
+/// and failures interleave, and the shortest successful chains sit well
+/// inside that budget), and `kDeepTrigger` consecutive dead ends — the
+/// deep-saturation regime where successes have become rare — cut it to
+/// `kDeepProbeBudget`. Probes still notice when space opens up (free and
+/// redundant-copy terminals sit at depth 1-2 once erases or growth free
+/// room — the first probe that succeeds restores the full budget). The
+/// throttle never changes *what* is inserted, only how long a doomed
+/// search runs before stashing.
+struct BfsThrottle {
+  static constexpr uint32_t kDeepTrigger = 8;
+  static constexpr uint32_t kProbeBudget = 16;
+  static constexpr uint32_t kDeepProbeBudget = 4;
+
+  uint32_t streak = 0;
+
+  uint32_t Budget(uint32_t full) const {
+    const uint32_t cap = streak >= kDeepTrigger ? kDeepProbeBudget
+                         : streak >= 1          ? kProbeBudget
+                                                : full;
+    return cap < full ? cap : full;
+  }
+  void Observe(bool found) { streak = found ? 0 : streak + 1; }
+};
+
+/// Breadth-first search for the shortest eviction path [3], shared by all
+/// tables that support EvictionPolicy::kBfs. Node ids are opaque (the
+/// single-slot tables pass bucket indices, the blocked table slot
+/// indices). The search starts from `roots` (deduplicated, all assumed
+/// non-terminal) and repeatedly invokes
+///
+///   expand(id, emit) -> std::optional-like pair (found, terminal_id)
+///
+/// which must inspect `id`'s occupant, call `emit(child_id)` for every
+/// non-terminal alternate, and return a terminal id as soon as it sees
+/// one. The engine deduplicates children, bounds the frontier to
+/// `max_nodes` ids, and reconstructs the root..id chain on success. No
+/// table state is mutated during the search: a failed search leaves the
+/// table untouched, which is what keeps the multi-copy stash screen's
+/// all-ones invariant intact on the failure path.
+template <typename ExpandFn>
+BfsPathResult BfsFindPath(const uint64_t* roots, uint32_t n_roots,
+                          size_t max_nodes, ExpandFn&& expand) {
+  struct Node {
+    uint64_t id;
+    int32_t parent;  // index into nodes, -1 for roots
+  };
+  BfsPathResult out;
+  // The common search at load <= 95% expands a handful of nodes, so the
+  // hot path must stay allocation-light: a small inline node buffer and
+  // duplicate detection by linear scan (the ids live contiguously in
+  // `nodes`, so scanning them is cheaper than hashing until the frontier
+  // gets genuinely large — which only happens on near-dead-end searches).
+  std::vector<Node> nodes;
+  nodes.reserve(std::min<size_t>(max_nodes, 64));
+  auto enqueued = [&](uint64_t id) {
+    for (const Node& n : nodes) {
+      if (n.id == id) return true;
+    }
+    return false;
+  };
+  for (uint32_t i = 0; i < n_roots && nodes.size() < max_nodes; ++i) {
+    if (!enqueued(roots[i])) nodes.push_back({roots[i], -1});
+  }
+  for (size_t head = 0; head < nodes.size(); ++head) {
+    ++out.nodes_expanded;
+    bool found_terminal = false;
+    uint64_t terminal = 0;
+    expand(
+        nodes[head].id,
+        [&](uint64_t child) {
+          if (nodes.size() >= max_nodes) return;
+          if (!enqueued(child)) {
+            nodes.push_back({child, static_cast<int32_t>(head)});
+          }
+        },
+        [&](uint64_t id) {
+          found_terminal = true;
+          terminal = id;
+        });
+    if (found_terminal) {
+      out.found = true;
+      out.terminal = terminal;
+      for (int32_t n = static_cast<int32_t>(head); n >= 0;
+           n = nodes[n].parent) {
+        out.node.push_back(nodes[n].id);
+      }
+      std::reverse(out.node.begin(), out.node.end());
+      return out;
+    }
+  }
+  return out;
 }
 
 }  // namespace mccuckoo

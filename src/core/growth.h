@@ -144,10 +144,19 @@ class GrowthPolicy {
 
   /// Feeds one insertion outcome into the pressure tracker. `overflowed`
   /// is true when the insert spilled to the stash (kStashed/kFailed); a
-  /// chain of at least maxloop/2 also counts as a hard insert.
-  void ObserveInsert(bool overflowed, uint32_t chain_len, uint32_t maxloop) {
+  /// chain of at least maxloop/2 also counts as a hard insert. BFS-driven
+  /// tables additionally report the search effort: a search that expanded
+  /// at least half its node budget (`2 * search_nodes >= search_budget`)
+  /// is a near-dead-end and counts as hard even when the path it finally
+  /// found (the relocation chain) was short — under BFS the chain length
+  /// stays small right up to saturation, so raw chain length is no longer
+  /// the leading pressure indicator.
+  void ObserveInsert(bool overflowed, uint32_t chain_len, uint32_t maxloop,
+                     uint32_t search_nodes = 0, uint32_t search_budget = 0) {
     ++inserts_since_attempt_;
-    const bool hard = overflowed || (chain_len > 0 && 2 * chain_len >= maxloop);
+    const bool hard =
+        overflowed || (chain_len > 0 && 2 * chain_len >= maxloop) ||
+        (search_budget > 0 && 2 * search_nodes >= search_budget);
     pressure_streak_ = hard ? pressure_streak_ + 1 : 0;
   }
 

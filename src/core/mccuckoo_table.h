@@ -123,8 +123,21 @@ class McCuckooTable {
   };
 
  public:
-  /// Constructs a table; `options` must satisfy Validate() and
-  /// slots_per_bucket must be 1 (use BlockedMcCuckooTable otherwise).
+  /// The configuration conditions Create() reports as Status. The
+  /// constructor enforces the same conditions with an unconditional abort,
+  /// so Debug and Release builds agree on what direct construction with
+  /// unsupported options does (it used to be a Debug-only assert).
+  static Status CheckOptions(const TableOptions& options) {
+    if (Status s = options.Validate(); !s.ok()) return s;
+    if (options.slots_per_bucket != 1) {
+      return Status::InvalidArgument(
+          "McCuckooTable is single-slot; use BlockedMcCuckooTable");
+    }
+    return Status::OK();
+  }
+
+  /// Constructs a table; `options` must satisfy CheckOptions() (aborts
+  /// otherwise — use Create() for untrusted configuration).
   explicit McCuckooTable(const TableOptions& options)
       : opts_(options),
         family_(options.num_hashes, options.buckets_per_table, options.seed),
@@ -133,9 +146,10 @@ class McCuckooTable {
                   options.num_hashes, stats_.get()),
         rng_(SplitMix64(options.seed ^ 0xA5A5A5A5A5A5A5A5ull)),
         growth_(options.growth) {
-    assert(options.Validate().ok());
-    assert(options.slots_per_bucket == 1);
-    assert(options.eviction_policy != EvictionPolicy::kBfs);
+    if (Status s = CheckOptions(options); !s.ok()) {
+      std::fprintf(stderr, "McCuckooTable: %s\n", s.message().c_str());
+      std::abort();
+    }
     if (options.eviction_policy == EvictionPolicy::kMinCounter) {
       kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
                                   stats_.get());
@@ -144,16 +158,7 @@ class McCuckooTable {
 
   /// Validating factory for untrusted configuration.
   static Result<McCuckooTable> Create(const TableOptions& options) {
-    Status s = options.Validate();
-    if (!s.ok()) return s;
-    if (options.slots_per_bucket != 1) {
-      return Status::InvalidArgument(
-          "McCuckooTable is single-slot; use BlockedMcCuckooTable");
-    }
-    if (options.eviction_policy == EvictionPolicy::kBfs) {
-      return Status::InvalidArgument(
-          "BFS eviction is only supported by the CuckooTable baseline");
-    }
+    if (Status s = CheckOptions(options); !s.ok()) return s;
     return McCuckooTable(options);
   }
 
@@ -1072,14 +1077,22 @@ class McCuckooTable {
     if (first_collision_items_ == 0) {
       first_collision_items_ = TotalItems() + 1;
     }
+    const bool bfs = opts_.eviction_policy == EvictionPolicy::kBfs;
     uint32_t chain_len = 0;
-    const InsertResult r = RandomWalkInsert(key, value, &chain_len);
+    uint32_t bfs_nodes = 0;
+    uint32_t bfs_budget = 0;
+    const InsertResult r =
+        bfs ? BfsInsert(key, value, cand, &chain_len, &bfs_nodes, &bfs_budget)
+            : RandomWalkInsert(key, value, &chain_len);
     // The whole chain published at once: at no intermediate state was the
     // in-hand key absent from a stripe readers could have validated.
     SeqFlush();
     metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    metrics_->RecordPolicyChain(
+        static_cast<uint32_t>(opts_.eviction_policy), chain_len);
+    if (bfs) metrics_->RecordBfsNodes(bfs_nodes);
     growth_.ObserveInsert(r != InsertResult::kInserted, chain_len,
-                          opts_.maxloop);
+                          opts_.maxloop, bfs_nodes, bfs_budget);
     MaybeGrow();
     return r;
   }
@@ -1281,15 +1294,37 @@ class McCuckooTable {
     return out;
   }
 
+  /// Shared insertion-failure tail: parks the in-hand item in the stash
+  /// (flags set for the off-chip kind, forced-rehash accounting for the
+  /// on-chip kind). The caller guarantees the item's candidates all hold
+  /// sole copies — the all-ones precondition the kDisabled stash screen
+  /// relies on — and records its own trace event.
+  InsertResult StashOverflow(const Key& key, const Value& value) {
+    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
+    ChargeStashWrite();
+    SeqOpenAux();
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      Candidates cand = ComputeCandidates(key);
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
+    } else if (stash_.size() > opts_.onchip_stash_capacity) {
+      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+  }
+
   /// Counter-guided random walk (§III.D): at each step, if the in-hand item
   /// has any empty or redundant candidate the counters reveal it and the
-  /// chain ends immediately; otherwise a random sole-copy occupant (never
-  /// the bucket just written) is evicted. On maxloop overrun the in-hand
-  /// item gets one final placement attempt and is otherwise stashed —
-  /// candidates provably all sole copies — with its flags set (§III.E).
+  /// chain ends immediately; otherwise a sole-copy occupant (never the
+  /// bucket just written) is evicted per the configured policy — uniform
+  /// random, MinCounter's coldest bucket, or bubbling's deterministic
+  /// level cycle. On maxloop overrun the in-hand item gets one final
+  /// placement attempt and is otherwise stashed — candidates provably all
+  /// sole copies — with its flags set (§III.E).
   InsertResult RandomWalkInsert(Key key, Value value,
                                 uint32_t* chain_len_out) {
     size_t exclude = kNoBucket;
+    int32_t from_level = -1;  // bubbling: level the in-hand item left
     uint32_t chain = 0;
     KickChainEvent ev{};  // populated only when metrics are compiled in
     for (uint32_t loop = 0; loop < opts_.maxloop; ++loop) {
@@ -1308,11 +1343,14 @@ class McCuckooTable {
           return InsertResult::kInserted;
         }
       }
-      // All candidates hold sole copies: evict per the configured policy
-      // (uniform random, or MinCounter's coldest bucket), avoiding the
-      // bucket we just wrote (no immediate ping-pong).
-      const uint32_t t = PickVictim(cand.idx, opts_.num_hashes, exclude,
-                                    kick_history_, rng_);
+      // All candidates hold sole copies: evict per the configured policy,
+      // avoiding the bucket we just wrote (no immediate ping-pong).
+      const uint32_t t =
+          opts_.eviction_policy == EvictionPolicy::kBubble
+              ? PickBubbleVictim(cand.idx, opts_.num_hashes, exclude,
+                                 from_level)
+              : PickVictim(cand.idx, opts_.num_hashes, exclude, kick_history_,
+                           rng_);
       const size_t idx = cand.idx[t];
       if constexpr (kMetricsEnabled) {
         if (chain < kMaxTraceSteps) {
@@ -1329,6 +1367,7 @@ class McCuckooTable {
       ++stats_->kickouts;
       if (kick_history_.enabled()) kick_history_.Increment(idx);
       exclude = idx;
+      from_level = static_cast<int32_t>(t);
       key = std::move(vk);
       value = std::move(vv);
       ++chain;
@@ -1355,7 +1394,6 @@ class McCuckooTable {
       }
     }
     // Insertion failure: park the in-hand item in the stash.
-    if (first_failure_items_ == 0) first_failure_items_ = TotalItems() + 1;
     *chain_len_out = chain;
     if constexpr (kMetricsEnabled) {
       ev.chain_len = chain;
@@ -1365,16 +1403,114 @@ class McCuckooTable {
       trace_.Record(ev);
       trace_.NoteStashed();
     }
-    ChargeStashWrite();
-    SeqOpenAux();
-    stash_.Insert(key, value);
-    if (opts_.stash_kind == StashKind::kOffchip) {
-      Candidates cand = ComputeCandidates(key);
-      for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
-    } else if (stash_.size() > opts_.onchip_stash_capacity) {
-      ++forced_rehash_events_;  // a real CHS deployment would rehash here
+    return StashOverflow(key, value);
+  }
+
+  /// Counter-aware breadth-first search for the shortest eviction chain
+  /// (§III.D crossed with [3]). Entered only when TryPlace placed nothing,
+  /// which proves every candidate of the in-hand key holds a sole copy —
+  /// so all roots are valid interior nodes. The search itself reads one
+  /// off-chip bucket per expanded node (the occupant key, to compute its
+  /// alternates) and otherwise steers entirely by the on-chip counters:
+  ///
+  ///   counter == 0  -> free terminal (empty or tombstoned bucket);
+  ///   counter >= 2  -> redundant terminal: "evicting" the occupant is a
+  ///                    pure counter decrement of its other copies — the
+  ///                    multi-copy advantage that keeps chains short where
+  ///                    the single-copy BFS must walk to a true hole;
+  ///   counter == 1  -> interior node, children = occupant's alternates.
+  ///
+  /// On success the chain shifts backward terminal-first under open seqlock
+  /// stripes (published by the caller's single SeqFlush). On failure the
+  /// table is untouched — BfsFindPath mutates nothing — so the stash tail
+  /// inherits the all-ones invariant directly from the TryPlace screen.
+  InsertResult BfsInsert(const Key& key, const Value& value,
+                         const Candidates& cand, uint32_t* chain_len_out,
+                         uint32_t* nodes_out, uint32_t* budget_out) {
+    const uint32_t d = opts_.num_hashes;
+    std::array<uint64_t, kMaxHashes> roots{};
+    for (uint32_t t = 0; t < d; ++t) roots[t] = cand.idx[t];
+    *budget_out = bfs_throttle_.Budget(BfsNodeBudget(opts_.maxloop));
+    const BfsPathResult path = BfsFindPath(
+        roots.data(), d, *budget_out,
+        [&](uint64_t id, auto&& emit, auto&& terminal) {
+          const size_t bucket = static_cast<size_t>(id);
+          const Key okey = LoadBucket(bucket).key;  // the one off-chip read
+          const Candidates oc = ComputeCandidates(okey);
+          for (uint32_t t = 0; t < d; ++t) {
+            const size_t alt = oc.idx[t];
+            if (alt == bucket) continue;
+            const uint64_t c = counters_.Get(alt);
+            if (c != 1) {
+              terminal(alt);  // 0 = free, >= 2 = redundant copy
+              return;
+            }
+            // The child will be expanded (one occupant read) a few
+            // iterations from now: issuing the fetch here overlaps the
+            // DRAM latency of the whole frontier instead of paying one
+            // serial miss per expanded node.
+            __builtin_prefetch(&table_[alt], 0, 1);
+            emit(alt);
+          }
+        });
+    *nodes_out = path.nodes_expanded;
+    bfs_throttle_.Observe(path.found);
+    if (!path.found) {
+      *chain_len_out = 0;
+      if constexpr (kMetricsEnabled) {
+        KickChainEvent ev{};
+        ev.stashed = true;
+        trace_.Record(ev);
+        trace_.NoteStashed();
+      }
+      return StashOverflow(key, value);
     }
-    return opts_.stash_enabled ? InsertResult::kStashed : InsertResult::kFailed;
+    // Apply the chain backward: the last interior occupant moves into the
+    // terminal, each predecessor into its successor, and the new key lands
+    // in the root. Every interior occupant is a sole copy (counter 1), so
+    // moves are plain bucket stores; only the terminal changes counters.
+    KickChainEvent ev{};
+    size_t dst = static_cast<size_t>(path.terminal);
+    const uint64_t term_v = counters_.PeekCounter(dst);
+    for (size_t i = path.node.size(); i-- > 0;) {
+      const size_t src = static_cast<size_t>(path.node[i]);
+      const Bucket moved = table_[src];  // read during the search
+      if (dst == static_cast<size_t>(path.terminal)) {
+        if (term_v >= 2) {
+          // Redundant terminal: displace one copy of the occupant, which
+          // decrements its other copies' counters (zero relocations).
+          OverwriteRedundantCopy(dst, term_v, moved.key, moved.value);
+        } else {
+          StoreBucket(dst, moved.key, moved.value);
+        }
+        SeqOpen(dst);
+        counters_.Set(dst, 1);  // the moved item is a sole copy
+      } else {
+        StoreBucket(dst, moved.key, moved.value);
+        // Counter stays 1: dst already held a sole copy.
+      }
+      ++stats_->kickouts;
+      if (kick_history_.enabled()) kick_history_.Increment(src);
+      if constexpr (kMetricsEnabled) {
+        if (i < kMaxTraceSteps) {
+          ev.step[i] = KickStep{
+              static_cast<uint64_t>(src),
+              static_cast<uint32_t>(counters_.PeekCounter(src))};
+        }
+      }
+      dst = src;
+    }
+    StoreBucket(static_cast<size_t>(path.node.front()), key, value);
+    ++size_;
+    const uint32_t chain = static_cast<uint32_t>(path.node.size());
+    *chain_len_out = chain;
+    if constexpr (kMetricsEnabled) {
+      ev.chain_len = chain;
+      ev.n_steps =
+          static_cast<uint32_t>(std::min<size_t>(chain, kMaxTraceSteps));
+      trace_.Record(ev);
+    }
+    return InsertResult::kInserted;
   }
 
   // --- lookup ------------------------------------------------------------
@@ -1512,6 +1648,8 @@ class McCuckooTable {
     kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
     stash_ = std::move(rebuilt.stash_);
     rng_ = std::move(rebuilt.rng_);
+    // The rebuild just freed space, so any dead-end streak is stale.
+    bfs_throttle_ = {};
     size_ = rebuilt.size_;
     first_collision_items_ = rebuilt.first_collision_items_;
     first_failure_items_ = rebuilt.first_failure_items_;
@@ -1540,6 +1678,7 @@ class McCuckooTable {
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
+  BfsThrottle bfs_throttle_;
   // Optimistic-read support: non-owning version array attached by the
   // concurrent wrapper (null in single-threaded use) and the set of
   // stripes the in-flight mutation holds odd until its SeqFlush().

@@ -57,7 +57,11 @@ inline void WriteOptions(std::ostream& os, const TableOptions& o) {
   WritePod(os, o.lookup_pruning_enabled);
 }
 
-inline bool ReadOptions(std::istream& is, TableOptions* o) {
+/// Decodes the options block. Raw integers destined for enum fields are
+/// range-checked *before* the cast: a snapshot written by a newer version
+/// (or a corrupt one) must yield a descriptive error, never an enum holding
+/// an out-of-range value.
+inline Status ReadOptions(std::istream& is, TableOptions* o) {
   uint32_t deletion = 0, eviction = 0, stash_kind = 0;
   bool ok = ReadPod(is, &o->num_hashes) &&
             ReadPod(is, &o->buckets_per_table) &&
@@ -68,11 +72,23 @@ inline bool ReadOptions(std::istream& is, TableOptions* o) {
             ReadPod(is, &o->onchip_stash_capacity) &&
             ReadPod(is, &o->stash_screen_enabled) &&
             ReadPod(is, &o->lookup_pruning_enabled);
-  if (!ok || deletion > 2 || eviction > 2 || stash_kind > 1) return false;
+  if (!ok) return Status::InvalidArgument("snapshot options block truncated");
+  if (deletion > 2) {
+    return Status::InvalidArgument("snapshot deletion_mode out of range: " +
+                                   std::to_string(deletion));
+  }
+  if (eviction > 3) {
+    return Status::InvalidArgument("snapshot eviction_policy out of range: " +
+                                   std::to_string(eviction));
+  }
+  if (stash_kind > 1) {
+    return Status::InvalidArgument("snapshot stash_kind out of range: " +
+                                   std::to_string(stash_kind));
+  }
   o->deletion_mode = static_cast<DeletionMode>(deletion);
   o->eviction_policy = static_cast<EvictionPolicy>(eviction);
   o->stash_kind = static_cast<StashKind>(stash_kind);
-  return true;
+  return Status::OK();
 }
 
 }  // namespace snapshot_internal
@@ -113,16 +129,18 @@ Result<Table> LoadSnapshot(std::istream& is) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
   TableOptions options;
-  if (!si::ReadOptions(is, &options)) {
-    return Status::InvalidArgument("corrupt snapshot header");
-  }
+  if (Status s = si::ReadOptions(is, &options); !s.ok()) return s;
   Status s = options.Validate();
   if (!s.ok()) return s;
   uint64_t count = 0;
   if (!si::ReadPod(is, &count)) {
     return Status::InvalidArgument("corrupt snapshot item count");
   }
-  Table table(options);
+  // Create() rather than the constructor: table-specific screens (slot
+  // counts, unsupported policies) must surface as a Status, not an abort.
+  Result<Table> table_or = Table::Create(options);
+  if (!table_or.ok()) return table_or.status();
+  Table table = std::move(table_or).value();
   for (uint64_t i = 0; i < count; ++i) {
     Key k{};
     Value v{};

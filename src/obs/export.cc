@@ -127,6 +127,11 @@ void AppendJsonField(std::string* out, const char* name, uint64_t value,
   *out += buf;
 }
 
+/// Eviction-policy label values, in MetricsSnapshot::policy_chain_len
+/// index order (== EvictionPolicy enumerator order).
+constexpr const char* kPolicyNames[kMetricsPolicies] = {
+    "random_walk", "min_counter", "bfs", "bubble"};
+
 }  // namespace
 
 std::string PrometheusLabels(const LabelList& labels) {
@@ -150,10 +155,24 @@ std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
 
   AppendHistogram(&out, "mccuckoo_kick_chain_length", labels, m.kick_chain_len,
                   "Kick-outs per insertion (0 = no collision).");
+  for (size_t p = 0; p < kMetricsPolicies; ++p) {
+    if (m.policy_chain_len[p].count == 0) continue;
+    LabelList with_policy = labels;
+    with_policy.emplace_back("policy", kPolicyNames[p]);
+    AppendHistogram(&out, "mccuckoo_policy_chain_length", with_policy,
+                    m.policy_chain_len[p],
+                    "Relocations per colliding insertion, by the eviction "
+                    "policy that resolved it.");
+  }
   AppendHistogram(&out, "mccuckoo_insert_latency_ns", labels, m.insert_ns,
                   "Wall-clock nanoseconds per insertion.");
   AppendHistogram(&out, "mccuckoo_lookup_probes", labels, m.lookup_probes,
                   "Off-chip bucket probes per lookup (0 = Bloom-pruned).");
+  AppendMeta(&out, "mccuckoo_bfs_nodes_expanded_total", "counter",
+             "Interior nodes the BFS eviction engine expanded (one occupant "
+             "read each).");
+  AppendSample(&out, "mccuckoo_bfs_nodes_expanded_total", labels,
+               m.bfs_nodes_expanded);
 
   AppendMeta(&out, "mccuckoo_partition_probes_total", "counter",
              "Bucket probes spent in the counter-value-V lookup partition.");
@@ -245,6 +264,12 @@ std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
   AppendJsonField(&out, "lookups", m.lookups, true);
   AppendJsonField(&out, "erases", m.erases, true);
   AppendJsonHistogram(&out, "kick_chain_len", m.kick_chain_len, true);
+  for (size_t p = 0; p < kMetricsPolicies; ++p) {
+    const std::string name =
+        std::string("policy_chain_len_") + kPolicyNames[p];
+    AppendJsonHistogram(&out, name.c_str(), m.policy_chain_len[p], true);
+  }
+  AppendJsonField(&out, "bfs_nodes_expanded", m.bfs_nodes_expanded, true);
   AppendJsonHistogram(&out, "insert_ns", m.insert_ns, true);
   AppendJsonHistogram(&out, "lookup_probes", m.lookup_probes, true);
   for (const auto& [name, arr] :
@@ -305,6 +330,17 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
     put((base + "p99").c_str(),
         static_cast<double>(h.PercentileUpperBound(0.99)));
   }
+  for (size_t p = 0; p < kMetricsPolicies; ++p) {
+    const HistogramSnapshot& h = m.policy_chain_len[p];
+    if (h.count == 0) continue;
+    const std::string base =
+        std::string("policy_chain_len.") + kPolicyNames[p] + ".";
+    put((base + "count").c_str(), static_cast<double>(h.count));
+    put((base + "mean").c_str(), h.Mean());
+    put((base + "p99").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.99)));
+  }
+  put("bfs_nodes_expanded", static_cast<double>(m.bfs_nodes_expanded));
   put("stash_hits", static_cast<double>(m.stash_hits));
   put("stash_misses", static_cast<double>(m.stash_misses));
   put("optimistic_retries", static_cast<double>(m.optimistic_retries));

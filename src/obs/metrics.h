@@ -61,6 +61,12 @@ inline constexpr size_t kHistogramBuckets = 20;
 /// real counter values — static_asserted where the tables record).
 inline constexpr size_t kMetricsPartitions = 5;
 
+/// Eviction-policy-indexed metric arrays (one slot per EvictionPolicy
+/// enumerator, in declaration order: random_walk, min_counter, bfs,
+/// bubble). Kept as a plain count so this header stays independent of
+/// core/config.h.
+inline constexpr size_t kMetricsPolicies = 4;
+
 /// Inclusive upper bound of histogram bucket `i` (Prometheus "le" value);
 /// the last bucket's bound is conceptually +Inf.
 constexpr uint64_t HistogramBucketUpperBound(size_t i) {
@@ -122,10 +128,19 @@ struct MetricsSnapshot {
 
   /// Kick-outs per insertion (0 for the collision-free common case).
   HistogramSnapshot kick_chain_len;
+  /// Kick-outs per *colliding* insertion, split by the eviction policy
+  /// that resolved it (index = EvictionPolicy enumerator order). The
+  /// aggregate kick_chain_len answers "how often do inserts collide";
+  /// these answer "how long a chain does each policy build when they do".
+  std::array<HistogramSnapshot, kMetricsPolicies> policy_chain_len;
   /// Wall-clock nanoseconds per insertion.
   HistogramSnapshot insert_ns;
   /// Off-chip bucket probes per lookup (0 = Bloom-pruned miss).
   HistogramSnapshot lookup_probes;
+
+  /// Interior nodes the BFS eviction engine expanded (each expansion reads
+  /// one occupant off-chip); zero outside EvictionPolicy::kBfs.
+  uint64_t bfs_nodes_expanded = 0;
 
   /// Bucket probes spent in the counter-value-V partition (single-slot
   /// multi-copy tables; baselines use slot 0). §III.B.2 bounds the value-V
@@ -169,8 +184,12 @@ struct MetricsSnapshot {
     lookups += o.lookups;
     erases += o.erases;
     kick_chain_len += o.kick_chain_len;
+    for (size_t i = 0; i < kMetricsPolicies; ++i) {
+      policy_chain_len[i] += o.policy_chain_len[i];
+    }
     insert_ns += o.insert_ns;
     lookup_probes += o.lookup_probes;
+    bfs_nodes_expanded += o.bfs_nodes_expanded;
     for (size_t i = 0; i < kMetricsPartitions; ++i) {
       partition_probes[i] += o.partition_probes[i];
       partition_hits[i] += o.partition_hits[i];
@@ -280,8 +299,10 @@ class Log2Histogram {
 /// hold it behind a unique_ptr, exactly like their AccessStats.
 struct TableMetrics {
   Log2Histogram kick_chain_len;
+  std::array<Log2Histogram, kMetricsPolicies> policy_chain_len;
   Log2Histogram insert_ns;
   Log2Histogram lookup_probes;
+  Counter bfs_nodes_expanded;
   std::array<Counter, kMetricsPartitions> partition_probes;
   std::array<Counter, kMetricsPartitions> partition_hits;
   Counter erases;
@@ -297,6 +318,17 @@ struct TableMetrics {
     kick_chain_len.Record(chain_len);
     insert_ns.Record(ns);
   }
+
+  /// A colliding insert was resolved by the policy at index `policy`
+  /// (EvictionPolicy enumerator order) with a `chain_len`-move chain.
+  void RecordPolicyChain(uint32_t policy, uint64_t chain_len) {
+    policy_chain_len[policy < kMetricsPolicies ? policy
+                                               : kMetricsPolicies - 1]
+        .Record(chain_len);
+  }
+
+  /// The BFS engine expanded `n` interior nodes during one search.
+  void RecordBfsNodes(uint64_t n) { bfs_nodes_expanded.Inc(n); }
 
   void RecordLookup(uint64_t total_probes) {
     lookup_probes.Record(total_probes);
@@ -337,8 +369,12 @@ struct TableMetrics {
   MetricsSnapshot Snapshot() const {
     MetricsSnapshot s;
     s.kick_chain_len = kick_chain_len.Snapshot();
+    for (size_t i = 0; i < kMetricsPolicies; ++i) {
+      s.policy_chain_len[i] = policy_chain_len[i].Snapshot();
+    }
     s.insert_ns = insert_ns.Snapshot();
     s.lookup_probes = lookup_probes.Snapshot();
+    s.bfs_nodes_expanded = bfs_nodes_expanded.Value();
     s.inserts = s.kick_chain_len.count;
     s.lookups = s.lookup_probes.count;
     s.erases = erases.Value();
@@ -360,8 +396,12 @@ struct TableMetrics {
   /// the rebuild, mirroring how AccessStats survive it).
   void MergeFrom(const TableMetrics& o) {
     kick_chain_len.MergeFrom(o.kick_chain_len);
+    for (size_t i = 0; i < kMetricsPolicies; ++i) {
+      policy_chain_len[i].MergeFrom(o.policy_chain_len[i]);
+    }
     insert_ns.MergeFrom(o.insert_ns);
     lookup_probes.MergeFrom(o.lookup_probes);
+    bfs_nodes_expanded.Inc(o.bfs_nodes_expanded.Value());
     for (size_t i = 0; i < kMetricsPartitions; ++i) {
       partition_probes[i].Inc(o.partition_probes[i].Value());
       partition_hits[i].Inc(o.partition_hits[i].Value());
@@ -380,8 +420,10 @@ struct TableMetrics {
 
   void Reset() {
     kick_chain_len.Reset();
+    for (auto& h : policy_chain_len) h.Reset();
     insert_ns.Reset();
     lookup_probes.Reset();
+    bfs_nodes_expanded.Reset();
     for (auto& c : partition_probes) c.Reset();
     for (auto& c : partition_hits) c.Reset();
     erases.Reset();
@@ -462,6 +504,8 @@ class LookupTally {
 /// struct occupies no meaningful space.
 struct TableMetrics {
   void RecordInsert(uint64_t, uint64_t) {}
+  void RecordPolicyChain(uint32_t, uint64_t) {}
+  void RecordBfsNodes(uint64_t) {}
   void RecordLookup(uint64_t) {}
   void RecordPartitionProbes(uint32_t, uint64_t) {}
   void RecordPartitionHit(uint32_t) {}

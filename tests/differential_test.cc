@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/baseline/cuckoo_table.h"
 #include "src/core/blocked_mccuckoo_table.h"
 #include "src/core/mccuckoo_table.h"
 #include "src/core/sharded_mccuckoo.h"
@@ -98,6 +99,75 @@ TEST_P(DifferentialTest, AllSchemesAgreeEverywhere) {
         << SchemeName(kAllSchemes[i]) << ": "
         << tables[i]->ValidateInvariants().ToString();
   }
+}
+
+// Policy differential against std::unordered_map for the BFS insert path.
+// BCHT rejects kBfs, so this drives the supporting tables directly instead
+// of through the all-schemes harness above.
+template <typename Table>
+void RunPolicyOracle(TableOptions o, uint64_t seed, uint64_t ops) {
+  Table t(o);
+  std::unordered_map<uint64_t, uint64_t> model;
+  std::vector<uint64_t> live;
+  Xoshiro256 rng(seed);
+  uint64_t next_key = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const double u = rng.NextDouble();
+    if (u < 0.50 || live.empty()) {
+      const uint64_t k = SplitMix64((seed << 16) ^ next_key++);
+      const uint64_t v = rng.Next();
+      ASSERT_NE(t.Insert(k, v), InsertResult::kFailed) << "step " << i;
+      model.emplace(k, v);
+      live.push_back(k);
+    } else if (u < 0.65) {
+      const size_t pick = rng.Below(live.size());
+      ASSERT_TRUE(t.Erase(live[pick])) << "step " << i;
+      model.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const uint64_t k = live[rng.Below(live.size())];
+      uint64_t v = 0;
+      ASSERT_TRUE(t.Find(k, &v)) << "step " << i << " key " << k;
+      ASSERT_EQ(v, model[k]) << "step " << i;
+    }
+  }
+  ASSERT_EQ(t.TotalItems(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(t.Find(k, &got)) << k;
+    ASSERT_EQ(got, v) << k;
+  }
+  EXPECT_TRUE(t.ValidateInvariants().ok()) << t.ValidateInvariants().ToString();
+}
+
+TableOptions BfsOracleOptions() {
+  TableOptions o;
+  o.buckets_per_table = 512;
+  o.maxloop = 200;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  o.eviction_policy = EvictionPolicy::kBfs;
+  o.seed = 0xBF5;
+  return o;
+}
+
+TEST(BfsDifferentialTest, McCuckooMatchesUnorderedMap) {
+  // ~4000 ops at a 0.35 net-insert rate push the d=3, 512-bucket table to
+  // roughly 90% load, right where the BFS path does all its work.
+  RunPolicyOracle<McCuckooTable<uint64_t, uint64_t>>(BfsOracleOptions(),
+                                                     0x7001, 4000);
+}
+
+TEST(BfsDifferentialTest, BlockedMatchesUnorderedMap) {
+  TableOptions o = BfsOracleOptions();
+  o.buckets_per_table = 192;
+  o.slots_per_bucket = 3;
+  RunPolicyOracle<BlockedMcCuckooTable<uint64_t, uint64_t>>(o, 0x7002, 4400);
+}
+
+TEST(BfsDifferentialTest, CuckooBaselineMatchesUnorderedMap) {
+  RunPolicyOracle<CuckooTable<uint64_t, uint64_t>>(BfsOracleOptions(), 0x7003,
+                                                   3600);
 }
 
 OpStreamConfig Mix(double ins, double look, double er, uint64_t seed) {
@@ -282,7 +352,12 @@ INSTANTIATE_TEST_SUITE_P(
               "read_heavy"},
         Param{9 * 256, 100, DeletionMode::kTombstone,
               EvictionPolicy::kMinCounter, Mix(0.4, 0.2, 0.35, 6), 12000,
-              "delete_heavy_tombstone"}),
+              "delete_heavy_tombstone"},
+        Param{9 * 512, 200, DeletionMode::kResetCounters,
+              EvictionPolicy::kBubble, Mix(0.3, 0.5, 0.1, 7), 15000,
+              "churn_reset_bubble"},
+        Param{9 * 64, 20, DeletionMode::kTombstone, EvictionPolicy::kBubble,
+              Mix(0.6, 0.3, 0.05, 8), 4000, "overfull_bubble"}),
     ParamName);
 
 }  // namespace

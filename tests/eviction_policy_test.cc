@@ -1,5 +1,6 @@
 // Tests of the pluggable eviction policies (§III.D): MinCounter [17] for
-// all four tables and BFS [3] for the single-copy baseline.
+// all four tables, counter-guided BFS [3] for everything except BCHT, and
+// the bubbling policy (arXiv:2501.02312) everywhere.
 
 #include <gtest/gtest.h>
 
@@ -160,13 +161,186 @@ TEST(BfsPolicyTest, FindsShortPathsWhereWalkWanders) {
   EXPECT_LT(bfs_kicks, walk_kicks);
 }
 
-TEST(BfsPolicyTest, RejectedByMultiCopyTables) {
+TEST(BfsPolicyTest, AcceptedByMultiCopyTablesRejectedByBcht) {
   TableOptions o = BaseOptions();
   o.eviction_policy = EvictionPolicy::kBfs;
-  EXPECT_FALSE((McCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
+  EXPECT_TRUE((McCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
   o.slots_per_bucket = 3;
-  EXPECT_FALSE((BlockedMcCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
-  EXPECT_FALSE((BchtTable<uint64_t, uint64_t>::Create(o).ok()));
+  EXPECT_TRUE((BlockedMcCuckooTable<uint64_t, uint64_t>::Create(o).ok()));
+  const auto bcht = BchtTable<uint64_t, uint64_t>::Create(o);
+  ASSERT_FALSE(bcht.ok());
+  EXPECT_NE(bcht.status().message().find("BFS"), std::string::npos);
+}
+
+TEST(BfsPolicyTest, McCuckooRoundTripAtHighLoad) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kBfs;
+  RoundTripWithPolicy<McCuckooTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(BfsPolicyTest, BlockedRoundTripAtHighLoad) {
+  TableOptions o = BaseOptions();
+  o.slots_per_bucket = 3;
+  o.eviction_policy = EvictionPolicy::kBfs;
+  RoundTripWithPolicy<BlockedMcCuckooTable<uint64_t, uint64_t>>(o);
+}
+
+// The load90 collapse regression: on a multi-copy table at punishing load,
+// counter-guided BFS must succeed with far fewer relocations than the blind
+// random walk on the same key set. BFS deliberately gives up on a search
+// much sooner than the walk's maxloop relocation budget (the node budget +
+// dead-end throttle are what repair the wall-clock collapse), so it may
+// park a handful more keys in the stash — those stay findable; the check
+// is that the spill stays a token fraction of the fill.
+TEST(BfsPolicyTest, BeatsRandomWalkOnMcCuckooAtLoad90) {
+  TableOptions o = BaseOptions();
+  o.buckets_per_table = 2048;
+  uint64_t walk_kicks = 0, bfs_kicks = 0;
+  size_t walk_stashed = 0, bfs_stashed = 0;
+  {
+    McCuckooTable<uint64_t, uint64_t> t(o);
+    for (uint64_t k : MakeUniqueKeys(t.capacity() * 90 / 100, 1, 0)) {
+      t.Insert(k, k);
+    }
+    walk_kicks = t.stats().kickouts;
+    walk_stashed = t.stash_size();
+  }
+  {
+    TableOptions ob = o;
+    ob.eviction_policy = EvictionPolicy::kBfs;
+    McCuckooTable<uint64_t, uint64_t> t(ob);
+    for (uint64_t k : MakeUniqueKeys(t.capacity() * 90 / 100, 1, 0)) {
+      t.Insert(k, k);
+    }
+    bfs_kicks = t.stats().kickouts;
+    bfs_stashed = t.stash_size();
+    EXPECT_TRUE(t.ValidateInvariants().ok())
+        << t.ValidateInvariants().ToString();
+  }
+  EXPECT_LT(bfs_kicks, walk_kicks);
+  (void)walk_stashed;
+  const size_t inserted = o.capacity() * 90 / 100;
+  EXPECT_LE(bfs_stashed, inserted / 50) << "BFS stash spill above 2%";
+}
+
+TEST(BfsPolicyTest, McCuckooSurvivesDeletionsAndReinsertions) {
+  // Tombstones read as counter 0, so BFS must treat deleted buckets as free
+  // terminals and keep every remaining key reachable.
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kBfs;
+  o.deletion_mode = DeletionMode::kResetCounters;
+  McCuckooTable<uint64_t, uint64_t> t(o);
+  const auto keys = MakeUniqueKeys(t.capacity() * 80 / 100, 3, 0);
+  for (uint64_t k : keys) ASSERT_NE(t.Insert(k, k), InsertResult::kFailed);
+  for (size_t i = 0; i < keys.size(); i += 2) t.Erase(keys[i]);
+  const auto fresh = MakeUniqueKeys(keys.size() / 4, 3, 99);
+  for (uint64_t k : fresh) ASSERT_NE(t.Insert(k, k), InsertResult::kFailed);
+  for (size_t i = 1; i < keys.size(); i += 2) {
+    EXPECT_TRUE(t.Contains(keys[i])) << keys[i];
+  }
+  for (uint64_t k : fresh) EXPECT_TRUE(t.Contains(k)) << k;
+  EXPECT_TRUE(t.ValidateInvariants().ok()) << t.ValidateInvariants().ToString();
+}
+
+TEST(BubblePolicyTest, RoundTripOnAllTables) {
+  TableOptions o = BaseOptions();
+  o.eviction_policy = EvictionPolicy::kBubble;
+  RoundTripWithPolicy<McCuckooTable<uint64_t, uint64_t>>(o);
+  RoundTripWithPolicy<CuckooTable<uint64_t, uint64_t>>(o);
+  o.slots_per_bucket = 3;
+  RoundTripWithPolicy<BlockedMcCuckooTable<uint64_t, uint64_t>>(o);
+  RoundTripWithPolicy<BchtTable<uint64_t, uint64_t>>(o);
+}
+
+TEST(BubblePolicyTest, BaselinePlacesFreshKeysInHighLevels) {
+  // With headroom reserved in low levels, the first keys of a bubbling
+  // baseline land in the highest-numbered table. Lookups still probe level
+  // 0 first, so bubble-placed keys cost more reads per Find than the same
+  // keys placed by the default level-0-first scan on a near-empty table.
+  TableOptions o = BaseOptions();
+  CuckooTable<uint64_t, uint64_t> walk(o);
+  TableOptions ob = o;
+  ob.eviction_policy = EvictionPolicy::kBubble;
+  CuckooTable<uint64_t, uint64_t> bubble(ob);
+  const auto keys = MakeUniqueKeys(64, 7, 0);
+  for (uint64_t k : keys) {
+    ASSERT_EQ(walk.Insert(k, k), InsertResult::kInserted);
+    ASSERT_EQ(bubble.Insert(k, k), InsertResult::kInserted);
+  }
+  walk.ResetStats();
+  bubble.ResetStats();
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(walk.Contains(k));
+    ASSERT_TRUE(bubble.Contains(k));
+  }
+  EXPECT_GT(bubble.stats().offchip_reads, walk.stats().offchip_reads);
+  EXPECT_TRUE(bubble.ValidateInvariants().ok());
+}
+
+TEST(PickVictimTest, SingleHashDoesNotInvokeRngBelowZero) {
+  // Regression: with d == 1 and the only candidate excluded, the random
+  // branch used to call rng.Below(0) — UB. The guard must return level 0.
+  Xoshiro256 rng(9);
+  KickHistory disabled;
+  const std::array<size_t, kMaxHashes> buckets = {42, 0, 0, 0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(PickVictim(buckets, 1, /*exclude=*/42, disabled, rng), 0u);
+  }
+  AccessStats stats;
+  KickHistory h(100, 5, &stats);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(PickVictim(buckets, 1, /*exclude=*/42, h, rng), 0u);
+  }
+}
+
+TEST(PickBubbleVictimTest, CyclesLevelsAndSkipsExclude) {
+  const std::array<size_t, kMaxHashes> buckets = {10, 20, 30, 0};
+  // Fresh chain (from_level == -1) starts at level 0.
+  EXPECT_EQ(PickBubbleVictim(buckets, 3, static_cast<size_t>(-1), -1), 0u);
+  // Each following displacement moves one level up, wrapping at d.
+  EXPECT_EQ(PickBubbleVictim(buckets, 3, static_cast<size_t>(-1), 0), 1u);
+  EXPECT_EQ(PickBubbleVictim(buckets, 3, static_cast<size_t>(-1), 1), 2u);
+  EXPECT_EQ(PickBubbleVictim(buckets, 3, static_cast<size_t>(-1), 2), 0u);
+  // The bucket the displaced key came from is skipped.
+  EXPECT_EQ(PickBubbleVictim(buckets, 3, /*exclude=*/10, 2), 1u);
+  // d == 1 cannot skip anywhere: stays at level 0.
+  EXPECT_EQ(PickBubbleVictim(buckets, 1, /*exclude=*/10, 0), 0u);
+}
+
+TEST(BfsEngineTest, FindsShortestPathAndReportsNodes) {
+  // Tiny synthetic graph: 0 -> {1, 2}, 1 -> {3}, 2 -> terminal 9.
+  const uint64_t roots[] = {0};
+  const BfsPathResult r = BfsFindPath(
+      roots, 1, /*max_nodes=*/16,
+      [](uint64_t id, auto&& emit, auto&& terminal) {
+        if (id == 0) {
+          emit(1);
+          emit(2);
+        } else if (id == 1) {
+          emit(3);
+        } else if (id == 2) {
+          terminal(9);
+        }
+      });
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.terminal, 9u);
+  ASSERT_EQ(r.node.size(), 2u);
+  EXPECT_EQ(r.node[0], 0u);
+  EXPECT_EQ(r.node[1], 2u);
+  EXPECT_GT(r.nodes_expanded, 0u);
+}
+
+TEST(BfsEngineTest, ExhaustsBudgetWithoutTerminal) {
+  const uint64_t roots[] = {0};
+  const BfsPathResult r = BfsFindPath(
+      roots, 1, /*max_nodes=*/8,
+      [](uint64_t id, auto&& emit, auto&& terminal) {
+        (void)terminal;
+        emit(id + 1);  // infinite chain, never a terminal
+      });
+  EXPECT_FALSE(r.found);
+  EXPECT_LE(r.nodes_expanded, 8u);
+  EXPECT_GT(r.nodes_expanded, 0u);
 }
 
 TEST(BfsPolicyTest, OverflowStillGoesToStash) {

@@ -129,6 +129,60 @@ TEST(SnapshotTest, RejectsWrongVersion) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(SnapshotTest, RejectsOutOfRangeEvictionPolicy) {
+  // A snapshot from a newer (or corrupt) build may carry an enum value this
+  // build does not know; the loader must fail with a descriptive error
+  // instead of casting the raw integer into EvictionPolicy.
+  McCuckooTable<uint64_t, uint64_t> original(SmallOptions(1));
+  original.Insert(1, 2);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(original, stream).ok());
+  std::string bytes = stream.str();
+  // Options block layout: magic(8) version(4) num_hashes(4)
+  // buckets_per_table(8) slots_per_bucket(4) maxloop(4) seed(8)
+  // deletion(4), then the eviction_policy u32 at byte 44.
+  bytes[44] = static_cast<char>(200);
+  std::stringstream bad(bytes);
+  auto r = LoadSnapshot<McCuckooTable<uint64_t, uint64_t>>(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("eviction_policy"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SnapshotTest, BfsAndBubblePoliciesRoundTrip) {
+  for (const EvictionPolicy p :
+       {EvictionPolicy::kBfs, EvictionPolicy::kBubble}) {
+    TableOptions o = SmallOptions(1);
+    o.eviction_policy = p;
+    McCuckooTable<uint64_t, uint64_t> original(o);
+    for (uint64_t k : MakeUniqueKeys(400, 5, 0)) original.Insert(k, k + 3);
+    std::stringstream stream;
+    ASSERT_TRUE(SaveSnapshot(original, stream).ok());
+    auto loaded = LoadSnapshot<McCuckooTable<uint64_t, uint64_t>>(stream);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().options().eviction_policy, p);
+    EXPECT_EQ(loaded.value().TotalItems(), original.TotalItems());
+  }
+}
+
+TEST(SnapshotTest, UnsupportedPolicyForTableIsStatusNotAbort) {
+  // A BCHT snapshot whose eviction byte is patched to kBfs decodes fine but
+  // must be refused by BchtTable::Create — as a Status, never an abort.
+  TableOptions o = SmallOptions(3);
+  BchtTable<uint64_t, uint64_t> original(o);
+  original.Insert(1, 2);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(original, stream).ok());
+  std::string bytes = stream.str();
+  bytes[44] = static_cast<char>(EvictionPolicy::kBfs);
+  std::stringstream bad(bytes);
+  auto r = LoadSnapshot<BchtTable<uint64_t, uint64_t>>(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("BFS"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(ForEachItemTest, VisitsEveryKeyExactlyOnce) {
   McCuckooTable<uint64_t, uint64_t> t(SmallOptions(1));
   const auto keys = MakeUniqueKeys(800, 4, 0);
