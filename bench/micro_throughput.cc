@@ -32,14 +32,24 @@ SchemeConfig Config() {
 
 std::unique_ptr<SchemeTable> FilledTable(
     SchemeKind kind, double load,
-    EvictionPolicy policy = EvictionPolicy::kRandomWalk) {
+    EvictionPolicy policy = EvictionPolicy::kRandomWalk,
+    ProbeKind probe = ProbeKind::kAuto) {
   SchemeConfig c = Config();
   c.eviction_policy = policy;
+  c.probe = probe;
   auto t = MakeScheme(kind, c);
   const auto keys = MakeUniqueKeys(t->capacity(), 7, 0);
   size_t cursor = 0;
   FillToLoad(*t, keys, load, &cursor);
   return t;
+}
+
+/// Advances a cyclic key cursor without the 64-bit division a `% size`
+/// would put on the critical path: the divide's latency serializes the
+/// key load against the previous iteration and dominates short lookups,
+/// so all lookup loops below use this instead.
+inline size_t NextIndex(size_t i, size_t size) {
+  return i + 1 == size ? 0 : i + 1;
 }
 
 void BM_Insert(benchmark::State& state, SchemeKind kind, double load,
@@ -63,25 +73,27 @@ void BM_Insert(benchmark::State& state, SchemeKind kind, double load,
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_LookupHit(benchmark::State& state, SchemeKind kind, double load) {
-  auto table = FilledTable(kind, load);
+void BM_LookupHit(benchmark::State& state, SchemeKind kind, double load,
+                  ProbeKind probe = ProbeKind::kAuto) {
+  auto table = FilledTable(kind, load, EvictionPolicy::kRandomWalk, probe);
   const auto keys = MakeUniqueKeys(table->TotalItems(), 7, 0);
   size_t i = 0;
   uint64_t v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(table->Find(keys[i % keys.size()], &v));
-    ++i;
+    benchmark::DoNotOptimize(table->Find(keys[i], &v));
+    i = NextIndex(i, keys.size());
   }
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_LookupMiss(benchmark::State& state, SchemeKind kind, double load) {
-  auto table = FilledTable(kind, load);
+void BM_LookupMiss(benchmark::State& state, SchemeKind kind, double load,
+                   ProbeKind probe = ProbeKind::kAuto) {
+  auto table = FilledTable(kind, load, EvictionPolicy::kRandomWalk, probe);
   const auto missing = MakeUniqueKeys(100'000, 7, 7);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(table->Find(missing[i % missing.size()], nullptr));
-    ++i;
+    benchmark::DoNotOptimize(table->Find(missing[i], nullptr));
+    i = NextIndex(i, missing.size());
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -92,8 +104,65 @@ void BM_StdUnorderedMapLookup(benchmark::State& state) {
   for (uint64_t k : keys) map.emplace(k, k);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(map.find(keys[i % keys.size()]));
-    ++i;
+    benchmark::DoNotOptimize(map.find(keys[i]));
+    i = NextIndex(i, keys.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Tag-probe kernel microbenchmark: the match kernels in isolation over
+// L1-resident headers (d = 3 candidates per round, like a real lookup).
+// End-to-end lookups are hash- and memory-latency-bound, so the kernels'
+// relative speed is only visible here; the CI probe gate asserts the
+// SIMD-vs-SWAR ratio on these keys.
+template <bool kSimd>
+void BM_ProbeKernel(benchmark::State& state) {
+  constexpr size_t kHeaders = 4096;  // 64 KiB: L1/L2 resident
+  std::vector<BucketHeader> headers(kHeaders + 2);  // +2: window overhang
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  auto next = [&x] {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    return x;
+  };
+  for (auto& h : headers) {
+    for (int i = 0; i < 8; ++i) {
+      h.tag[i] = static_cast<uint8_t>(next());
+      h.meta[i] = static_cast<uint8_t>(next() & 0x0F);
+    }
+  }
+  size_t i = 0;
+  uint32_t sink = 0;
+  // Four d=3 screening rounds per iteration so the loop bookkeeping is
+  // amortized and the measured time is the kernels', not the harness's.
+  for (auto _ : state) {
+    for (int r = 0; r < 4; ++r) {
+      const size_t base = (i + 3 * static_cast<size_t>(r)) & (kHeaders - 1);
+      const uint8_t tag = static_cast<uint8_t>(base + r);
+      const BucketHeader* hdr[3] = {&headers[base], &headers[base + 1],
+                                    &headers[base + 2]};
+      uint32_t mask[3];
+      if constexpr (kSimd) {
+        SimdTagMatchMasks(hdr, 3, tag, mask);
+      } else {
+        for (int t = 0; t < 3; ++t) mask[t] = TagMatchMaskScalar(*hdr[t], tag);
+      }
+      sink ^= mask[0] + mask[1] + mask[2];
+    }
+    i = (i + 12) & (kHeaders - 1);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 12);  // headers screened
+}
+
+void BM_StdUnorderedMapLookupMiss(benchmark::State& state) {
+  std::unordered_map<uint64_t, uint64_t> map;
+  const auto keys = MakeUniqueKeys(kSlots / 2, 7, 0);
+  for (uint64_t k : keys) map.emplace(k, k);
+  const auto missing = MakeUniqueKeys(100'000, 7, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(missing[i]));
+    i = NextIndex(i, missing.size());
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -108,9 +177,11 @@ void RegisterAll() {
                                    EvictionPolicy::kRandomWalk)
           ->Iterations(30000);
       benchmark::RegisterBenchmark(("lookup_hit" + suffix).c_str(),
-                                   BM_LookupHit, kind, load / 100.0);
+                                   BM_LookupHit, kind, load / 100.0,
+                                   ProbeKind::kAuto);
       benchmark::RegisterBenchmark(("lookup_miss" + suffix).c_str(),
-                                   BM_LookupMiss, kind, load / 100.0);
+                                   BM_LookupMiss, kind, load / 100.0,
+                                   ProbeKind::kAuto);
     }
   }
   // Counter-guided BFS insert variants on the tables that support kBfs —
@@ -126,8 +197,33 @@ void RegisterAll() {
           ->Iterations(30000);
     }
   }
+  // Probe-kernel A/B rows for the blocked multi-copy table: same workload
+  // as the plain (kAuto) keys above, pinned to one kernel each, so the
+  // recorded JSON carries the simd-vs-scalar delta explicitly. The simd
+  // rows exist only when the kernel was compiled in.
+  for (const int load : {50, 90}) {
+    for (const ProbeKind probe : {ProbeKind::kScalar, ProbeKind::kSimd}) {
+      if (probe == ProbeKind::kSimd && !kSimdProbeAvailable) continue;
+      const std::string suffix = std::string(".") +
+                                 SchemeName(SchemeKind::kBMcCuckoo) + "." +
+                                 ProbeKindToString(probe) + ".load" +
+                                 std::to_string(load);
+      benchmark::RegisterBenchmark(("lookup_hit" + suffix).c_str(),
+                                   BM_LookupHit, SchemeKind::kBMcCuckoo,
+                                   load / 100.0, probe);
+      benchmark::RegisterBenchmark(("lookup_miss" + suffix).c_str(),
+                                   BM_LookupMiss, SchemeKind::kBMcCuckoo,
+                                   load / 100.0, probe);
+    }
+  }
   benchmark::RegisterBenchmark("lookup_hit.std_unordered_map",
                                BM_StdUnorderedMapLookup);
+  benchmark::RegisterBenchmark("lookup_miss.std_unordered_map",
+                               BM_StdUnorderedMapLookupMiss);
+  benchmark::RegisterBenchmark("probe_kernel.scalar", BM_ProbeKernel<false>);
+  if (kSimdProbeAvailable) {
+    benchmark::RegisterBenchmark("probe_kernel.simd", BM_ProbeKernel<true>);
+  }
 }
 
 }  // namespace

@@ -286,9 +286,8 @@ class BchtTable {
     const bool in_main = self->FindInMain(key, cand, out, nullptr, nullptr,
                                           &probes);
     if constexpr (kMetricsEnabled) {
-      metrics_->RecordLookup(probes);
+      metrics_->RecordLookupOutcome(probes, in_main ? 0 : -1);
       metrics_->RecordPartitionProbes(0, probes);  // no partitions: slot 0
-      if (in_main) metrics_->RecordPartitionHit(0);
     }
     if (in_main) return true;
     if (!stash_.empty()) {

@@ -350,9 +350,8 @@ class CuckooTable {
     uint32_t probes = 0;
     const int64_t idx = self->FindInMain(key, cand, out, &probes);
     if constexpr (kMetricsEnabled) {
-      metrics_->RecordLookup(probes);
+      metrics_->RecordLookupOutcome(probes, idx >= 0 ? 0 : -1);
       metrics_->RecordPartitionProbes(0, probes);  // no partitions: slot 0
-      if (idx >= 0) metrics_->RecordPartitionHit(0);
     }
     if (idx >= 0) return true;
     if (!stash_.empty()) {

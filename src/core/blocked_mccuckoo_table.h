@@ -43,6 +43,7 @@
 #include "src/common/bits.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/core/bucket_header.h"
 #include "src/core/config.h"
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
@@ -83,9 +84,11 @@ class BlockedMcCuckooTable {
   // Nested aggregates are defined before the operations: the batched and
   // candidate-reusing member signatures below mention them.
 
-  /// Global candidate bucket indices (bucket index space, not slot space).
+  /// Global candidate bucket indices (bucket index space, not slot space)
+  /// plus the key's fingerprint, derived in the same hashing pass.
   struct Candidates {
     std::array<size_t, kMaxHashes> bucket;
+    uint8_t tag = 0;
   };
 
   /// A (sub-table, bucket, slot) position, held as (bucket index, slot).
@@ -142,7 +145,9 @@ class BlockedMcCuckooTable {
                options.buckets_per_table * options.slots_per_bucket),
         flags_(static_cast<size_t>(options.num_hashes) *
                options.buckets_per_table),
-        counters_(slots_.size(), options.num_hashes, stats_.get()),
+        counters_(slots_.size(), options.slots_per_bucket, options.num_hashes,
+                  stats_.get()),
+        probe_simd_(ResolveProbeKind(options.probe) == ProbeKind::kSimd),
         rng_(SplitMix64(options.seed ^ 0xB10CB10CB10CB10Cull)),
         growth_(options.growth) {
     if (Status s = CheckOptions(options); !s.ok()) {
@@ -449,6 +454,32 @@ class BlockedMcCuckooTable {
                               Value* out, MetricsSink& sink) const {
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
+    // One aligned header load per candidate bucket answers occupancy,
+    // tombstones and tag matches together; the slot lines are touched only
+    // for tag-matching occupied slots. Racing writers may tear these reads
+    // — the optimistic callers discard the result via seqlock validation,
+    // and slot indices stay in range regardless (meta/tag bytes past l are
+    // never written, so no match bit can point there).
+    const BucketHeader* hdr[kMaxHashes] = {};
+    uint64_t meta[kMaxHashes];
+    uint32_t match[kMaxHashes];
+    for (uint32_t t = 0; t < d; ++t) {
+      hdr[t] = &counters_.HeaderAt(cand.bucket[t]);
+      // Start the candidate slot lines toward the core while the headers
+      // are screened: the hit path's header -> slot dependence is the
+      // longest miss chain left. A pure overlap hint — the modeled reads
+      // are decided by the probe rules alone, never by what is cached.
+      __builtin_prefetch(&slots_[cand.bucket[t] * l], 0, 1);
+    }
+    if (probe_simd_) {
+      SimdTagMatchMasks(hdr, d, cand.tag, match);
+    } else {
+      for (uint32_t t = 0; t < d; ++t) {
+        match[t] = TagMatchMaskScalar(*hdr[t], cand.tag);
+      }
+    }
+    for (uint32_t t = 0; t < d; ++t) meta[t] = HdrMetaWord(*hdr[t]);
+
     bool any_zero_bucket = false;
     bool all_buckets_all_ones = true;
     bool read_flag_zero = false;
@@ -456,36 +487,28 @@ class BlockedMcCuckooTable {
     uint32_t probes_total = 0;
     int32_t hit_value = -1;
     for (uint32_t t = 0; t < d && !found; ++t) {
-      uint64_t sum = 0;
-      bool any_tomb = false;
-      uint64_t slot_counter[8];
-      for (uint32_t s = 0; s < l; ++s) {
-        const size_t idx = cand.bucket[t] * l + s;
-        slot_counter[s] = counters_.PeekCounter(idx);
-        sum += slot_counter[s];
-        if (slot_counter[s] != 1) all_buckets_all_ones = false;
-        if (counters_.PeekTombstone(idx)) any_tomb = true;
+      const bool occupied = (meta[t] & kHdrCounterRep) != 0;
+      if ((meta[t] & kHdrCounterRep) != counters_.ones_word()) {
+        all_buckets_all_ones = false;
       }
-      if (sum == 0 && !any_tomb) any_zero_bucket = true;
-      if (opts_.lookup_pruning_enabled && sum == 0) continue;
-      if (sum != 0 || any_tomb) ++probes_total;  // one bucket fetch
+      if (meta[t] == 0) any_zero_bucket = true;  // no occupants, no tombs
+      if (opts_.lookup_pruning_enabled && !occupied) continue;
+      if (meta[t] != 0) ++probes_total;  // one bucket fetch
       if (!flags_.Test(cand.bucket[t])) read_flag_zero = true;
-      for (uint32_t s = 0; s < l; ++s) {
-        if (slot_counter[s] == 0) continue;
+      for (uint32_t m = match[t]; m != 0; m &= m - 1) {
+        const uint32_t s = static_cast<uint32_t>(__builtin_ctz(m));
         const Slot& slot = slots_[cand.bucket[t] * l + s];
         if (slot.key == key) {
           if (out != nullptr) *out = slot.value;
-          hit_value = static_cast<int32_t>(slot_counter[s]);
+          hit_value =
+              static_cast<int32_t>((meta[t] >> (8 * s)) & kHdrCounterMask);
           found = true;
           break;
         }
       }
     }
     if constexpr (kMetricsEnabled) {
-      sink.RecordLookup(probes_total);
-      if (hit_value >= 0) {
-        sink.RecordPartitionHit(static_cast<uint32_t>(hit_value));
-      }
+      sink.RecordLookupOutcome(probes_total, hit_value);
     }
     if (found) return MainOutcome::kHit;
     // The empty() read is a plain size check, memory-safe even when racing
@@ -728,6 +751,10 @@ class BlockedMcCuckooTable {
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
 
+  /// Which tag-probe kernel this instance resolved to ("simd"/"scalar");
+  /// bench keys embed it.
+  const char* probe_variant() const { return probe_simd_ ? "simd" : "scalar"; }
+
   uint64_t first_collision_items() const { return first_collision_items_; }
   uint64_t first_failure_items() const { return first_failure_items_; }
   uint64_t redundant_writes() const { return redundant_writes_; }
@@ -789,6 +816,11 @@ class BlockedMcCuckooTable {
       if (family_.Bucket(slots_[idx].key, t) != b) {
         return Status::Internal("occupant does not hash to bucket " +
                                 std::to_string(idx));
+      }
+      // Every occupied slot's header tag must fingerprint its occupant —
+      // the probe kernels rely on a mismatch proving a different key.
+      if (counters_.PeekTag(idx) != family_.TagOf(slots_[idx].key)) {
+        return Status::Internal("stale header tag at " + std::to_string(idx));
       }
       copies[slots_[idx].key].push_back(idx);
     }
@@ -895,9 +927,12 @@ class BlockedMcCuckooTable {
 
   Candidates ComputeCandidates(const Key& key) const {
     Candidates c{};
+    // Fused: the tag falls out of the hash evaluation the family already
+    // does for the bucket indices (for DoubleHashFamily this path is also
+    // 2 hashes instead of 2 per sub-table).
+    const std::array<uint64_t, kMaxHashes> b = family_.Buckets(key, &c.tag);
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-      c.bucket[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
-                    family_.Bucket(key, t);
+      c.bucket[t] = static_cast<size_t>(t) * opts_.buckets_per_table + b[t];
     }
     return c;
   }
@@ -911,10 +946,12 @@ class BlockedMcCuckooTable {
   void StageCandidates(const Key* keys, size_t n, Candidates* cand,
                        bool for_write) const {
     std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
-    family_.BucketsBatch(keys, n, buckets.data());
+    std::array<uint8_t, kBatchTile> tags;
+    family_.BucketsBatch(keys, n, buckets.data(), tags.data());
     const uint32_t d = opts_.num_hashes;
     const uint32_t l = opts_.slots_per_bucket;
     for (size_t i = 0; i < n; ++i) {
+      cand[i].tag = tags[i];
       for (uint32_t t = 0; t < d; ++t) {
         cand[i].bucket[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
                             buckets[i][t];
@@ -922,9 +959,10 @@ class BlockedMcCuckooTable {
     }
     for (size_t i = 0; i < n; ++i) {
       for (uint32_t t = 0; t < d; ++t) {
-        // All l slot counters of a bucket share (at most two) words.
+        // One line covers the bucket's whole header (tags, counters,
+        // tombstones) — the old layout needed two counter words plus a
+        // tombstone word from separate allocations.
         counters_.Prefetch(cand[i].bucket[t] * l);
-        counters_.Prefetch(cand[i].bucket[t] * l + (l - 1));
         // The stash-flag word is consulted during every probed bucket's
         // scan; packed flags make it one explicit line.
         __builtin_prefetch(flags_.WordAddr(cand[i].bucket[t]), 0, 1);
@@ -946,29 +984,114 @@ class BlockedMcCuckooTable {
     }
   }
 
-  /// Scalar Find body over precomputed candidates. `sink` is the live
-  /// TableMetrics for scalar calls, a stack-local LookupTally for batches.
+  /// Scalar Find body over precomputed candidates — the hot read path.
+  /// `sink` is the live TableMetrics for scalar calls, a stack-local
+  /// LookupTally for batches.
+  ///
+  /// Physically this touches one header line per candidate bucket plus the
+  /// slot lines of tag-matching occupied slots; the stash-flag words are
+  /// read only on the miss path. The *modeled* accounting is bit-identical
+  /// to the per-slot implementation it replaces: d*l on-chip counter reads
+  /// (doubled by the tombstone probes in kTombstone mode), one off-chip
+  /// read per probed bucket, and the same probe rule — pruning skips
+  /// zero-sum buckets, without pruning only buckets with nothing live (no
+  /// occupants, no tombstones) are skipped.
   template <typename MetricsSink>
   bool FindImpl(const Key& key, const Candidates& cand, Value* out,
                 MetricsSink& sink) const {
-    auto* self = const_cast<BlockedMcCuckooTable*>(this);
-    CandidateView view;
-    Position pos;
-    const bool in_main = self->FindInMain(key, cand, out, &view, &pos);
-    if constexpr (kMetricsEnabled) {
-      sink.RecordLookup(view.probes_total);
-      if (view.hit_value >= 0) {
-        sink.RecordPartitionHit(static_cast<uint32_t>(view.hit_value));
+    const uint32_t d = opts_.num_hashes;
+    const uint32_t l = opts_.slots_per_bucket;
+    counters_.ChargeReads(
+        static_cast<uint64_t>(d) * l *
+        (opts_.deletion_mode == DeletionMode::kTombstone ? 2 : 1));
+
+    const BucketHeader* hdr[kMaxHashes] = {};
+    uint64_t meta[kMaxHashes];
+    uint32_t match[kMaxHashes];
+    for (uint32_t t = 0; t < d; ++t) {
+      hdr[t] = &counters_.HeaderAt(cand.bucket[t]);
+      // Start the candidate slot lines toward the core while the headers
+      // are screened: the hit path's header -> slot dependence is the
+      // longest miss chain left. A pure overlap hint — the modeled reads
+      // are decided by the probe rules alone, never by what is cached.
+      __builtin_prefetch(&slots_[cand.bucket[t] * l], 0, 1);
+    }
+    if (probe_simd_) {
+      SimdTagMatchMasks(hdr, d, cand.tag, match);
+    } else {
+      for (uint32_t t = 0; t < d; ++t) {
+        match[t] = TagMatchMaskScalar(*hdr[t], cand.tag);
       }
     }
-    if (in_main) return true;
-    if (self->ShouldProbeStash(view)) {
+    for (uint32_t t = 0; t < d; ++t) meta[t] = HdrMetaWord(*hdr[t]);
+
+    auto* self = const_cast<BlockedMcCuckooTable*>(this);
+    uint32_t probes_total = 0;
+    for (uint32_t t = 0; t < d; ++t) {
+      const bool occupied = (meta[t] & kHdrCounterRep) != 0;
+      if (!occupied && (opts_.lookup_pruning_enabled || meta[t] == 0)) {
+        continue;
+      }
+      self->ChargeBucketRead();
+      ++probes_total;
+      for (uint32_t m = match[t]; m != 0; m &= m - 1) {
+        const uint32_t s = static_cast<uint32_t>(__builtin_ctz(m));
+        const Slot& slot = slots_[cand.bucket[t] * l + s];
+        if (slot.key == key) {
+          if (out != nullptr) *out = slot.value;
+          if constexpr (kMetricsEnabled) {
+            sink.RecordLookupOutcome(
+                probes_total,
+                static_cast<int32_t>((meta[t] >> (8 * s)) & kHdrCounterMask));
+          }
+          return true;
+        }
+      }
+    }
+    if constexpr (kMetricsEnabled) sink.RecordLookupOutcome(probes_total, -1);
+    if (ShouldProbeStashHdr(cand, meta, d)) {
       self->ChargeStashProbe();
       const bool hit = stash_.Find(key, out);
       sink.RecordStashProbe(hit);
       return hit;
     }
     return false;
+  }
+
+  /// ShouldProbeStash over the header meta words (§III.E/F, Algorithm 2).
+  /// Same rules as the CandidateView form; the per-bucket flags are read
+  /// lazily here, only after the counter rules pass and only for buckets
+  /// the probe loop above would have fetched.
+  bool ShouldProbeStashHdr(const Candidates& cand, const uint64_t* meta,
+                           uint32_t d) const {
+    if (stash_.empty()) return false;
+    if (opts_.stash_kind == StashKind::kOnchipChs) return true;  // free probe
+    if (!opts_.stash_screen_enabled) return true;
+
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      for (uint32_t t = 0; t < d; ++t) {
+        if ((meta[t] & kHdrCounterRep) != counters_.ones_word()) return false;
+      }
+      // All-ones buckets all have sum > 0, so each was probed and its
+      // flag is decisive.
+      for (uint32_t t = 0; t < d; ++t) {
+        if (!flags_.Test(cand.bucket[t])) return false;
+      }
+      return true;
+    }
+    if (opts_.deletion_mode == DeletionMode::kTombstone) {
+      // True all-zero buckets (no tombstones) still prove "never inserted".
+      for (uint32_t t = 0; t < d; ++t) {
+        if (meta[t] == 0) return false;
+      }
+    }
+    for (uint32_t t = 0; t < d; ++t) {
+      const bool probed = opts_.lookup_pruning_enabled
+                              ? (meta[t] & kHdrCounterRep) != 0
+                              : meta[t] != 0;
+      if (probed && !flags_.Test(cand.bucket[t])) return false;
+    }
+    return true;
   }
 
   /// Scalar Insert body over precomputed candidates.
@@ -1073,11 +1196,16 @@ class BlockedMcCuckooTable {
   /// Fetches a whole bucket: one off-chip access regardless of l ([33]).
   void ChargeBucketRead() { ++stats_->offchip_reads; }
 
-  /// Writes one slot (record + hints share the slot's memory word).
+  /// Writes one slot (record + hints share the slot's memory word) and
+  /// refreshes its header tag in the same seqlock window, so readers never
+  /// see a fresh key behind a stale fingerprint. The tag store is layout
+  /// state, not a modeled access (uncharged).
   void WriteSlot(const Position& p, const Slot& record) {
     SeqOpen(p.bucket);
     ++stats_->offchip_writes;
-    slots_[SlotIndex(p)] = record;
+    const size_t idx = SlotIndex(p);
+    slots_[idx] = record;
+    counters_.SetTag(idx, family_.TagOf(record.key));
   }
 
   /// Value-only update preserving the stored hints.
@@ -1530,29 +1658,27 @@ class BlockedMcCuckooTable {
     const uint32_t l = opts_.slots_per_bucket;
     CandidateView& v = *view;
     v.d = d;
+    // The model reads every candidate slot's counter, plus its tombstone
+    // mark in kTombstone mode; the headers deliver them in one line per
+    // bucket but the modeled charge is unchanged.
+    counters_.ChargeReads(
+        static_cast<uint64_t>(d) * l *
+        (opts_.deletion_mode == DeletionMode::kTombstone ? 2 : 1));
 
     std::array<std::array<uint64_t, 8>, kMaxHashes> slot_counter{};
     for (uint32_t t = 0; t < d; ++t) {
       v.bucket[t] = cand.bucket[t];
       v.bucket_read[t] = false;
       v.flag_value[t] = false;
+      const uint64_t meta = HdrMetaWord(counters_.HeaderAt(cand.bucket[t]));
       uint64_t sum = 0;
-      bool any_tomb = false;
-      bool all_ones = true;
       for (uint32_t s = 0; s < l; ++s) {
-        const size_t idx = cand.bucket[t] * l + s;
-        const uint64_t c = counters_.Get(idx);
-        slot_counter[t][s] = c;
-        sum += c;
-        if (c != 1) all_ones = false;
-        if (opts_.deletion_mode == DeletionMode::kTombstone &&
-            counters_.IsTombstone(idx)) {
-          any_tomb = true;
-        }
+        slot_counter[t][s] = (meta >> (8 * s)) & kHdrCounterMask;
+        sum += slot_counter[t][s];
       }
       v.sum[t] = sum;
-      v.bloom_nonzero[t] = (sum > 0) || any_tomb;
-      v.all_ones[t] = all_ones;
+      v.bloom_nonzero[t] = meta != 0;  // any occupant or tombstone
+      v.all_ones[t] = (meta & kHdrCounterRep) == counters_.ones_word();
     }
 
     for (uint32_t t = 0; t < d; ++t) {
@@ -1567,8 +1693,13 @@ class BlockedMcCuckooTable {
       v.flag_value[t] = flags_.Test(cand.bucket[t]);
       for (uint32_t s = 0; s < l; ++s) {
         if (slot_counter[t][s] == 0) continue;  // empty/tombstone: stale data
+        const size_t idx = cand.bucket[t] * l + s;
+        // Fingerprint screen: an occupied slot's tag always reflects its
+        // occupant, so a mismatch proves a different key without touching
+        // the slot line.
+        if (counters_.PeekTag(idx) != cand.tag) continue;
         const Position p{cand.bucket[t], s};
-        const Slot& slot = slots_[SlotIndex(p)];
+        const Slot& slot = slots_[idx];
         if (slot.key == key) {
           if (out != nullptr) *out = slot.value;
           if (pos != nullptr) *pos = p;
@@ -1636,6 +1767,7 @@ class BlockedMcCuckooTable {
     kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
     stash_ = std::move(rebuilt.stash_);
     rng_ = std::move(rebuilt.rng_);
+    probe_simd_ = rebuilt.probe_simd_;
     // The rebuild just freed space, so any dead-end streak is stale.
     bfs_throttle_ = {};
     size_ = rebuilt.size_;
@@ -1666,7 +1798,12 @@ class BlockedMcCuckooTable {
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
   TraceRecorder trace_;
-  CounterArray counters_;
+  // Per-bucket headers: slot tags + counters + tombstones in one aligned
+  // 16-byte block per bucket (see bucket_header.h).
+  BucketHeaderArray counters_;
+  // Resolved TableOptions::probe — true when lookups use the vector
+  // tag-match kernel. Same results and charges either way.
+  bool probe_simd_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
@@ -1683,7 +1820,7 @@ class BlockedMcCuckooTable {
   struct RetiredStorage {
     std::vector<Slot> slots;
     BitArray flags;
-    CounterArray counters;
+    BucketHeaderArray counters;
   };
   std::vector<RetiredStorage> retired_;
 

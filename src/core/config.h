@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/common/status.h"
+#include "src/core/bucket_header.h"
 #include "src/core/growth.h"
 #include "src/hash/hash_family.h"
 
@@ -155,6 +156,14 @@ struct TableOptions {
   /// fixed-size experiments stay reproducible.
   GrowthConfig growth;
 
+  /// Which tag-probe kernel the lookup paths use (src/core/bucket_header.h).
+  /// kAuto resolves to SIMD when the build carries a vector kernel and the
+  /// portable SWAR kernel otherwise; forcing kScalar lets one binary run
+  /// both variants for differential testing and the `.scalar.` bench keys.
+  /// Purely a software-execution knob: probe results and AccessStats are
+  /// identical across kinds, so it is not part of the snapshot format.
+  ProbeKind probe = ProbeKind::kAuto;
+
   /// Validates ranges; returns InvalidArgument describing the problem.
   Status Validate() const {
     if (num_hashes < 2 || num_hashes > kMaxHashes) {
@@ -168,6 +177,11 @@ struct TableOptions {
     }
     if (kick_counter_bits < 1 || kick_counter_bits > 16) {
       return Status::InvalidArgument("kick_counter_bits must be in [1, 16]");
+    }
+    if (probe == ProbeKind::kSimd && !kSimdProbeAvailable) {
+      return Status::InvalidArgument(
+          "probe=kSimd but this build has no SIMD probe kernel "
+          "(non-SSE2 target or MCCUCKOO_PORTABLE_PROBE)");
     }
     if (Status s = growth.Validate(); !s.ok()) return s;
     return Status::OK();

@@ -17,9 +17,11 @@
 #include <cassert>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "src/common/bits.h"
 #include "src/common/packed_array.h"
+#include "src/core/bucket_header.h"
 #include "src/mem/access_stats.h"
 
 namespace mccuckoo {
@@ -103,6 +105,238 @@ class CounterArray {
 
   PackedArray counters_;
   PackedArray tombstones_;
+  AccessStats* stats_;
+};
+
+/// Modeled on-chip byte cost of `size` packed counters of `bits` bits each
+/// — the word arithmetic PackedArray uses. The cache-conscious arrays
+/// below store tags and padding the paper's hardware would not, so they
+/// report this *modeled* figure (identical to the pre-header layout) and
+/// expose the real footprint separately.
+inline size_t ModeledPackedBytes(size_t size, uint32_t bits) {
+  return ((size * bits + 63) / 64) * 8;
+}
+
+/// The blocked table's counter store, reorganized as cache-line-friendly
+/// BucketHeaders (see bucket_header.h): slot s of bucket b lives in
+/// headers_[b].meta[s] / .tag[s]. The charged interface is call-for-call
+/// compatible with CounterArray (per-slot indexing, identical AccessStats
+/// charges) so the insert/erase/eviction paths carry over unchanged; the
+/// lookup paths bypass it via HeaderAt() + an explicit bulk ChargeReads().
+class BucketHeaderArray {
+ public:
+  /// `num_slots` slot entries grouped `slots_per_bucket` to a header.
+  /// Counters hold 0..max_count; `stats` (may be null) receives on-chip
+  /// charges and must outlive the array.
+  BucketHeaderArray(size_t num_slots, uint32_t slots_per_bucket,
+                    uint32_t max_count, AccessStats* stats)
+      : headers_((num_slots + slots_per_bucket - 1) / slots_per_bucket),
+        num_slots_(num_slots),
+        l_(slots_per_bucket),
+        ones_word_(HdrAllOnesWord(slots_per_bucket)),
+        modeled_counter_bytes_(
+            ModeledPackedBytes(num_slots, BitWidthFor(max_count))),
+        modeled_tombstone_bytes_(ModeledPackedBytes(num_slots, 1)),
+        stats_(stats) {
+    assert(slots_per_bucket >= 1 && slots_per_bucket <= 8);
+    assert(max_count <= kHdrCounterMask);
+  }
+
+  size_t size() const { return num_slots_; }
+  size_t num_buckets() const { return headers_.size(); }
+  uint32_t slots_per_bucket() const { return l_; }
+
+  /// Meta word for a bucket whose l slots all hold counter 1 (the
+  /// kDisabled stash screen's "every candidate bucket full" test).
+  uint64_t ones_word() const { return ones_word_; }
+
+  /// Counter value of slot `i` (0 for tombstoned entries). One on-chip read.
+  uint64_t Get(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return PeekCounter(i);
+  }
+
+  /// True if slot `i` carries the "deleted" mark. One on-chip read.
+  bool IsTombstone(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return PeekTombstone(i);
+  }
+
+  /// Sets slot `i`'s counter to `v` and clears any tombstone. One on-chip
+  /// write. The tag byte is untouched: key writes flow through the tables'
+  /// slot-store choke points, which call SetTag() themselves.
+  void Set(size_t i, uint64_t v) {
+    Charge(&AccessStats::onchip_writes);
+    headers_[i / l_].meta[i % l_] =
+        static_cast<uint8_t>(v) & kHdrCounterMask;
+  }
+
+  /// Marks slot `i` deleted (counter reads as 0, tombstone set).
+  void MarkDeleted(size_t i) {
+    Charge(&AccessStats::onchip_writes);
+    headers_[i / l_].meta[i % l_] = kHdrTombBit;
+  }
+
+  /// Records the fingerprint of slot `i`'s occupant. Uncharged: tags are
+  /// software-layout state with no counterpart in the paper's on-chip
+  /// model, and charging them would break the accounting parity the
+  /// differential tests pin down.
+  void SetTag(size_t i, uint8_t tag) { headers_[i / l_].tag[i % l_] = tag; }
+
+  /// Bulk on-chip read charge — the lookup paths read whole headers but
+  /// must charge exactly what the per-slot model charged (d*l counter
+  /// reads, doubled by the tombstone probe in kTombstone mode).
+  void ChargeReads(uint64_t n) const {
+    if (stats_ != nullptr) stats_->onchip_reads += n;
+  }
+
+  /// Uncharged accessors for tests / invariant validation / peeks.
+  uint64_t PeekCounter(size_t i) const {
+    return headers_[i / l_].meta[i % l_] & kHdrCounterMask;
+  }
+  bool PeekTombstone(size_t i) const {
+    return (headers_[i / l_].meta[i % l_] & kHdrTombBit) != 0;
+  }
+  uint8_t PeekTag(size_t i) const { return headers_[i / l_].tag[i % l_]; }
+
+  /// The raw header of bucket `b` — the lookup kernels' entry point.
+  const BucketHeader& HeaderAt(size_t b) const { return headers_[b]; }
+
+  /// Warms the header of the bucket containing slot `i` (one line covers
+  /// tags, counters and tombstones — the old layout needed two words from
+  /// two allocations). Uncharged, as in CounterArray::Prefetch.
+  void Prefetch(size_t i) const {
+    __builtin_prefetch(&headers_[i / l_], 0, 3);
+  }
+
+  /// Pointer-wise storage exchange; each array keeps its own stats sink
+  /// (see CounterArray::SwapStorage).
+  void SwapStorage(BucketHeaderArray& other) {
+    headers_.swap(other.headers_);
+    std::swap(num_slots_, other.num_slots_);
+    std::swap(l_, other.l_);
+    std::swap(ones_word_, other.ones_word_);
+    std::swap(modeled_counter_bytes_, other.modeled_counter_bytes_);
+    std::swap(modeled_tombstone_bytes_, other.modeled_tombstone_bytes_);
+  }
+
+  /// Modeled on-chip bytes (counters + tombstones, packed as the paper's
+  /// hardware would) — identical to the pre-header CounterArray figures.
+  size_t memory_bytes() const {
+    return modeled_counter_bytes_ + modeled_tombstone_bytes_;
+  }
+
+  /// Modeled bytes for the counters alone (see CounterArray).
+  size_t counter_bytes() const { return modeled_counter_bytes_; }
+
+  /// Real DRAM footprint of the header storage (tags included).
+  size_t storage_bytes() const {
+    return headers_.size() * sizeof(BucketHeader);
+  }
+
+ private:
+  void Charge(uint64_t AccessStats::* field) const {
+    if (stats_ != nullptr) ++(stats_->*field);
+  }
+
+  std::vector<BucketHeader> headers_;
+  size_t num_slots_;
+  uint32_t l_;
+  uint64_t ones_word_;
+  size_t modeled_counter_bytes_;
+  size_t modeled_tombstone_bytes_;
+  AccessStats* stats_;
+};
+
+/// The single-slot table's counter store: one byte per bucket packing the
+/// copy counter (bits 0..2), the tombstone mark (bit 3) and a 4-bit key
+/// fingerprint (bits 4..7). One byte read screens a candidate bucket —
+/// counter, tombstone and tag were three separate packed-word reads from
+/// two allocations before. Charged interface is CounterArray-compatible.
+class TagCounterArray {
+ public:
+  TagCounterArray(size_t size, uint32_t max_count, AccessStats* stats)
+      : bytes_(size, 0),
+        modeled_counter_bytes_(
+            ModeledPackedBytes(size, BitWidthFor(max_count))),
+        modeled_tombstone_bytes_(ModeledPackedBytes(size, 1)),
+        stats_(stats) {
+    assert(max_count <= kHdrCounterMask);
+  }
+
+  size_t size() const { return bytes_.size(); }
+
+  /// Counter value at `i` (0 for tombstoned entries). One on-chip read.
+  uint64_t Get(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return PeekCounter(i);
+  }
+
+  /// True if entry `i` carries the "deleted" mark. One on-chip read.
+  bool IsTombstone(size_t i) const {
+    Charge(&AccessStats::onchip_reads);
+    return PeekTombstone(i);
+  }
+
+  /// Sets counter `i` to `v`, clears any tombstone, keeps the tag. One
+  /// on-chip write.
+  void Set(size_t i, uint64_t v) {
+    Charge(&AccessStats::onchip_writes);
+    bytes_[i] = static_cast<uint8_t>(
+        (bytes_[i] & 0xF0u) | (static_cast<uint8_t>(v) & kHdrCounterMask));
+  }
+
+  /// Marks entry `i` deleted (counter reads as 0, tombstone set, tag kept).
+  void MarkDeleted(size_t i) {
+    Charge(&AccessStats::onchip_writes);
+    bytes_[i] = static_cast<uint8_t>((bytes_[i] & 0xF0u) | kHdrTombBit);
+  }
+
+  /// Records the occupant's fingerprint (low nibble of an 8-bit tag).
+  /// Uncharged — see BucketHeaderArray::SetTag.
+  void SetTag(size_t i, uint8_t tag) {
+    bytes_[i] = static_cast<uint8_t>((bytes_[i] & 0x0Fu) | (tag << 4));
+  }
+
+  /// Bulk on-chip read charge (see BucketHeaderArray::ChargeReads).
+  void ChargeReads(uint64_t n) const {
+    if (stats_ != nullptr) stats_->onchip_reads += n;
+  }
+
+  /// Uncharged accessors.
+  uint64_t PeekCounter(size_t i) const { return bytes_[i] & kHdrCounterMask; }
+  bool PeekTombstone(size_t i) const {
+    return (bytes_[i] & kHdrTombBit) != 0;
+  }
+  uint8_t PeekTag(size_t i) const { return bytes_[i] >> 4; }
+
+  /// Warms entry `i`'s byte. Uncharged, as in CounterArray::Prefetch.
+  void Prefetch(size_t i) const { __builtin_prefetch(&bytes_[i], 0, 3); }
+
+  /// Pointer-wise storage exchange (see CounterArray::SwapStorage).
+  void SwapStorage(TagCounterArray& other) {
+    bytes_.swap(other.bytes_);
+    std::swap(modeled_counter_bytes_, other.modeled_counter_bytes_);
+    std::swap(modeled_tombstone_bytes_, other.modeled_tombstone_bytes_);
+  }
+
+  /// Modeled on-chip bytes — identical to the pre-tag CounterArray figures.
+  size_t memory_bytes() const {
+    return modeled_counter_bytes_ + modeled_tombstone_bytes_;
+  }
+  size_t counter_bytes() const { return modeled_counter_bytes_; }
+
+  /// Real DRAM footprint (tags included).
+  size_t storage_bytes() const { return bytes_.size(); }
+
+ private:
+  void Charge(uint64_t AccessStats::* field) const {
+    if (stats_ != nullptr) ++(stats_->*field);
+  }
+
+  std::vector<uint8_t> bytes_;
+  size_t modeled_counter_bytes_;
+  size_t modeled_tombstone_bytes_;
   AccessStats* stats_;
 };
 

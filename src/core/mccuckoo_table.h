@@ -95,9 +95,12 @@ class McCuckooTable {
   // candidate-reusing member signatures below mention them.
 
   /// The d global bucket indices of a key (index = t * buckets_per_table +
-  /// h_t(key); distinct across sub-tables by construction).
+  /// h_t(key); distinct across sub-tables by construction), plus the key's
+  /// 8-bit fingerprint (derived for free from the same hash evaluation;
+  /// the counter store keeps its low nibble per bucket for probe screening).
   struct Candidates {
     std::array<size_t, kMaxHashes> idx;
+    uint8_t tag = 0;
   };
 
   /// Candidate indices plus their counters/tombstones as read (once, all
@@ -513,12 +516,9 @@ class McCuckooTable {
     std::array<uint8_t, kMaxHashes + 1> probes_by_value{};
     auto record_lookup = [&](int32_t hit_value) {
       if constexpr (kMetricsEnabled) {
-        sink.RecordLookup(probes_total);
+        sink.RecordLookupOutcome(probes_total, hit_value);
         for (uint32_t val = 1; val <= d; ++val) {
           sink.RecordPartitionProbes(val, probes_by_value[val]);
-        }
-        if (hit_value >= 0) {
-          sink.RecordPartitionHit(static_cast<uint32_t>(hit_value));
         }
       }
     };
@@ -527,6 +527,11 @@ class McCuckooTable {
       record_lookup(-1);
       return MainOutcome::kMiss;
     }
+    // The empty() read is a plain size check, memory-safe even when racing
+    // a writer; optimistic callers validate the aux stripe before trusting
+    // any conclusion drawn from it (including the probe skips below).
+    const bool stash_empty = stash_.empty();
+    const uint8_t tag_nibble = cand.tag & 0x0Fu;
     bool read_flag_zero = false;
     for (uint64_t value = d; value >= 1; --value) {
       uint32_t members[kMaxHashes];
@@ -541,7 +546,15 @@ class McCuckooTable {
       for (uint32_t i = 0; i < probes; ++i) {
         ++probes_total;
         ++probes_by_value[value];
-        const Bucket& b = table_[cand.idx[members[i]]];
+        const size_t idx = cand.idx[members[i]];
+        if (counters_.PeekTag(idx) != tag_nibble && stash_empty) {
+          // Fingerprint mismatch proves the occupant is a different key;
+          // with the stash empty its flag can never matter, so the one
+          // DRAM line this probe models is never touched. Probe tallies
+          // still count it — the model performed this read.
+          continue;
+        }
+        const Bucket& b = table_[idx];
         if (b.key == key) {
           if (out != nullptr) *out = b.value;
           record_lookup(static_cast<int32_t>(value));
@@ -551,10 +564,8 @@ class McCuckooTable {
       }
     }
     record_lookup(-1);
-    // Stash screen, mirroring ShouldProbeStash. (The empty() read is a
-    // plain size check, memory-safe even when racing a writer; optimistic
-    // callers validate the aux stripe before trusting it.)
-    if (stash_.empty()) return MainOutcome::kMiss;
+    // Stash screen, mirroring ShouldProbeStash.
+    if (stash_empty) return MainOutcome::kMiss;
     if (opts_.stash_kind == StashKind::kOnchipChs) {
       return MainOutcome::kCheckStash;
     }
@@ -810,6 +821,11 @@ class McCuckooTable {
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
 
+  /// Probe kernel the lookup paths use. The single-slot table screens with
+  /// one fingerprint byte per candidate — a header-screened scalar probe;
+  /// only the blocked table has whole-bucket headers for the SIMD kernels.
+  const char* probe_variant() const { return "scalar"; }
+
   /// Items present when the first real collision happened (0 = none yet) —
   /// Table I's metric.
   uint64_t first_collision_items() const { return first_collision_items_; }
@@ -889,6 +905,10 @@ class McCuckooTable {
       const uint64_t b = idx % opts_.buckets_per_table;
       if (family_.Bucket(k, t) != b) {
         return Status::Internal("occupant does not hash to bucket " +
+                                std::to_string(idx));
+      }
+      if (counters_.PeekTag(idx) != (family_.TagOf(k) & 0x0Fu)) {
+        return Status::Internal("stale bucket fingerprint at " +
                                 std::to_string(idx));
       }
       copies[k].push_back(idx);
@@ -984,9 +1004,9 @@ class McCuckooTable {
 
   Candidates ComputeCandidates(const Key& key) const {
     Candidates c{};
+    const std::array<uint64_t, kMaxHashes> b = family_.Buckets(key, &c.tag);
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
-      c.idx[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
-                 family_.Bucket(key, t);
+      c.idx[t] = static_cast<size_t>(t) * opts_.buckets_per_table + b[t];
     }
     return c;
   }
@@ -1000,13 +1020,15 @@ class McCuckooTable {
   void StageCandidates(const Key* keys, size_t n, Candidates* cand,
                        bool for_write) const {
     std::array<std::array<uint64_t, kMaxHashes>, kBatchTile> buckets;
-    family_.BucketsBatch(keys, n, buckets.data());
+    std::array<uint8_t, kBatchTile> tags;
+    family_.BucketsBatch(keys, n, buckets.data(), tags.data());
     const uint32_t d = opts_.num_hashes;
     for (size_t i = 0; i < n; ++i) {
       for (uint32_t t = 0; t < d; ++t) {
         cand[i].idx[t] = static_cast<size_t>(t) * opts_.buckets_per_table +
                          buckets[i][t];
       }
+      cand[i].tag = tags[i];
     }
     // Counter words first: stage 2 consults them before any bucket, so
     // they have the shortest deadline.
@@ -1046,16 +1068,13 @@ class McCuckooTable {
   }
 
   /// Flushes one operation's stack-local probe tallies into the sink
-  /// (one RecordLookup plus at most d partition increments per lookup).
+  /// (one fused outcome cell plus at most d partition increments).
   template <typename MetricsSink>
   void RecordLookupMetrics(MetricsSink& sink, const CandidateView& v) const {
     if constexpr (kMetricsEnabled) {
-      sink.RecordLookup(v.probes_total);
+      sink.RecordLookupOutcome(v.probes_total, v.hit_value);
       for (uint32_t val = 1; val <= v.d; ++val) {
         sink.RecordPartitionProbes(val, v.probes_by_value[val]);
-      }
-      if (v.hit_value >= 0) {
-        sink.RecordPartitionHit(static_cast<uint32_t>(v.hit_value));
       }
     }
   }
@@ -1168,6 +1187,9 @@ class McCuckooTable {
     b.key = key;
     b.value = value;
     // stash_flag is sticky: preserved across occupant changes.
+    // The fingerprint publishes inside the same seqlock window as the key
+    // it describes; uncharged (software-layout state, see TagCounterArray).
+    counters_.SetTag(idx, family_.TagOf(key));
   }
 
   void SetFlag(size_t idx) {
@@ -1530,14 +1552,20 @@ class McCuckooTable {
   int64_t FindInMain(const Key& key, const Candidates& cand, Value* out,
                      CandidateView* view) {
     const uint32_t d = opts_.num_hashes;
+    // One bulk charge equal to what the per-candidate model read: d counter
+    // reads, doubled by the tombstone probe in kTombstone mode. The byte
+    // peeks below are the same logical reads through the packed layout.
+    counters_.ChargeReads(
+        static_cast<uint64_t>(d) *
+        (opts_.deletion_mode == DeletionMode::kTombstone ? 2 : 1));
     CandidateView& v = *view;
     v.d = d;
     bool any_zero = false;
     for (uint32_t t = 0; t < d; ++t) {
       v.idx[t] = cand.idx[t];
-      v.counter[t] = counters_.Get(cand.idx[t]);
+      v.counter[t] = counters_.PeekCounter(cand.idx[t]);
       v.tombstone[t] = (opts_.deletion_mode == DeletionMode::kTombstone) &&
-                       counters_.IsTombstone(cand.idx[t]);
+                       counters_.PeekTombstone(cand.idx[t]);
       v.bucket_read[t] = false;
       v.flag_value[t] = false;
       if (v.counter[t] == 0 && !v.tombstone[t]) any_zero = true;
@@ -1550,12 +1578,23 @@ class McCuckooTable {
       return -1;
     }
 
+    const uint8_t tag_nibble = cand.tag & 0x0Fu;
     auto probe = [&](uint32_t t, uint64_t value) -> bool {
+      ++v.probes_total;
+      ++v.probes_by_value[value <= kMaxHashes ? value : kMaxHashes];
+      if (counters_.PeekTag(cand.idx[t]) != tag_nibble && stash_.empty()) {
+        // The fingerprint proves the occupant is a different key, and with
+        // the stash empty its flag can never matter — so skip the physical
+        // DRAM touch while charging the read the paper's model performs
+        // (its hardware has no tags; accounting stays bit-identical).
+        ++stats_->offchip_reads;
+        v.bucket_read[t] = true;
+        v.flag_value[t] = false;
+        return false;
+      }
       const Bucket& b = LoadBucket(cand.idx[t]);
       v.bucket_read[t] = true;
       v.flag_value[t] = b.stash_flag;
-      ++v.probes_total;
-      ++v.probes_by_value[value <= kMaxHashes ? value : kMaxHashes];
       if (b.key == key) {
         if (out != nullptr) *out = b.value;
         v.hit_value = static_cast<int32_t>(value);
@@ -1674,7 +1713,7 @@ class McCuckooTable {
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
   TraceRecorder trace_;
-  CounterArray counters_;
+  TagCounterArray counters_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
@@ -1690,7 +1729,7 @@ class McCuckooTable {
   // memory; freed when the table is destroyed.
   struct RetiredStorage {
     std::vector<Bucket> table;
-    CounterArray counters;
+    TagCounterArray counters;
   };
   std::vector<RetiredStorage> retired_;
 

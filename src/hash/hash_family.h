@@ -22,6 +22,16 @@ namespace mccuckoo {
 /// for >90% load (paper §III.B); 4 is exposed for sensitivity experiments.
 inline constexpr uint32_t kMaxHashes = 4;
 
+/// 8-bit key fingerprint from a raw (pre-range-reduction) 64-bit hash.
+/// Both families derive it from the hash they already compute for the
+/// first bucket index, so tagging costs zero extra hash evaluations. The
+/// golden-ratio remix decorrelates the extracted byte from the bucket
+/// index (FastRange64 consumes the *high* bits of the same word), so a
+/// bucket's occupants still spread over ~256 tag values.
+inline uint8_t TagFromHash(uint64_t raw_hash) {
+  return static_cast<uint8_t>((raw_hash * 0x9E3779B97F4A7C15ull) >> 56);
+}
+
 /// d decorrelated bucket-index functions over one Hasher.
 template <typename Key, typename Hasher = BobHasher>
 class HashFamily {
@@ -56,6 +66,26 @@ class HashFamily {
     return out;
   }
 
+  /// `key`'s 8-bit fingerprint (see TagFromHash). Derived from the t = 0
+  /// hash, so fused bucket computation gets it for free.
+  uint8_t TagOf(const Key& key) const {
+    return TagFromHash(hasher_(key, seeds_[0]));
+  }
+
+  /// All d bucket indices plus the fingerprint in one pass — the lookup
+  /// paths' entry point (reuses the t = 0 hash evaluation for the tag).
+  std::array<uint64_t, kMaxHashes> Buckets(const Key& key,
+                                           uint8_t* tag) const {
+    std::array<uint64_t, kMaxHashes> out{};
+    const uint64_t h0 = hasher_(key, seeds_[0]);
+    *tag = TagFromHash(h0);
+    out[0] = FastRange64(h0, buckets_per_table_);
+    for (uint32_t t = 1; t < d_; ++t) {
+      out[t] = FastRange64(hasher_(key, seeds_[t]), buckets_per_table_);
+    }
+    return out;
+  }
+
   /// Batch entry point: all d bucket indices for `n` keys at once, written
   /// to out[0..n). Keeping the n * d hash evaluations in one tight loop is
   /// what lets the batched table paths hash a whole tile before the first
@@ -65,6 +95,22 @@ class HashFamily {
                     std::array<uint64_t, kMaxHashes>* out) const {
     for (size_t i = 0; i < n; ++i) {
       for (uint32_t t = 0; t < d_; ++t) {
+        out[i][t] = FastRange64(hasher_(keys[i], seeds_[t]),
+                                buckets_per_table_);
+      }
+    }
+  }
+
+  /// Fused batch entry point: bucket indices and fingerprints together,
+  /// tags[i] = TagOf(keys[i]), indices identical to the untagged overload.
+  void BucketsBatch(const Key* keys, size_t n,
+                    std::array<uint64_t, kMaxHashes>* out,
+                    uint8_t* tags) const {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h0 = hasher_(keys[i], seeds_[0]);
+      tags[i] = TagFromHash(h0);
+      out[i][0] = FastRange64(h0, buckets_per_table_);
+      for (uint32_t t = 1; t < d_; ++t) {
         out[i][t] = FastRange64(hasher_(keys[i], seeds_[t]),
                                 buckets_per_table_);
       }
@@ -119,11 +165,39 @@ class DoubleHashFamily {
     return out;
   }
 
+  /// `key`'s 8-bit fingerprint, from the raw h1 evaluation.
+  uint8_t TagOf(const Key& key) const {
+    return TagFromHash(hasher_(key, seed1_));
+  }
+
+  /// All d bucket indices plus the fingerprint — still two hash
+  /// evaluations total (the tag reuses raw h1).
+  std::array<uint64_t, kMaxHashes> Buckets(const Key& key,
+                                           uint8_t* tag) const {
+    const uint64_t n = buckets_per_table_;
+    const uint64_t raw1 = hasher_(key, seed1_);
+    *tag = TagFromHash(raw1);
+    const uint64_t h1 = raw1 % n;
+    const uint64_t h2 = n > 1 ? hasher_(key, seed2_) % (n - 1) + 1 : 0;
+    std::array<uint64_t, kMaxHashes> out{};
+    for (uint32_t t = 0; t < d_; ++t) {
+      out[t] = (h1 + static_cast<uint64_t>(t) * h2) % n;
+    }
+    return out;
+  }
+
   /// Batch entry point (see HashFamily::BucketsBatch): 2n hash evaluations
   /// for n keys, values identical to n calls of Buckets().
   void BucketsBatch(const Key* keys, size_t n,
                     std::array<uint64_t, kMaxHashes>* out) const {
     for (size_t i = 0; i < n; ++i) out[i] = Buckets(keys[i]);
+  }
+
+  /// Fused batch entry point (tags alongside indices, still 2n hashes).
+  void BucketsBatch(const Key* keys, size_t n,
+                    std::array<uint64_t, kMaxHashes>* out,
+                    uint8_t* tags) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Buckets(keys[i], &tags[i]);
   }
 
  private:

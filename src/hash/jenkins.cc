@@ -1,137 +1,6 @@
+// The lookup2/lookup3 implementations moved inline into jenkins.h so
+// fixed-size-key call sites fold the tail switch and interleave the d
+// per-key evaluations. This translation unit is kept so build files listing
+// it stay valid.
+
 #include "src/hash/jenkins.h"
-
-#include <cstring>
-
-namespace mccuckoo {
-
-namespace {
-
-// --- lookup2 (1996) ---------------------------------------------------------
-
-inline void Mix2(uint32_t& a, uint32_t& b, uint32_t& c) {
-  a -= b; a -= c; a ^= (c >> 13);
-  b -= c; b -= a; b ^= (a << 8);
-  c -= a; c -= b; c ^= (b >> 13);
-  a -= b; a -= c; a ^= (c >> 12);
-  b -= c; b -= a; b ^= (a << 16);
-  c -= a; c -= b; c ^= (b >> 5);
-  a -= b; a -= c; a ^= (c >> 3);
-  b -= c; b -= a; b ^= (a << 10);
-  c -= a; c -= b; c ^= (b >> 15);
-}
-
-inline uint32_t Load32(const uint8_t* p) {
-  uint32_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;  // little-endian platform assumed (x86/ARM LE), as in evahash
-}
-
-// --- lookup3 (2006) ---------------------------------------------------------
-
-inline uint32_t Rot(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
-
-inline void Mix3(uint32_t& a, uint32_t& b, uint32_t& c) {
-  a -= c; a ^= Rot(c, 4);  c += b;
-  b -= a; b ^= Rot(a, 6);  a += c;
-  c -= b; c ^= Rot(b, 8);  b += a;
-  a -= c; a ^= Rot(c, 16); c += b;
-  b -= a; b ^= Rot(a, 19); a += c;
-  c -= b; c ^= Rot(b, 4);  b += a;
-}
-
-inline void Final3(uint32_t& a, uint32_t& b, uint32_t& c) {
-  c ^= b; c -= Rot(b, 14);
-  a ^= c; a -= Rot(c, 11);
-  b ^= a; b -= Rot(a, 25);
-  c ^= b; c -= Rot(b, 16);
-  a ^= c; a -= Rot(c, 4);
-  b ^= a; b -= Rot(a, 14);
-  c ^= b; c -= Rot(b, 24);
-}
-
-}  // namespace
-
-uint32_t JenkinsLookup2(const void* data, size_t len, uint32_t seed) {
-  const uint8_t* k = static_cast<const uint8_t*>(data);
-  uint32_t a = 0x9E3779B9u;
-  uint32_t b = 0x9E3779B9u;
-  uint32_t c = seed;
-  size_t remaining = len;
-
-  while (remaining >= 12) {
-    a += Load32(k);
-    b += Load32(k + 4);
-    c += Load32(k + 8);
-    Mix2(a, b, c);
-    k += 12;
-    remaining -= 12;
-  }
-
-  c += static_cast<uint32_t>(len);
-  // The original tail: note c skips its lowest byte (reserved for length).
-  switch (remaining) {
-    case 11: c += static_cast<uint32_t>(k[10]) << 24; [[fallthrough]];
-    case 10: c += static_cast<uint32_t>(k[9]) << 16; [[fallthrough]];
-    case 9:  c += static_cast<uint32_t>(k[8]) << 8; [[fallthrough]];
-    case 8:  b += static_cast<uint32_t>(k[7]) << 24; [[fallthrough]];
-    case 7:  b += static_cast<uint32_t>(k[6]) << 16; [[fallthrough]];
-    case 6:  b += static_cast<uint32_t>(k[5]) << 8; [[fallthrough]];
-    case 5:  b += static_cast<uint32_t>(k[4]); [[fallthrough]];
-    case 4:  a += static_cast<uint32_t>(k[3]) << 24; [[fallthrough]];
-    case 3:  a += static_cast<uint32_t>(k[2]) << 16; [[fallthrough]];
-    case 2:  a += static_cast<uint32_t>(k[1]) << 8; [[fallthrough]];
-    case 1:  a += static_cast<uint32_t>(k[0]); [[fallthrough]];
-    case 0:  break;
-  }
-  Mix2(a, b, c);
-  return c;
-}
-
-uint64_t JenkinsLookup3(const void* data, size_t len, uint64_t seed) {
-  const uint8_t* k = static_cast<const uint8_t*>(data);
-  uint32_t a = 0xDEADBEEFu + static_cast<uint32_t>(len) +
-               static_cast<uint32_t>(seed);
-  uint32_t b = a;
-  uint32_t c = a + static_cast<uint32_t>(seed >> 32);
-  size_t remaining = len;
-
-  while (remaining > 12) {
-    a += Load32(k);
-    b += Load32(k + 4);
-    c += Load32(k + 8);
-    Mix3(a, b, c);
-    k += 12;
-    remaining -= 12;
-  }
-
-  switch (remaining) {
-    case 12: c += static_cast<uint32_t>(k[11]) << 24; [[fallthrough]];
-    case 11: c += static_cast<uint32_t>(k[10]) << 16; [[fallthrough]];
-    case 10: c += static_cast<uint32_t>(k[9]) << 8; [[fallthrough]];
-    case 9:  c += static_cast<uint32_t>(k[8]); [[fallthrough]];
-    case 8:  b += static_cast<uint32_t>(k[7]) << 24; [[fallthrough]];
-    case 7:  b += static_cast<uint32_t>(k[6]) << 16; [[fallthrough]];
-    case 6:  b += static_cast<uint32_t>(k[5]) << 8; [[fallthrough]];
-    case 5:  b += static_cast<uint32_t>(k[4]); [[fallthrough]];
-    case 4:  a += static_cast<uint32_t>(k[3]) << 24; [[fallthrough]];
-    case 3:  a += static_cast<uint32_t>(k[2]) << 16; [[fallthrough]];
-    case 2:  a += static_cast<uint32_t>(k[1]) << 8; [[fallthrough]];
-    case 1:  a += static_cast<uint32_t>(k[0]);
-             Final3(a, b, c);
-             break;
-    case 0:  // Empty tail: lookup3 returns the running state unmixed.
-             break;
-  }
-  return static_cast<uint64_t>(c) | (static_cast<uint64_t>(b) << 32);
-}
-
-uint64_t JenkinsLookup2x64(const void* data, size_t len, uint64_t seed) {
-  const uint32_t lo = JenkinsLookup2(data, len, static_cast<uint32_t>(seed));
-  // Decorrelate the second pass from the first: golden-ratio offset of the
-  // high seed half XORed with the low result.
-  const uint32_t hi = JenkinsLookup2(
-      data, len, static_cast<uint32_t>(seed >> 32) ^ lo ^ 0x9E3779B9u);
-  return static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
-}
-
-}  // namespace mccuckoo

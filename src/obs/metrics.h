@@ -14,9 +14,11 @@
 //     updated with relaxed ordering — increments never tear, totals are
 //     exact, and TSan is clean. Relaxed is enough: cells are independent
 //     monotone counters and snapshots only need per-cell atomicity.
-//  2. Near-zero hot-path cost. A scalar lookup records ~4 uncontended
-//     relaxed fetch_adds (single-digit nanoseconds on cache-hot lines);
-//     histograms keep no derived counters that Snapshot() can compute.
+//  2. Near-zero hot-path cost. A scalar lookup records ONE uncontended
+//     relaxed fetch_add (the fused outcome grid — on x86 every atomic RMW
+//     is a full barrier, so the count of RMWs per operation matters more
+//     than their individual cost); histograms keep no derived counters
+//     that Snapshot() can compute.
 //  3. Compiled out entirely with -DMCCUCKOO_NO_METRICS: TableMetrics
 //     becomes an empty type whose methods are no-ops, so every recording
 //     call site folds to nothing. MetricsSnapshot and the exporters stay
@@ -66,6 +68,18 @@ inline constexpr size_t kMetricsPartitions = 5;
 /// bubble). Kept as a plain count so this header stays independent of
 /// core/config.h.
 inline constexpr size_t kMetricsPolicies = 4;
+
+/// Rows of the fused lookup-outcome grid: row 0 records misses, row 1 + v
+/// records a hit resolved in the counter-value-v partition (v <
+/// kMetricsPartitions).
+inline constexpr size_t kLookupOutcomeRows = 1 + kMetricsPartitions;
+
+/// Columns of the fused lookup-outcome grid, indexed by the lookup's total
+/// bucket-probe count. Probes per lookup are bounded by the hash count
+/// (d <= 4 everywhere in this codebase), so 8 columns hold every value
+/// exactly; the last column saturates defensively, which would only skew
+/// the derived probe histogram for probe counts that cannot occur.
+inline constexpr size_t kLookupOutcomeCols = 8;
 
 /// Inclusive upper bound of histogram bucket `i` (Prometheus "le" value);
 /// the last bucket's bound is conceptually +Inf.
@@ -302,6 +316,15 @@ struct TableMetrics {
   std::array<Log2Histogram, kMetricsPolicies> policy_chain_len;
   Log2Histogram insert_ns;
   Log2Histogram lookup_probes;
+  /// Fused (outcome row x probe count) cells: the lookup hot paths record
+  /// probe histogram and partition hit with ONE relaxed fetch_add instead
+  /// of three. On x86 every atomic RMW is a full barrier that stalls the
+  /// next iteration's loads, so this is a measurable share of lookup
+  /// latency. Snapshot() folds the grid back into lookup_probes /
+  /// partition_hits, exactly; the legacy cells stay live for callers that
+  /// record the pieces separately.
+  std::array<std::atomic<uint64_t>, kLookupOutcomeRows * kLookupOutcomeCols>
+      lookup_outcome{};
   Counter bfs_nodes_expanded;
   std::array<Counter, kMetricsPartitions> partition_probes;
   std::array<Counter, kMetricsPartitions> partition_hits;
@@ -332,6 +355,23 @@ struct TableMetrics {
 
   void RecordLookup(uint64_t total_probes) {
     lookup_probes.Record(total_probes);
+  }
+
+  /// Fused hot-path recording: one lookup's probe count plus its outcome
+  /// (`hit_value` < 0 for a miss, else the resolving partition value) in a
+  /// single relaxed fetch_add. Equivalent to RecordLookup(total_probes)
+  /// plus, on a hit, RecordPartitionHit(hit_value).
+  void RecordLookupOutcome(uint64_t total_probes, int32_t hit_value) {
+    const size_t row =
+        hit_value < 0 ? 0
+                      : 1 + (static_cast<size_t>(hit_value) < kMetricsPartitions
+                                 ? static_cast<size_t>(hit_value)
+                                 : kMetricsPartitions - 1);
+    const size_t col = total_probes < kLookupOutcomeCols
+                           ? static_cast<size_t>(total_probes)
+                           : kLookupOutcomeCols - 1;
+    lookup_outcome[row * kLookupOutcomeCols + col].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   void RecordPartitionProbes(uint32_t value, uint64_t probes) {
@@ -375,13 +415,26 @@ struct TableMetrics {
     s.insert_ns = insert_ns.Snapshot();
     s.lookup_probes = lookup_probes.Snapshot();
     s.bfs_nodes_expanded = bfs_nodes_expanded.Value();
-    s.inserts = s.kick_chain_len.count;
-    s.lookups = s.lookup_probes.count;
-    s.erases = erases.Value();
     for (size_t i = 0; i < kMetricsPartitions; ++i) {
       s.partition_probes[i] = partition_probes[i].Value();
       s.partition_hits[i] = partition_hits[i].Value();
     }
+    // Fold the fused grid into the probe histogram and hit counters; the
+    // column index IS the probe count, so the fold is exact.
+    for (size_t row = 0; row < kLookupOutcomeRows; ++row) {
+      for (size_t col = 0; col < kLookupOutcomeCols; ++col) {
+        const uint64_t n = lookup_outcome[row * kLookupOutcomeCols + col].load(
+            std::memory_order_relaxed);
+        if (n == 0) continue;
+        s.lookup_probes.bucket[HistogramBucketOf(col)] += n;
+        s.lookup_probes.count += n;
+        s.lookup_probes.sum += n * col;
+        if (row > 0) s.partition_hits[row - 1] += n;
+      }
+    }
+    s.inserts = s.kick_chain_len.count;
+    s.lookups = s.lookup_probes.count;
+    s.erases = erases.Value();
     s.stash_hits = stash_hits.Value();
     s.stash_misses = stash_misses.Value();
     s.rehash_ns = rehash_ns.Snapshot();
@@ -401,6 +454,11 @@ struct TableMetrics {
     }
     insert_ns.MergeFrom(o.insert_ns);
     lookup_probes.MergeFrom(o.lookup_probes);
+    for (size_t i = 0; i < lookup_outcome.size(); ++i) {
+      lookup_outcome[i].fetch_add(
+          o.lookup_outcome[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
     bfs_nodes_expanded.Inc(o.bfs_nodes_expanded.Value());
     for (size_t i = 0; i < kMetricsPartitions; ++i) {
       partition_probes[i].Inc(o.partition_probes[i].Value());
@@ -423,6 +481,7 @@ struct TableMetrics {
     for (auto& h : policy_chain_len) h.Reset();
     insert_ns.Reset();
     lookup_probes.Reset();
+    for (auto& c : lookup_outcome) c.store(0, std::memory_order_relaxed);
     bfs_nodes_expanded.Reset();
     for (auto& c : partition_probes) c.Reset();
     for (auto& c : partition_hits) c.Reset();
@@ -460,6 +519,20 @@ class LookupTally {
     lookup_sum_ += total_probes;
   }
 
+  /// Plain-integer mirror of TableMetrics::RecordLookupOutcome; flushed
+  /// into the shared grid cell-for-cell.
+  void RecordLookupOutcome(uint64_t total_probes, int32_t hit_value) {
+    const size_t row =
+        hit_value < 0 ? 0
+                      : 1 + (static_cast<size_t>(hit_value) < kMetricsPartitions
+                                 ? static_cast<size_t>(hit_value)
+                                 : kMetricsPartitions - 1);
+    const size_t col = total_probes < kLookupOutcomeCols
+                           ? static_cast<size_t>(total_probes)
+                           : kLookupOutcomeCols - 1;
+    ++lookup_outcome_[row * kLookupOutcomeCols + col];
+  }
+
   void RecordPartitionProbes(uint32_t value, uint64_t probes) {
     if (probes == 0) return;
     partition_probes_[value < kMetricsPartitions ? value
@@ -478,6 +551,12 @@ class LookupTally {
   /// resets this tally for reuse.
   void FlushTo(TableMetrics& m) {
     m.lookup_probes.MergeCounts(lookup_bucket_, lookup_sum_);
+    for (size_t i = 0; i < lookup_outcome_.size(); ++i) {
+      if (lookup_outcome_[i] != 0) {
+        m.lookup_outcome[i].fetch_add(lookup_outcome_[i],
+                                      std::memory_order_relaxed);
+      }
+    }
     for (size_t i = 0; i < kMetricsPartitions; ++i) {
       if (partition_probes_[i] != 0) {
         m.partition_probes[i].Inc(partition_probes_[i]);
@@ -491,6 +570,8 @@ class LookupTally {
 
  private:
   std::array<uint64_t, kHistogramBuckets> lookup_bucket_{};
+  std::array<uint64_t, kLookupOutcomeRows * kLookupOutcomeCols>
+      lookup_outcome_{};
   uint64_t lookup_sum_ = 0;
   std::array<uint64_t, kMetricsPartitions> partition_probes_{};
   std::array<uint64_t, kMetricsPartitions> partition_hits_{};
@@ -507,6 +588,7 @@ struct TableMetrics {
   void RecordPolicyChain(uint32_t, uint64_t) {}
   void RecordBfsNodes(uint64_t) {}
   void RecordLookup(uint64_t) {}
+  void RecordLookupOutcome(uint64_t, int32_t) {}
   void RecordPartitionProbes(uint32_t, uint64_t) {}
   void RecordPartitionHit(uint32_t) {}
   void RecordStashProbe(bool) {}
@@ -526,6 +608,7 @@ inline uint64_t MetricsNowNs() { return 0; }
 /// No-op batch tally matching the enabled interface.
 struct LookupTally {
   void RecordLookup(uint64_t) {}
+  void RecordLookupOutcome(uint64_t, int32_t) {}
   void RecordPartitionProbes(uint32_t, uint64_t) {}
   void RecordPartitionHit(uint32_t) {}
   void RecordStashProbe(bool) {}

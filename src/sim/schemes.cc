@@ -71,6 +71,13 @@ class SchemeAdapter final : public SchemeTable {
   Status ValidateInvariants() const override {
     return table_.ValidateInvariants();
   }
+  const char* probe_variant() const override {
+    if constexpr (requires { table_.probe_variant(); }) {
+      return table_.probe_variant();
+    } else {
+      return "none";  // baselines carry no tag probes
+    }
+  }
 
  private:
   Table table_;
@@ -99,6 +106,7 @@ TableOptions ToTableOptions(const SchemeConfig& c, bool blocked,
                      : StashKind::kOffchip;
   o.stash_screen_enabled = c.stash_screen_enabled;
   o.lookup_pruning_enabled = c.lookup_pruning_enabled;
+  o.probe = c.probe;
   return o;
 }
 

@@ -60,6 +60,10 @@ struct SchemeConfig {
   bool baseline_onchip_stash = true;
   bool stash_screen_enabled = true;
   bool lookup_pruning_enabled = true;
+  /// Tag-probe kernel for the lookup paths (kAuto = best compiled in).
+  /// Results and AccessStats are identical across kinds; only wall-clock
+  /// time differs. Baselines have no tag probes and ignore it.
+  ProbeKind probe = ProbeKind::kAuto;
 };
 
 /// Type-erased uint64 -> uint64 hash table.
@@ -101,6 +105,11 @@ class SchemeTable {
   virtual uint64_t forced_rehash_events() const = 0;
   virtual size_t onchip_memory_bytes() const = 0;
   virtual Status ValidateInvariants() const = 0;
+
+  /// Probe kernel the underlying table's lookups use ("simd" / "scalar");
+  /// "none" for the baselines, which carry no tag probes. Bench keys embed
+  /// it so recorded numbers say which kernel produced them.
+  virtual const char* probe_variant() const = 0;
 };
 
 /// Builds a scheme instance; dies on invalid configuration (bench-level
