@@ -6,10 +6,12 @@
 // filling; (b) insertion throughput at 50% load as the record grows from
 // 8 B to 128 B.
 
+#include <cinttypes>
 #include <map>
 
 #include "bench/bench_common.h"
 #include "src/mem/latency_model.h"
+#include "src/obs/metrics.h"
 
 namespace mccuckoo {
 namespace {
@@ -28,6 +30,7 @@ int Main(int argc, char** argv) {
   std::map<SchemeKind, PhaseStats> trace_at_half;
   for (SchemeKind kind : kAllSchemes) latency[kind].assign(loads.size(), 0.0);
 
+  std::map<SchemeKind, MetricsSnapshot> measured;
   for (int rep = 0; rep < cfg.reps; ++rep) {
     for (SchemeKind kind : kAllSchemes) {
       auto table = MakeScheme(kind, MakeSchemeConfig(cfg, rep));
@@ -38,6 +41,7 @@ int Main(int argc, char** argv) {
         latency[kind][i] += model.AverageNanos(phase.delta, phase.ops, 8);
         if (loads[i] == 0.5) trace_at_half[kind] += phase;
       }
+      measured[kind] += table->SnapshotMetrics();
     }
   }
 
@@ -66,6 +70,19 @@ int Main(int argc, char** argv) {
   }
   std::printf("(b) insertion throughput at 50%% load [Mops]\n");
   Status s2 = EmitTable(tb, cfg.flags, "throughput");
+  // Supplementary: measured wall-clock insert latency from the sampled
+  // recorder (src/obs/latency_recorder.h) — this host's actual numbers
+  // next to the model's FPGA+DDR3 figures. All-zero under
+  // -DMCCUCKOO_NO_METRICS.
+  std::printf("measured wall-clock insert latency [ns], sampled 1/32:\n");
+  for (SchemeKind kind : kAllSchemes) {
+    const HistogramSnapshot& h =
+        measured[kind].op_latency_ns[static_cast<size_t>(LatencyOp::kInsert)];
+    std::printf("  %-10s samples=%" PRIu64 " p50<=%" PRIu64 " p99<=%" PRIu64
+                " p999<=%" PRIu64 "\n",
+                SchemeName(kind), h.count, h.PercentileUpperBound(0.50),
+                h.PercentileUpperBound(0.99), h.PercentileUpperBound(0.999));
+  }
   std::printf(
       "expected shape: multi-copy latency lower at high load; throughput "
       "advantage grows with record size\n");

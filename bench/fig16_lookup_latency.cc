@@ -4,10 +4,12 @@
 // record (and thus the per-read burst cost) grows; the multi-copy schemes'
 // extra on-chip counter checks are visible as a small constant adder.
 
+#include <cinttypes>
 #include <map>
 
 #include "bench/bench_common.h"
 #include "src/mem/latency_model.h"
+#include "src/obs/metrics.h"
 
 namespace mccuckoo {
 namespace {
@@ -25,6 +27,7 @@ int Main(int argc, char** argv) {
 
   const std::vector<uint32_t> record_sizes = {8, 16, 32, 64, 128};
   std::map<SchemeKind, PhaseStats> hit_trace, miss_trace;
+  std::map<SchemeKind, MetricsSnapshot> measured;
 
   for (int rep = 0; rep < cfg.reps; ++rep) {
     const auto missing = MakeMissingKeys(cfg, queries, rep);
@@ -37,6 +40,7 @@ int Main(int argc, char** argv) {
                                    keys.begin() + static_cast<long>(cursor));
       hit_trace[kind] += MeasureLookups(*table, sample, queries, true);
       miss_trace[kind] += MeasureLookups(*table, missing, queries, false);
+      measured[kind] += table->SnapshotMetrics();
     }
   }
 
@@ -65,6 +69,18 @@ int Main(int argc, char** argv) {
     std::printf("%s\n", subtitles[panel]);
     Status s = EmitTable(t, cfg.flags, suffixes[panel]);
     if (!s.ok()) return 1;
+  }
+  // Supplementary: measured wall-clock lookup latency (hits and misses mixed;
+  // both phases drive Find/FindBatch) from the sampled recorder — this host's
+  // numbers next to the model's. All-zero under -DMCCUCKOO_NO_METRICS.
+  std::printf("measured wall-clock lookup latency [ns], sampled 1/32:\n");
+  for (SchemeKind kind : kAllSchemes) {
+    const HistogramSnapshot& h =
+        measured[kind].op_latency_ns[static_cast<size_t>(LatencyOp::kFind)];
+    std::printf("  %-10s samples=%" PRIu64 " p50<=%" PRIu64 " p99<=%" PRIu64
+                " p999<=%" PRIu64 "\n",
+                SchemeName(kind), h.count, h.PercentileUpperBound(0.50),
+                h.PercentileUpperBound(0.99), h.PercentileUpperBound(0.999));
   }
   std::printf(
       "expected shape: multi-copy faster on misses at every size; advantage "

@@ -1,0 +1,112 @@
+// Measures the cost of sampled op-latency timing on the lookup hot path.
+//
+// Companion to metrics_overhead.cc, one knob further in: that pair prices
+// the whole observability layer (compiled in vs compiled out); this binary
+// prices just the LatencyRecorder's clock reads at the default 1-in-32
+// sampling against sampling disabled (period 0 — no clock reads at all),
+// in a single metrics-on binary on one workload. Results land in
+// BENCH_throughput.json as
+//
+//   lat_on.lookup_hit.McCuckoo.load90    (period 32)
+//   lat_off.lookup_hit.McCuckoo.load90   (period 0)
+//   lat_overhead.ratio                   (on / off; acceptance >= 0.95)
+//
+// Links only mccuckoo_base, like every bench that instantiates the table
+// templates itself.
+//
+//   --slots=N   total slot capacity (default 270000; $MCCUCKOO_BENCH_SLOTS)
+//   --reps=N    timed passes, best-of (default 5)
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/common/flags.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/obs/timing.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+/// Best-of-`reps` bulk-lookup rate (keys/s) with the recorder set to
+/// `sample_period`. Dies on a self-check miss.
+double TimeLookups(McCuckooTable<uint64_t, uint64_t>& table,
+                   const std::vector<uint64_t>& keys, int reps,
+                   uint32_t sample_period) {
+  table.latency().set_sample_period(sample_period);
+  std::vector<uint64_t> out(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  double best_sec = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    const uint64_t hits = table.FindBatch(
+        keys, out.data(), reinterpret_cast<bool*>(found.data()));
+    best_sec = std::min(best_sec, sw.ElapsedSeconds());
+    if (hits != keys.size()) {
+      std::fprintf(stderr, "lookup self-check failed: %" PRIu64 "/%zu hits\n",
+                   hits, keys.size());
+      std::exit(1);
+    }
+  }
+  return static_cast<double>(keys.size()) / best_sec;
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = parsed.value();
+  const uint64_t slots = static_cast<uint64_t>(
+      flags.GetInt("slots", static_cast<int64_t>(BenchSlotsOrDefault(270'000))));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+
+  TableOptions options;
+  options.num_hashes = 3;
+  options.buckets_per_table = (slots + 2) / 3;
+  McCuckooTable<uint64_t, uint64_t> table(options);
+
+  const uint64_t n_keys = table.capacity() * 9 / 10;
+  std::vector<uint64_t> keys = MakeUniqueKeys(n_keys, options.seed, 0);
+  for (uint64_t k : keys) table.Insert(k, k + 1);
+  std::shuffle(keys.begin(), keys.end(), std::mt19937_64(42));
+
+  // Both passes are best-of-`reps` on the same warmed table, so ordering
+  // effects wash out.
+  const double off_rate =
+      TimeLookups(table, keys, reps, 0);
+  const double on_rate =
+      TimeLookups(table, keys, reps, LatencyRecorder::kDefaultSamplePeriod);
+  const double ratio = off_rate > 0 ? on_rate / off_rate : 0.0;
+
+  std::printf("lat_off.lookup_hit.McCuckoo.load90 %12.3g keys/s\n", off_rate);
+  std::printf("lat_on.lookup_hit.McCuckoo.load90  %12.3g keys/s  "
+              "(period %u)\n",
+              on_rate, LatencyRecorder::kDefaultSamplePeriod);
+  std::printf("lat_overhead.ratio                 %.4f  (acceptance: "
+              ">= 0.95 means sampling costs <= 5%%)\n",
+              ratio);
+
+  FlatJson entries;
+  entries["lat_off.lookup_hit.McCuckoo.load90"] = off_rate;
+  entries["lat_on.lookup_hit.McCuckoo.load90"] = on_rate;
+  entries["lat_overhead.ratio"] = ratio;
+  const std::string path = BenchJsonPath();
+  if (!MergeFlatJson(path, "lat_", entries)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("merged into %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Run(argc, argv); }

@@ -8,11 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "bench/bench_reporter.h"
+#include "src/obs/metrics.h"
 #include "src/sim/schemes.h"
 #include "src/sim/sweep.h"
 #include "src/workload/keyset.h"
@@ -226,10 +228,65 @@ void RegisterAll() {
   }
 }
 
+// Sampled-latency quantiles for the two core tables, run after the
+// throughput rows. A separate pass with the recorder at period 1 (every op
+// timed — useless for throughput, exactly right for quantiles): fill to 90%
+// load (the fill's single-key Inserts are the insert samples), then one
+// all-hit lookup sweep over the live keys. Lands in BENCH_throughput.json as
+//
+//   micro.latency.{insert,lookup_hit}.<Scheme>.load90.{samples,p50,p99,p999}
+//
+// with nanosecond upper bounds from the log2 histogram.
+int MergeLatencyQuantiles() {
+  FlatJson entries;
+  for (const SchemeKind kind : {SchemeKind::kMcCuckoo, SchemeKind::kBMcCuckoo}) {
+    SchemeConfig c = Config();
+    c.latency_sample_period = 1;
+    auto table = MakeScheme(kind, c);
+    const auto keys = MakeUniqueKeys(table->capacity(), 7, 0);
+    size_t cursor = 0;
+    FillToLoad(*table, keys, 0.9, &cursor);
+    uint64_t v = 0;
+    for (size_t i = 0; i < cursor; ++i) {
+      benchmark::DoNotOptimize(table->Find(keys[i], &v));
+    }
+    const MetricsSnapshot snap = table->SnapshotMetrics();
+    const auto add = [&](LatencyOp op, const char* opname) {
+      const HistogramSnapshot& h =
+          snap.op_latency_ns[static_cast<size_t>(op)];
+      std::string base = "micro.latency.";
+      base += opname;
+      base += '.';
+      base += SchemeName(kind);
+      base += ".load90.";
+      entries[base + "samples"] = static_cast<double>(h.count);
+      entries[base + "p50"] =
+          static_cast<double>(h.PercentileUpperBound(0.50));
+      entries[base + "p99"] =
+          static_cast<double>(h.PercentileUpperBound(0.99));
+      entries[base + "p999"] =
+          static_cast<double>(h.PercentileUpperBound(0.999));
+      std::printf("%-45s p50<=%4.0f p99<=%6.0f p999<=%7.0f ns (%.0f samples)\n",
+                  base.c_str(), entries[base + "p50"], entries[base + "p99"],
+                  entries[base + "p999"], entries[base + "samples"]);
+    };
+    add(LatencyOp::kInsert, "insert");
+    add(LatencyOp::kFind, "lookup_hit");
+  }
+  const std::string path = BenchJsonPath();
+  if (!MergeFlatJson(path, "micro.latency.", entries)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace mccuckoo
 
 int main(int argc, char** argv) {
   mccuckoo::RegisterAll();
-  return mccuckoo::RunBenchmarksToJson(argc, argv, "micro.");
+  const int rc = mccuckoo::RunBenchmarksToJson(argc, argv, "micro.");
+  if (rc != 0) return rc;
+  return mccuckoo::MergeLatencyQuantiles();
 }

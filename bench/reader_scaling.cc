@@ -37,7 +37,6 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -49,6 +48,7 @@
 #include "src/core/concurrent_mccuckoo.h"
 #include "src/core/config.h"
 #include "src/core/mccuckoo_table.h"
+#include "src/obs/timing.h"
 #include "src/workload/keyset.h"
 
 namespace mccuckoo {
@@ -123,12 +123,11 @@ void BM_ReadScaling(benchmark::State& state, Wrapper* table, int threads) {
     for (int t = 1; t < threads; ++t) {
       pool.emplace_back(RunThread<Wrapper>, table, &fx.keys, t, round, &go);
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;  // src/obs/timing.h — the shared bench/metrics clock
     go.store(true, std::memory_order_release);
     RunThread(table, &fx.keys, 0, round, &go);
     for (auto& th : pool) th.join();
-    const auto t1 = std::chrono::steady_clock::now();
-    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    state.SetIterationTime(sw.ElapsedSeconds());
     ++round;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

@@ -17,11 +17,17 @@
 
 using mccuckoo::DeletionMode;
 using mccuckoo::EvictionPolicy;
+using mccuckoo::ExportChromeTrace;
 using mccuckoo::ExportJson;
 using mccuckoo::ExportPrometheus;
 using mccuckoo::FormatTraceEvents;
+using mccuckoo::HistogramSnapshot;
 using mccuckoo::InsertResult;
 using mccuckoo::KickChainEvent;
+using mccuckoo::kLatencyOpNames;
+using mccuckoo::kLatencyOps;
+using mccuckoo::kSpanKindNames;
+using mccuckoo::kSpanKinds;
 using mccuckoo::McCuckooTable;
 using mccuckoo::MakeUniqueKeys;
 using mccuckoo::MetricsSnapshot;
@@ -110,5 +116,30 @@ int main() {
               static_cast<unsigned long long>(table.trace().total_stashed()),
               events.size() < 8 ? events.size() : size_t{8});
   std::printf("%s", FormatTraceEvents(events, 8).c_str());
+
+  // The tail-latency view: per-op sampled quantiles (upper bounds of the
+  // log2 histogram bucket the quantile falls in — see ALGORITHM.md §13).
+  std::printf("\n=== latency quantiles ===\n");
+  std::printf("sample period: 1 in %" PRIu64 "\n",
+              static_cast<uint64_t>(snap.latency_sample_period));
+  for (size_t op = 0; op < kLatencyOps; ++op) {
+    const HistogramSnapshot& h = snap.op_latency_ns[op];
+    std::printf("%-12s samples=%" PRIu64 " p50<=%" PRIu64 " p99<=%" PRIu64
+                " p999<=%" PRIu64 "\n",
+                kLatencyOpNames[op], h.count, h.PercentileUpperBound(0.50),
+                h.PercentileUpperBound(0.99), h.PercentileUpperBound(0.999));
+  }
+
+  // The slow-event view: span totals for all three tables merged, then the
+  // growth table's ring as chrome://tracing JSON (load it via
+  // chrome://tracing or https://ui.perfetto.dev).
+  std::printf("\n=== spans ===\n");
+  for (size_t k = 0; k < kSpanKinds; ++k) {
+    std::printf("%s%s=%" PRIu64, k == 0 ? "" : " ", kSpanKindNames[k],
+                snap.span_counts[k]);
+  }
+  std::printf("\n%s\n",
+              ExportChromeTrace(growing.spans().Events(), "metrics_dump")
+                  .c_str());
   return 0;
 }

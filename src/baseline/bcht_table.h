@@ -28,6 +28,7 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/latency_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_recorder.h"
 
@@ -69,6 +70,7 @@ class BchtTable {
           static_cast<size_t>(options.num_hashes) * options.buckets_per_table,
           options.kick_counter_bits, stats_.get());
     }
+    latency_->set_sample_period(options.latency_sample_period);
   }
 
   /// Validating factory for untrusted configuration.
@@ -97,6 +99,7 @@ class BchtTable {
 
   /// Inserts a key assumed not to be present.
   InsertResult Insert(Key key, Value value) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
     const std::array<size_t, kMaxHashes> cand = CandidateBuckets(key);
     return InsertWithCandidates(std::move(key), std::move(value), cand);
   }
@@ -124,6 +127,7 @@ class BchtTable {
 
   /// Looks `key` up (candidate buckets in order, then the stash).
   bool Find(const Key& key, Value* out = nullptr) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     return FindImpl(key, CandidateBuckets(key), out);
   }
 
@@ -145,6 +149,7 @@ class BchtTable {
   /// Batched Find: out[i]/found[i] mirror Find(keys[i], &out[i]).
   /// Returns the number of hits. `out` may be nullptr.
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -169,6 +174,7 @@ class BchtTable {
   /// receives the InsertResult for keys[i].
   void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
                    InsertResult* results = nullptr) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsertBatch);
     assert(keys.size() == values.size());
     std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -332,6 +338,7 @@ class BchtTable {
  public:
   /// Deletes `key`: one off-chip write to clear the slot's valid bit.
   bool Erase(const Key& key) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kErase);
     size_t bucket;
     uint32_t slot;
     if (FindInMain(key, CandidateBuckets(key), nullptr, &bucket, &slot)) {
@@ -374,14 +381,19 @@ class BchtTable {
     MetricsSnapshot s = metrics_->Snapshot();
     s.occupancy_items = TotalItems();
     s.capacity_slots = capacity();
+    latency_->FoldInto(&s);
     return s;
   }
 
-  /// Clears the metrics and the kick-chain trace ring.
+  /// Clears the metrics, the kick-chain trace ring and latency samples.
   void ResetMetrics() {
     metrics_->Reset();
     trace_.Clear();
+    latency_->Reset();
   }
+
+  /// Sampled op-latency recorder.
+  LatencyRecorder& latency() const { return *latency_; }
 
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
@@ -523,6 +535,10 @@ class BchtTable {
   // keeps the table movable and lets const read paths record.
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
+  // Sampled op-latency recorder (heap-held like metrics_; const read
+  // paths record through it). Period applied in the constructor body.
+  mutable std::unique_ptr<LatencyRecorder> latency_ =
+      std::make_unique<LatencyRecorder>();
   TraceRecorder trace_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;

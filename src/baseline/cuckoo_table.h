@@ -31,6 +31,7 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/latency_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_recorder.h"
 
@@ -82,6 +83,7 @@ class CuckooTable {
       kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
                                   stats_.get());
     }
+    latency_->set_sample_period(options.latency_sample_period);
   }
 
   /// Validating factory for untrusted configuration.
@@ -94,6 +96,7 @@ class CuckooTable {
 
   /// Inserts a key assumed not to be present.
   InsertResult Insert(Key key, Value value) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
     const std::array<size_t, kMaxHashes> cand = Candidates(key);
     return InsertWithCandidates(std::move(key), std::move(value), cand);
   }
@@ -120,6 +123,7 @@ class CuckooTable {
 
   /// Looks `key` up (candidates in order, then the stash on a miss).
   bool Find(const Key& key, Value* out = nullptr) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     return FindImpl(key, Candidates(key), out);
   }
 
@@ -140,6 +144,7 @@ class CuckooTable {
   /// Batched Find: out[i]/found[i] mirror Find(keys[i], &out[i]).
   /// Returns the number of hits. `out` may be nullptr.
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -164,6 +169,7 @@ class CuckooTable {
   /// receives the InsertResult for keys[i].
   void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
                    InsertResult* results = nullptr) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsertBatch);
     assert(keys.size() == values.size());
     std::array<std::array<size_t, kMaxHashes>, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -179,6 +185,7 @@ class CuckooTable {
 
   /// Deletes `key`: one off-chip write to clear the record's valid bit.
   bool Erase(const Key& key) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kErase);
     const int64_t idx = FindInMain(key, Candidates(key), nullptr);
     if (idx >= 0) {
       Bucket& b = table_[static_cast<size_t>(idx)];
@@ -221,14 +228,19 @@ class CuckooTable {
     MetricsSnapshot s = metrics_->Snapshot();
     s.occupancy_items = TotalItems();
     s.capacity_slots = capacity();
+    latency_->FoldInto(&s);
     return s;
   }
 
-  /// Clears the metrics and the kick-chain trace ring.
+  /// Clears the metrics, the kick-chain trace ring and latency samples.
   void ResetMetrics() {
     metrics_->Reset();
     trace_.Clear();
+    latency_->Reset();
   }
+
+  /// Sampled op-latency recorder.
+  LatencyRecorder& latency() const { return *latency_; }
 
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
@@ -591,6 +603,10 @@ class CuckooTable {
   // keeps the table movable and lets const read paths record.
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
+  // Sampled op-latency recorder (heap-held like metrics_; const read
+  // paths record through it). Period applied in the constructor body.
+  mutable std::unique_ptr<LatencyRecorder> latency_ =
+      std::make_unique<LatencyRecorder>();
   TraceRecorder trace_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;

@@ -52,7 +52,10 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/heatmap.h"
+#include "src/obs/latency_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_recorder.h"
 #include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
@@ -158,6 +161,7 @@ class BlockedMcCuckooTable {
       kick_history_ =
           KickHistory(flags_.size(), options.kick_counter_bits, stats_.get());
     }
+    latency_->set_sample_period(options.latency_sample_period);
   }
 
   /// Validating factory for untrusted configuration.
@@ -170,6 +174,7 @@ class BlockedMcCuckooTable {
 
   /// Inserts a key assumed not to be present (see McCuckooTable::Insert).
   InsertResult Insert(const Key& key, const Value& value) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
     return InsertWithCandidates(key, value, ComputeCandidates(key));
   }
 
@@ -202,6 +207,7 @@ class BlockedMcCuckooTable {
 
   /// Looks `key` up (Algorithm 2, Fig 7).
   bool Find(const Key& key, Value* out = nullptr) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     return FindImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
@@ -224,6 +230,7 @@ class BlockedMcCuckooTable {
   /// Batched lookup; equivalent to calling Find per key, in order. Returns
   /// the number of keys found.
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
     // Lookup metrics accumulate on the stack and publish once per batch
@@ -252,6 +259,7 @@ class BlockedMcCuckooTable {
   /// Batched mutation-free lookup (sharded/concurrent reader path).
   size_t FindBatchNoStats(std::span<const Key> keys, Value* out,
                           bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
     LookupTally tally;
@@ -273,6 +281,7 @@ class BlockedMcCuckooTable {
   /// Batched insertion; equivalent to calling Insert per key, in order.
   void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
                    InsertResult* results = nullptr) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsertBatch);
     assert(keys.size() == values.size());
     std::array<Candidates, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -315,6 +324,8 @@ class BlockedMcCuckooTable {
     static_assert(
         std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
         "optimistic reads require trivially copyable Key and Value");
+    // One sample candidate per attempt (see McCuckooTable).
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     if (seq_ == nullptr) return OptimisticResult::kContended;
     size_t stripes[kMaxHashes + 1];
     uint32_t versions[kMaxHashes + 1];
@@ -381,6 +392,7 @@ class BlockedMcCuckooTable {
   /// McCuckooTable::TryFindBatchOptimistic). Returns the hit count or -1.
   int64_t TryFindBatchOptimistic(std::span<const Key> keys, Value* out,
                                  bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     static_assert(
         std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
         "optimistic reads require trivially copyable Key and Value");
@@ -553,6 +565,7 @@ class BlockedMcCuckooTable {
  public:
   /// Deletes `key` (Algorithm 3, Fig 8): zero off-chip writes.
   bool Erase(const Key& key) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kErase);
     if (opts_.deletion_mode == DeletionMode::kDisabled) {
       std::fprintf(stderr,
                    "BlockedMcCuckooTable::Erase called with "
@@ -651,10 +664,15 @@ class BlockedMcCuckooTable {
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
+    const size_t moved_items = items.size();
     SeqlockArray* seq = seq_;
     if (seq == nullptr) {
       *rebuilt.stats_ += *stats_;
       rebuilt.metrics_->MergeFrom(*metrics_);
+      // Latency samples and the span timeline describe this table's
+      // lifetime too — carry them like the metrics.
+      rebuilt.latency_->MergeFrom(*latency_);
+      rebuilt.spans_ = std::move(spans_);
       // The policy and epoch describe this table's lifetime, not the
       // scratch rebuild's: carry them across the wholesale move.
       const uint64_t epoch = rehash_epoch_ + 1;
@@ -663,6 +681,7 @@ class BlockedMcCuckooTable {
       growth_ = std::move(saved_growth);
       rehash_epoch_ = epoch;
       metrics_->RecordRehash(MetricsNowNs() - t0);
+      spans_.Record(SpanKind::kRehash, t0, MetricsNowNs(), moved_items);
       return Status::OK();
     }
     // The attached version array survives the rebuild (mask mapping is
@@ -678,6 +697,7 @@ class BlockedMcCuckooTable {
     CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
     if (!aux_held) seq->WriteEnd(seq->aux_stripe());
     metrics_->RecordRehash(MetricsNowNs() - t0);
+    spans_.Record(SpanKind::kRehash, t0, MetricsNowNs(), moved_items);
     return Status::OK();
   }
 
@@ -739,17 +759,60 @@ class BlockedMcCuckooTable {
     MetricsSnapshot s = metrics_->Snapshot();
     s.occupancy_items = TotalItems();
     s.capacity_slots = capacity();
+    latency_->FoldInto(&s);
+    for (size_t k = 0; k < kSpanKinds; ++k) {
+      s.span_counts[k] += spans_.Totals()[k];
+    }
     return s;
   }
 
-  /// Clears the metrics and the kick-chain trace ring.
+  /// Clears the metrics, the kick-chain trace ring, the latency samples,
+  /// and the span ring.
   void ResetMetrics() {
     metrics_->Reset();
     trace_.Clear();
+    latency_->Reset();
+    spans_.Clear();
   }
 
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
+
+  /// Span timeline ring (growth/rehash/reseed/dead-end/spill events).
+  const SpanRecorder& spans() const { return spans_; }
+
+  /// Sampled op-latency recorder.
+  LatencyRecorder& latency() const { return *latency_; }
+
+  /// Scans the table into an occupancy/counter heatmap at the requested
+  /// region resolution. Regions are runs of whole buckets; counter_values
+  /// counts slots by counter value (a blocked bucket has l counters).
+  HeatmapSnapshot Heatmap(size_t regions = 64) const {
+    HeatmapSnapshot h;
+    const size_t buckets = flags_.size();
+    const uint32_t l = opts_.slots_per_bucket;
+    if (regions == 0) regions = 1;
+    if (regions > buckets) regions = buckets;
+    h.region_occupied.assign(regions, 0);
+    h.region_slots.assign(regions, 0);
+    h.total_buckets = buckets;
+    h.total_slots = slots_.size();
+    const size_t per_region = (buckets + regions - 1) / regions;
+    for (size_t bucket = 0; bucket < buckets; ++bucket) {
+      const size_t region = bucket / per_region;
+      h.region_slots[region] += l;
+      for (uint32_t slot = 0; slot < l; ++slot) {
+        const uint64_t c = counters_.PeekCounter(bucket * l + slot);
+        const size_t cv = c < kMetricsPartitions ? c : kMetricsPartitions - 1;
+        ++h.counter_values[cv];
+        if (c != 0) {
+          ++h.region_occupied[region];
+          ++h.occupied_slots;
+        }
+      }
+    }
+    return h;
+  }
 
   /// Which tag-probe kernel this instance resolved to ("simd"/"scalar");
   /// bench keys embed it.
@@ -1143,6 +1206,7 @@ class BlockedMcCuckooTable {
       return;
     }
     Status s;
+    const uint64_t grow_t0 = MetricsNowNs();
     try {
       s = Rehash(d.new_buckets_per_table, growth_.NextSeed(opts_.seed));
     } catch (const std::bad_alloc&) {
@@ -1152,6 +1216,9 @@ class BlockedMcCuckooTable {
       growth_.OnRehashSuccess(d.action);
       metrics_->RecordGrowthRehash(d.action == GrowthAction::kReseed);
       metrics_->SetGrowthSuppressed(false);
+      spans_.Record(d.action == GrowthAction::kReseed ? SpanKind::kReseed
+                                                      : SpanKind::kGrowth,
+                    grow_t0, MetricsNowNs(), d.new_buckets_per_table);
     } else {
       growth_.OnRehashFailure();
       metrics_->RecordGrowthFailure();
@@ -1427,6 +1494,7 @@ class BlockedMcCuckooTable {
     ChargeStashWrite();
     SeqOpenAux();
     stash_.Insert(key, value);
+    spans_.RecordInstant(SpanKind::kStashSpill, stash_.size());
     if (opts_.stash_kind == StashKind::kOffchip) {
       Candidates cand = ComputeCandidates(key);
       for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.bucket[t]);
@@ -1586,6 +1654,7 @@ class BlockedMcCuckooTable {
         trace_.Record(ev);
         trace_.NoteStashed();
       }
+      spans_.RecordInstant(SpanKind::kBfsDeadEnd, path.nodes_expanded);
       return StashOverflow(key, value);
     }
     // Apply backward: the last interior occupant moves into the terminal,
@@ -1763,7 +1832,10 @@ class BlockedMcCuckooTable {
     family_ = std::move(rebuilt.family_);
     *stats_ += *rebuilt.stats_;
     metrics_->MergeFrom(*rebuilt.metrics_);
+    latency_->MergeFrom(*rebuilt.latency_);
     trace_ = std::move(rebuilt.trace_);
+    // spans_ deliberately keeps this table's ring — it is a lifetime
+    // timeline; the rehash span lands in it right after this commit.
     kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
     stash_ = std::move(rebuilt.stash_);
     rng_ = std::move(rebuilt.rng_);
@@ -1797,7 +1869,15 @@ class BlockedMcCuckooTable {
   // keeps the table movable and lets const read paths record.
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
+  // Sampled op-latency recorder: heap-held for the same identity-stability
+  // reason as metrics_ (const read paths record through it across Rehash
+  // commits). Sample period applied from opts_ in the constructor body.
+  mutable std::unique_ptr<LatencyRecorder> latency_ =
+      std::make_unique<LatencyRecorder>();
   TraceRecorder trace_;
+  // Growth/rehash/dead-end/spill timeline (writer-exclusion threading
+  // model, like trace_).
+  SpanRecorder spans_;
   // Per-bucket headers: slot tags + counters + tombstones in one aligned
   // 16-byte block per bucket (see bucket_header.h).
   BucketHeaderArray counters_;

@@ -156,6 +156,12 @@ struct TableOptions {
   /// fixed-size experiments stay reproducible.
   GrowthConfig growth;
 
+  /// 1-in-N sampling period for the wall-clock op-latency recorder
+  /// (src/obs/latency_recorder.h), rounded up to a power of two; 0
+  /// disables sampling (no clock reads on any op). Ignored under
+  /// -DMCCUCKOO_NO_METRICS.
+  uint32_t latency_sample_period = 32;
+
   /// Which tag-probe kernel the lookup paths use (src/core/bucket_header.h).
   /// kAuto resolves to SIMD when the build carries a vector kernel and the
   /// portable SWAR kernel otherwise; forcing kScalar lets one binary run

@@ -60,7 +60,10 @@
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
 #include "src/mem/access_stats.h"
+#include "src/obs/heatmap.h"
+#include "src/obs/latency_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_recorder.h"
 #include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
@@ -157,6 +160,7 @@ class McCuckooTable {
       kick_history_ = KickHistory(table_.size(), options.kick_counter_bits,
                                   stats_.get());
     }
+    latency_->set_sample_period(options.latency_sample_period);
   }
 
   /// Validating factory for untrusted configuration.
@@ -171,6 +175,7 @@ class McCuckooTable {
   /// paper's workloads; duplicate keys corrupt the copy invariants — use
   /// InsertOrAssign when presence is unknown).
   InsertResult Insert(const Key& key, const Value& value) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
     return InsertWithCandidates(key, value, ComputeCandidates(key));
   }
 
@@ -206,6 +211,7 @@ class McCuckooTable {
   /// Looks `key` up; writes the value through `out` when found (out may be
   /// null). Mutates only the access statistics.
   bool Find(const Key& key, Value* out = nullptr) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     return FindImpl(key, ComputeCandidates(key), out, *metrics_);
   }
 
@@ -240,6 +246,7 @@ class McCuckooTable {
   /// receives the value (out may be null; found must not be). Returns the
   /// number of keys found. Equivalent to calling Find per key, in order.
   size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
     // Lookup metrics accumulate on the stack and publish once per batch:
@@ -269,6 +276,7 @@ class McCuckooTable {
   /// equivalent to calling FindNoStats per key, in order.
   size_t FindBatchNoStats(std::span<const Key> keys, Value* out,
                           bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     size_t hits = 0;
     std::array<Candidates, kBatchTile> cand;
     LookupTally tally;
@@ -293,6 +301,7 @@ class McCuckooTable {
   /// behave exactly as in the scalar path.
   void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
                    InsertResult* results = nullptr) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsertBatch);
     assert(keys.size() == values.size());
     std::array<Candidates, kBatchTile> cand;
     for (size_t base = 0; base < keys.size(); base += kBatchTile) {
@@ -346,6 +355,10 @@ class McCuckooTable {
   /// and a single concurrent writer (the wrapper's mutex).
   OptimisticResult TryFindOptimistic(const Key& key,
                                      Value* out = nullptr) const {
+    // Each optimistic attempt is one latency sample candidate; a
+    // contended attempt that gets retried or falls back to the locked
+    // Find is timed as its own (short) attempt.
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
     // Torn reads of the bucket during a racing write are discarded after
     // validation, but reading a partially-updated non-trivial type (e.g.
     // std::string mid-reallocation) would be UB before validation happens.
@@ -423,6 +436,7 @@ class McCuckooTable {
   /// any key needed the stash — the caller re-runs the tile under the lock.
   int64_t TryFindBatchOptimistic(std::span<const Key> keys, Value* out,
                                  bool* found) const {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFindBatch);
     static_assert(
         std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
         "optimistic reads require trivially copyable Key and Value");
@@ -605,6 +619,7 @@ class McCuckooTable {
   /// Deletes `key`. Requires a deletion-enabled mode; in multi-copy tables
   /// this performs zero off-chip writes (only counters change, §III.B.3).
   bool Erase(const Key& key) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kErase);
     if (opts_.deletion_mode == DeletionMode::kDisabled) {
       std::fprintf(stderr,
                    "McCuckooTable::Erase called with DeletionMode::kDisabled; "
@@ -703,10 +718,16 @@ class McCuckooTable {
     rebuilt.redundant_writes_ += redundant_writes_;
     rebuilt.first_collision_items_ = first_collision_items_;
     rebuilt.first_failure_items_ = first_failure_items_;
+    const size_t moved_items = items.size();
     SeqlockArray* seq = seq_;
     if (seq == nullptr) {
       *rebuilt.stats_ += *stats_;
       rebuilt.metrics_->MergeFrom(*metrics_);
+      // Latency samples and the span timeline describe this table's
+      // lifetime too — carry them like the metrics (the scratch rebuild's
+      // re-insertion samples fold in on top).
+      rebuilt.latency_->MergeFrom(*latency_);
+      rebuilt.spans_ = std::move(spans_);
       // The policy and epoch describe this table's lifetime, not the
       // scratch rebuild's: carry them across the wholesale move.
       const uint64_t epoch = rehash_epoch_ + 1;
@@ -715,6 +736,7 @@ class McCuckooTable {
       growth_ = std::move(saved_growth);
       rehash_epoch_ = epoch;
       metrics_->RecordRehash(MetricsNowNs() - t0);
+      spans_.Record(SpanKind::kRehash, t0, MetricsNowNs(), moved_items);
       return Status::OK();
     }
     // The attached version array survives the rebuild (its mask mapping is
@@ -730,6 +752,7 @@ class McCuckooTable {
     CommitRebuildLockFree(std::move(rebuilt));  // leaves seq_ untouched
     if (!aux_held) seq->WriteEnd(seq->aux_stripe());
     metrics_->RecordRehash(MetricsNowNs() - t0);
+    spans_.Record(SpanKind::kRehash, t0, MetricsNowNs(), moved_items);
     return Status::OK();
   }
 
@@ -808,18 +831,58 @@ class McCuckooTable {
     MetricsSnapshot s = metrics_->Snapshot();
     s.occupancy_items = TotalItems();
     s.capacity_slots = capacity();
+    latency_->FoldInto(&s);
+    for (size_t k = 0; k < kSpanKinds; ++k) {
+      s.span_counts[k] += spans_.Totals()[k];
+    }
     return s;
   }
 
-  /// Clears the metrics and the kick-chain trace ring (AccessStats are
-  /// separate; see ResetStats).
+  /// Clears the metrics, the kick-chain trace ring, the latency samples,
+  /// and the span ring (AccessStats are separate; see ResetStats).
   void ResetMetrics() {
     metrics_->Reset();
     trace_.Clear();
+    latency_->Reset();
+    spans_.Clear();
   }
 
   /// Kick-chain trace ring (post-mortem inspection of recent chains).
   const TraceRecorder& trace() const { return trace_; }
+
+  /// Span timeline ring (growth/rehash/reseed/dead-end/spill events) —
+  /// feed Events() to ExportChromeTrace for a chrome://tracing view.
+  const SpanRecorder& spans() const { return spans_; }
+
+  /// Sampled op-latency recorder (configure via
+  /// TableOptions::latency_sample_period or set_sample_period).
+  LatencyRecorder& latency() const { return *latency_; }
+
+  /// Scans the table into an occupancy/counter heatmap at the requested
+  /// region resolution (full-table scan; scrape-time cost only).
+  HeatmapSnapshot Heatmap(size_t regions = 64) const {
+    HeatmapSnapshot h;
+    const size_t buckets = table_.size();
+    if (regions == 0) regions = 1;
+    if (regions > buckets) regions = buckets;
+    h.region_occupied.assign(regions, 0);
+    h.region_slots.assign(regions, 0);
+    h.total_buckets = buckets;
+    h.total_slots = buckets;  // single-slot layout
+    const size_t per_region = (buckets + regions - 1) / regions;
+    for (size_t idx = 0; idx < buckets; ++idx) {
+      const size_t region = idx / per_region;
+      ++h.region_slots[region];
+      const uint8_t c = counters_.PeekCounter(idx);
+      const size_t cv = c < kMetricsPartitions ? c : kMetricsPartitions - 1;
+      ++h.counter_values[cv];
+      if (c != 0) {
+        ++h.region_occupied[region];
+        ++h.occupied_slots;
+      }
+    }
+    return h;
+  }
 
   /// Probe kernel the lookup paths use. The single-slot table screens with
   /// one fingerprint byte per candidate — a header-screened scalar probe;
@@ -1131,6 +1194,7 @@ class McCuckooTable {
       return;
     }
     Status s;
+    const uint64_t grow_t0 = MetricsNowNs();
     try {
       s = Rehash(d.new_buckets_per_table, growth_.NextSeed(opts_.seed));
     } catch (const std::bad_alloc&) {
@@ -1142,6 +1206,9 @@ class McCuckooTable {
       growth_.OnRehashSuccess(d.action);
       metrics_->RecordGrowthRehash(d.action == GrowthAction::kReseed);
       metrics_->SetGrowthSuppressed(false);
+      spans_.Record(d.action == GrowthAction::kReseed ? SpanKind::kReseed
+                                                      : SpanKind::kGrowth,
+                    grow_t0, MetricsNowNs(), d.new_buckets_per_table);
     } else {
       growth_.OnRehashFailure();
       metrics_->RecordGrowthFailure();
@@ -1326,6 +1393,7 @@ class McCuckooTable {
     ChargeStashWrite();
     SeqOpenAux();
     stash_.Insert(key, value);
+    spans_.RecordInstant(SpanKind::kStashSpill, stash_.size());
     if (opts_.stash_kind == StashKind::kOffchip) {
       Candidates cand = ComputeCandidates(key);
       for (uint32_t t = 0; t < opts_.num_hashes; ++t) SetFlag(cand.idx[t]);
@@ -1485,6 +1553,7 @@ class McCuckooTable {
         trace_.Record(ev);
         trace_.NoteStashed();
       }
+      spans_.RecordInstant(SpanKind::kBfsDeadEnd, path.nodes_expanded);
       return StashOverflow(key, value);
     }
     // Apply the chain backward: the last interior occupant moves into the
@@ -1683,7 +1752,11 @@ class McCuckooTable {
     family_ = std::move(rebuilt.family_);
     *stats_ += *rebuilt.stats_;
     metrics_->MergeFrom(*rebuilt.metrics_);
+    latency_->MergeFrom(*rebuilt.latency_);
     trace_ = std::move(rebuilt.trace_);
+    // spans_ deliberately keeps this table's ring: it is a lifetime
+    // timeline (the rehash span lands in it right after this commit);
+    // the scratch rebuild's ring holds nothing worth keeping.
     kick_history_.AdoptStorage(std::move(rebuilt.kick_history_));
     stash_ = std::move(rebuilt.stash_);
     rng_ = std::move(rebuilt.rng_);
@@ -1712,7 +1785,16 @@ class McCuckooTable {
   // keeps the table movable and lets const read paths record.
   mutable std::unique_ptr<TableMetrics> metrics_ =
       std::make_unique<TableMetrics>();
+  // Sampled op-latency recorder: heap-held for the same identity-stability
+  // reason as metrics_ (const read paths record through it, and lagging
+  // optimistic readers must see a live object across Rehash commits).
+  // The sample period is applied from opts_ in the constructor body.
+  mutable std::unique_ptr<LatencyRecorder> latency_ =
+      std::make_unique<LatencyRecorder>();
   TraceRecorder trace_;
+  // Growth/rehash/dead-end/spill timeline (writer-exclusion threading
+  // model, like trace_).
+  SpanRecorder spans_;
   TagCounterArray counters_;
   KickHistory kick_history_;
   Stash<Key, Value> stash_;

@@ -231,6 +231,31 @@ std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
                   "Wall-clock nanoseconds per table rehash (manual or "
                   "auto-growth).");
 
+  // Sampled op latency: one histogram per operation kind that recorded at
+  // least one sample (mirrors the per-policy histograms' presence rule).
+  for (size_t op = 0; op < kLatencyOps; ++op) {
+    if (m.op_latency_ns[op].count == 0) continue;
+    LabelList with_op = labels;
+    with_op.emplace_back("op", kLatencyOpNames[op]);
+    AppendHistogram(&out, "mccuckoo_op_latency_ns", with_op,
+                    m.op_latency_ns[op],
+                    "Sampled end-to-end wall-clock nanoseconds per "
+                    "operation (1-in-N sampling).");
+  }
+  AppendMeta(&out, "mccuckoo_latency_sample_period", "gauge",
+             "1-in-N op-latency sampling period (0 = sampling disabled; "
+             "shard merges keep the max).");
+  AppendSample(&out, "mccuckoo_latency_sample_period", labels,
+               m.latency_sample_period);
+  AppendMeta(&out, "mccuckoo_spans_total", "counter",
+             "Spans recorded per kind (growth, rehash, reseed, BFS "
+             "dead-end, stash spill).");
+  for (size_t k = 0; k < kSpanKinds; ++k) {
+    LabelList with_kind = labels;
+    with_kind.emplace_back("kind", kSpanKindNames[k]);
+    AppendSample(&out, "mccuckoo_spans_total", with_kind, m.span_counts[k]);
+  }
+
   AppendMeta(&out, "mccuckoo_occupancy_items", "gauge",
              "Live items (main table + stash).");
   AppendSample(&out, "mccuckoo_occupancy_items", labels, m.occupancy_items);
@@ -293,6 +318,34 @@ std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
   AppendJsonField(&out, "growth_failures", m.growth_failures, true);
   AppendJsonField(&out, "growth_suppressed", m.growth_suppressed, true);
   AppendJsonHistogram(&out, "rehash_duration_ns", m.rehash_ns, true);
+  for (size_t op = 0; op < kLatencyOps; ++op) {
+    const std::string name =
+        std::string("op_latency_ns_") + kLatencyOpNames[op];
+    AppendJsonHistogram(&out, name.c_str(), m.op_latency_ns[op], true);
+  }
+  // Pre-computed quantiles so flat scanners (mccuckoo_top, shell scripts)
+  // need no histogram math; values are conservative bucket upper bounds.
+  out += "  \"op_latency_quantiles\": {";
+  for (size_t op = 0; op < kLatencyOps; ++op) {
+    const HistogramSnapshot& h = m.op_latency_ns[op];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+                  ", \"p999\": %" PRIu64 "}",
+                  op == 0 ? "" : ", ", kLatencyOpNames[op],
+                  h.PercentileUpperBound(0.50), h.PercentileUpperBound(0.99),
+                  h.PercentileUpperBound(0.999));
+    out += buf;
+  }
+  out += "},\n";
+  AppendJsonField(&out, "latency_sample_period", m.latency_sample_period,
+                  true);
+  out += "  \"spans\": [";
+  for (size_t k = 0; k < kSpanKinds; ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(m.span_counts[k]);
+  }
+  out += "],\n";
   AppendJsonField(&out, "occupancy_items", m.occupancy_items, true);
   AppendJsonField(&out, "capacity_slots", m.capacity_slots, true);
   char buf[64];
@@ -340,6 +393,24 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
     put((base + "p99").c_str(),
         static_cast<double>(h.PercentileUpperBound(0.99)));
   }
+  for (size_t op = 0; op < kLatencyOps; ++op) {
+    const HistogramSnapshot& h = m.op_latency_ns[op];
+    if (h.count == 0) continue;
+    const std::string base = std::string("latency.") + kLatencyOpNames[op] + ".";
+    put((base + "samples").c_str(), static_cast<double>(h.count));
+    put((base + "mean").c_str(), h.Mean());
+    put((base + "p50").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.50)));
+    put((base + "p99").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.99)));
+    put((base + "p999").c_str(),
+        static_cast<double>(h.PercentileUpperBound(0.999)));
+  }
+  for (size_t k = 0; k < kSpanKinds; ++k) {
+    if (m.span_counts[k] == 0) continue;
+    put((std::string("spans.") + kSpanKindNames[k]).c_str(),
+        static_cast<double>(m.span_counts[k]));
+  }
   put("bfs_nodes_expanded", static_cast<double>(m.bfs_nodes_expanded));
   put("stash_hits", static_cast<double>(m.stash_hits));
   put("stash_misses", static_cast<double>(m.stash_misses));
@@ -373,6 +444,81 @@ std::string FormatTraceEvents(const std::vector<KickChainEvent>& events,
     if (ev.n_steps < ev.chain_len) out += " ...";
     out += '\n';
   }
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              const std::string& process_name, int pid,
+                              int tid) {
+  std::string out;
+  out.reserve(256 + spans.size() * 128);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+                "\"args\": {\"name\": \"%s\"}}",
+                pid, process_name.c_str());
+  out += buf;
+  for (const Span& s : spans) {
+    // chrome://tracing wants microsecond doubles; ns ticks keep 3 decimals.
+    const double ts = static_cast<double>(s.start_ns) / 1000.0;
+    if (s.dur_ns == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n  {\"name\": \"%s\", \"cat\": \"mccuckoo\", \"ph\": "
+                    "\"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": %d, \"tid\": "
+                    "%d, \"args\": {\"seq\": %" PRIu64 ", \"detail\": %" PRIu64
+                    "}}",
+                    kSpanKindNames[static_cast<size_t>(s.kind)], ts, pid, tid,
+                    s.seq, s.detail);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n  {\"name\": \"%s\", \"cat\": \"mccuckoo\", \"ph\": "
+                    "\"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": "
+                    "%d, \"args\": {\"seq\": %" PRIu64 ", \"detail\": %" PRIu64
+                    "}}",
+                    kSpanKindNames[static_cast<size_t>(s.kind)], ts,
+                    static_cast<double>(s.dur_ns) / 1000.0, pid, tid, s.seq,
+                    s.detail);
+    }
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ExportHeatmapJson(const HeatmapSnapshot& h) {
+  std::string out = "{\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  \"total_buckets\": %" PRIu64 ",\n",
+                h.total_buckets);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"occupied_slots\": %" PRIu64 ",\n",
+                h.occupied_slots);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"total_slots\": %" PRIu64 ",\n",
+                h.total_slots);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"load_factor\": %.6g,\n",
+                h.LoadFactor());
+  out += buf;
+  out += "  \"counter_values\": [";
+  for (size_t i = 0; i < h.counter_values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(h.counter_values[i]);
+  }
+  out += "],\n";
+  out += "  \"region_occupied\": [";
+  for (size_t i = 0; i < h.region_occupied.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(h.region_occupied[i]);
+  }
+  out += "],\n";
+  out += "  \"region_slots\": [";
+  for (size_t i = 0; i < h.region_slots.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(h.region_slots[i]);
+  }
+  out += "]\n}\n";
   return out;
 }
 

@@ -1,8 +1,10 @@
 // Exporters for the metrics layer: Prometheus text format, a JSON
-// snapshot, and a flat key -> number form the bench harness merges into
-// BENCH_throughput.json. All three render the same MetricsSnapshot (+
-// AccessStats), so one scrape path serves dashboards, post-mortems, and
-// the benchmark result files alike.
+// snapshot, a flat key -> number form the bench harness merges into
+// BENCH_throughput.json, a chrome://tracing timeline of the span ring,
+// and a JSON heatmap. All render the same snapshot types, so one scrape
+// path serves dashboards, post-mortems, and the benchmark result files
+// alike — and the StatsServer's four endpoints are just these functions
+// behind a socket.
 
 #ifndef MCCUCKOO_OBS_EXPORT_H_
 #define MCCUCKOO_OBS_EXPORT_H_
@@ -13,7 +15,9 @@
 #include <vector>
 
 #include "src/mem/access_stats.h"
+#include "src/obs/heatmap.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_recorder.h"
 #include "src/obs/trace_recorder.h"
 
 namespace mccuckoo {
@@ -51,6 +55,19 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
 /// b1042(c1) ...").
 std::string FormatTraceEvents(const std::vector<KickChainEvent>& events,
                               size_t max_events = 16);
+
+/// Renders spans as a chrome://tracing "traceEvents" JSON document
+/// (load it via chrome://tracing or Perfetto). Closed spans become
+/// complete ("X") events with microsecond ts/dur on the shared clock;
+/// zero-duration spans become instant ("i") events. `pid`/`tid` let a
+/// sharded front-end lay shards out as separate tracks.
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              const std::string& process_name = "mccuckoo",
+                              int pid = 0, int tid = 0);
+
+/// JSON form of a heatmap snapshot: per-region occupancy (occupied /
+/// total slots), the counter-value distribution, and the totals.
+std::string ExportHeatmapJson(const HeatmapSnapshot& h);
 
 }  // namespace mccuckoo
 

@@ -37,9 +37,10 @@
 #include <array>
 #include <atomic>
 #include <bit>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
+
+#include "src/obs/timing.h"
 
 namespace mccuckoo {
 
@@ -73,6 +74,36 @@ inline constexpr size_t kMetricsPolicies = 4;
 /// records a hit resolved in the counter-value-v partition (v <
 /// kMetricsPartitions).
 inline constexpr size_t kLookupOutcomeRows = 1 + kMetricsPartitions;
+
+/// Operation kinds the sampled LatencyRecorder (src/obs/latency_recorder.h)
+/// times. Batch entries time the whole batch call, not per key.
+enum class LatencyOp : uint8_t {
+  kInsert = 0,
+  kFind,
+  kErase,
+  kFindBatch,
+  kInsertBatch,
+};
+inline constexpr size_t kLatencyOps = 5;
+
+/// Stable label values for LatencyOp, enumerator order.
+inline constexpr const char* kLatencyOpNames[kLatencyOps] = {
+    "insert", "find", "erase", "find_batch", "insert_batch"};
+
+/// Span kinds the SpanRecorder (src/obs/span_recorder.h) captures: the
+/// rare, long table events that dominate tail latency.
+enum class SpanKind : uint8_t {
+  kGrowth = 0,     ///< Whole growth decision + rehash (wraps kRehash).
+  kRehash,         ///< One table rebuild (manual or growth-triggered).
+  kReseed,         ///< Same-size rebuild under a rotated seed.
+  kBfsDeadEnd,     ///< BFS eviction search exhausted without a path.
+  kStashSpill,     ///< An insert chain overran maxloop and hit the stash.
+};
+inline constexpr size_t kSpanKinds = 5;
+
+/// Stable label values for SpanKind, enumerator order.
+inline constexpr const char* kSpanKindNames[kSpanKinds] = {
+    "growth", "rehash", "reseed", "bfs_dead_end", "stash_spill"};
 
 /// Columns of the fused lookup-outcome grid, indexed by the lookup's total
 /// bucket-probe count. Probes per lookup are bounded by the hash count
@@ -183,6 +214,20 @@ struct MetricsSnapshot {
   /// Wall-clock nanoseconds per rehash (manual Rehash() calls included).
   HistogramSnapshot rehash_ns;
 
+  /// Sampled end-to-end wall-clock nanoseconds per operation, indexed by
+  /// LatencyOp enumerator order (src/obs/latency_recorder.h). Counts are
+  /// sample counts, not operation counts: with 1-in-N sampling each entry
+  /// stands for ~N operations.
+  std::array<HistogramSnapshot, kLatencyOps> op_latency_ns;
+  /// The 1-in-N sampling period op_latency_ns was recorded with (0 =
+  /// sampling disabled). A configuration echo, not a counter: shard merges
+  /// keep the max so mixed configurations surface the coarsest period.
+  uint64_t latency_sample_period = 0;
+
+  /// Spans recorded per SpanKind (enumerator order). Totals survive the
+  /// span ring's wrap-around, like TraceRecorder::total_events().
+  std::array<uint64_t, kSpanKinds> span_counts{};
+
   /// Gauges, filled by the table at snapshot time (no hot-path cost).
   uint64_t occupancy_items = 0;  ///< Live items (main table + stash).
   uint64_t capacity_slots = 0;   ///< Total slots.
@@ -217,6 +262,13 @@ struct MetricsSnapshot {
     growth_failures += o.growth_failures;
     growth_suppressed += o.growth_suppressed;
     rehash_ns += o.rehash_ns;
+    for (size_t i = 0; i < kLatencyOps; ++i) {
+      op_latency_ns[i] += o.op_latency_ns[i];
+    }
+    if (o.latency_sample_period > latency_sample_period) {
+      latency_sample_period = o.latency_sample_period;
+    }
+    for (size_t i = 0; i < kSpanKinds; ++i) span_counts[i] += o.span_counts[i];
     occupancy_items += o.occupancy_items;
     capacity_slots += o.capacity_slots;
     return *this;
@@ -496,13 +548,9 @@ struct TableMetrics {
   }
 };
 
-/// Monotone nanosecond tick for latency metrics.
-inline uint64_t MetricsNowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// Monotone nanosecond tick for latency metrics (the shared clock of
+/// src/obs/timing.h; compiled-out builds never read it).
+inline uint64_t MetricsNowNs() { return NowNs(); }
 
 /// Stack-local accumulator for the lookup-side metrics of one batch. The
 /// batched paths record every lookup here in plain integers and call

@@ -107,6 +107,7 @@ TableOptions ToTableOptions(const SchemeConfig& c, bool blocked,
   o.stash_screen_enabled = c.stash_screen_enabled;
   o.lookup_pruning_enabled = c.lookup_pruning_enabled;
   o.probe = c.probe;
+  o.latency_sample_period = c.latency_sample_period;
   return o;
 }
 

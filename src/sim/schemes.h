@@ -64,6 +64,9 @@ struct SchemeConfig {
   /// Results and AccessStats are identical across kinds; only wall-clock
   /// time differs. Baselines have no tag probes and ignore it.
   ProbeKind probe = ProbeKind::kAuto;
+  /// 1-in-N op-latency sampling period (TableOptions::latency_sample_period;
+  /// 0 disables, 1 samples every op — bench latency keys use 1).
+  uint32_t latency_sample_period = 32;
 };
 
 /// Type-erased uint64 -> uint64 hash table.

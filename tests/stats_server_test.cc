@@ -1,0 +1,124 @@
+// Endpoint smoke tests for the blocking-socket stats server
+// (src/obs/stats_server.{h,cc}): ephemeral-port bind, all four routes,
+// 404s for unset handlers and unknown paths, idempotent Stop.
+
+#include "src/obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace mccuckoo {
+namespace {
+
+/// Minimal raw-socket GET returning the full response (headers + body),
+/// or "" on any failure. Mirrors what curl / mccuckoo_top do.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  std::string req = "GET ";
+  req += path;
+  req += " HTTP/1.0\r\n\r\n";
+  if (send(fd, req.data(), req.size(), 0) != static_cast<ssize_t>(req.size())) {
+    close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, n);
+  close(fd);
+  return resp;
+}
+
+std::string Body(const std::string& resp) {
+  const size_t pos = resp.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : resp.substr(pos + 4);
+}
+
+TEST(StatsServerTest, ServesAllFourRoutesOnEphemeralPort) {
+  StatsServer server;
+  StatsHandlers h;
+  h.metrics = [] { return std::string("metric_a 1\n"); };
+  h.json = [] { return std::string("{\"ok\":true}"); };
+  h.trace = [] { return std::string("{\"traceEvents\":[]}"); };
+  h.heatmap = [] { return std::string("{\"regions\":[]}"); };
+  ASSERT_TRUE(server.Start(std::move(h), 0).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_EQ(Body(metrics), "metric_a 1\n");
+  EXPECT_NE(metrics.find("Content-Length:"), std::string::npos);
+
+  EXPECT_EQ(Body(HttpGet(server.port(), "/json")), "{\"ok\":true}");
+  EXPECT_EQ(Body(HttpGet(server.port(), "/trace")), "{\"traceEvents\":[]}");
+  EXPECT_EQ(Body(HttpGet(server.port(), "/heatmap")), "{\"regions\":[]}");
+
+  // The index page lists the routes.
+  const std::string index = HttpGet(server.port(), "/");
+  EXPECT_NE(index.find("200"), std::string::npos);
+  EXPECT_NE(Body(index).find("/metrics"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 6u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(StatsServerTest, UnsetHandlerAnswers404) {
+  StatsServer server;
+  StatsHandlers h;
+  h.metrics = [] { return std::string("only metrics\n"); };
+  ASSERT_TRUE(server.Start(std::move(h), 0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("200"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/trace").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/heatmap").find("404"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, PortInUseFailsCleanly) {
+  StatsServer a;
+  ASSERT_TRUE(a.Start(StatsHandlers{}, 0).ok());
+  StatsServer b;
+  const Status s = b.Start(StatsHandlers{}, a.port());
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(b.running());
+  // The failed Start must not have broken the first server.
+  EXPECT_NE(HttpGet(a.port(), "/").find("200"), std::string::npos);
+}
+
+TEST(StatsServerTest, HandlersSeeLiveState) {
+  int scrapes = 0;
+  StatsServer server;
+  StatsHandlers h;
+  h.json = [&scrapes] {
+    ++scrapes;  // handlers run on the server thread, one at a time
+    return std::string("{\"scrape\":") + std::to_string(scrapes) + "}";
+  };
+  ASSERT_TRUE(server.Start(std::move(h), 0).ok());
+  EXPECT_EQ(Body(HttpGet(server.port(), "/json")), "{\"scrape\":1}");
+  EXPECT_EQ(Body(HttpGet(server.port(), "/json")), "{\"scrape\":2}");
+  server.Stop();
+  EXPECT_EQ(scrapes, 2);
+}
+
+}  // namespace
+}  // namespace mccuckoo

@@ -1,18 +1,29 @@
 #!/usr/bin/env bash
-# Validates the exporter output of examples/metrics_dump against the
-# checked-in schema (tools/metrics_schema.txt): every non-comment line of
-# the schema is an extended regex that must match somewhere in the dump.
-# Also cross-checks internal consistency of the Prometheus section (the
-# cumulative +Inf bucket of each histogram must equal its _count sample).
+# Validates exporter output against a checked-in schema: every non-comment
+# line of the schema is an extended regex that must match somewhere in the
+# output. Also cross-checks internal consistency of the Prometheus section
+# (the cumulative +Inf bucket of each histogram must equal its _count
+# sample, per label set for labelled histograms like op latency).
 #
-# Usage: tools/check_metrics_output.sh <path-to-metrics_dump> [schema]
+# Usage:
+#   tools/check_metrics_output.sh <path-to-metrics_dump> [schema]
+#   tools/check_metrics_output.sh --file <output.txt> [schema]
+#
+# The --file form validates pre-captured text (e.g. a curled /metrics
+# scrape from the stats server) instead of running a binary; pair it with
+# tools/metrics_schema_endpoint.txt for endpoint scrapes.
 
 set -euo pipefail
 
-bin=${1:?usage: check_metrics_output.sh <metrics_dump binary> [schema]}
-schema=${2:-"$(dirname "$0")/metrics_schema.txt"}
-
-out=$("$bin")
+if [ "${1:-}" = "--file" ]; then
+  file=${2:?usage: check_metrics_output.sh --file <output.txt> [schema]}
+  schema=${3:-"$(dirname "$0")/metrics_schema.txt"}
+  out=$(cat "$file")
+else
+  bin=${1:?usage: check_metrics_output.sh <metrics_dump binary> [schema]}
+  schema=${2:-"$(dirname "$0")/metrics_schema.txt"}
+  out=$("$bin")
+fi
 fail=0
 
 while IFS= read -r pattern; do
@@ -23,17 +34,24 @@ while IFS= read -r pattern; do
   fi
 done < "$schema"
 
-# Histogram invariant: cumulative le="+Inf" bucket == _count.
-for hist in mccuckoo_kick_chain_length mccuckoo_insert_latency_ns \
-            mccuckoo_lookup_probes mccuckoo_rehash_duration_ns; do
-  inf=$(grep -E "^${hist}_bucket\{.*le=\"\+Inf\"\} [0-9]+$" <<<"$out" |
-        awk '{print $2}')
-  count=$(grep -E "^${hist}_count\{" <<<"$out" | awk '{print $2}')
+# Histogram invariant: cumulative le="+Inf" bucket == _count, matched per
+# full label set so multi-label histograms (op latency) are each checked,
+# and label-free endpoint scrapes work too.
+while IFS= read -r line; do
+  hist=$(sed -E 's/^([a-z_]+)_bucket\{.*/\1/' <<<"$line")
+  inf=$(awk '{print $2}' <<<"$line")
+  if grep -Eq '_bucket\{.+,le="\+Inf"\}' <<<"$line"; then
+    labels=$(sed -E 's/^[a-z_]+_bucket\{(.+),le="\+Inf"\} .*/\1/' <<<"$line")
+    count=$(grep -F "${hist}_count{${labels}}" <<<"$out" | awk '{print $2}')
+  else
+    labels=""
+    count=$(grep -E "^${hist}_count [0-9]+$" <<<"$out" | awk '{print $2}')
+  fi
   if [ -z "$inf" ] || [ -z "$count" ] || [ "$inf" != "$count" ]; then
-    echo "INCONSISTENT: ${hist}: +Inf bucket '${inf}' != count '${count}'" >&2
+    echo "INCONSISTENT: ${hist}{${labels}}: +Inf bucket '${inf}' != count '${count}'" >&2
     fail=1
   fi
-done
+done < <(grep -E '^[a-z_]+_bucket\{.*le="\+Inf"\} [0-9]+$' <<<"$out")
 
 if [ "$fail" -ne 0 ]; then
   echo "metrics output schema check FAILED" >&2

@@ -1,0 +1,186 @@
+// Terminal dashboard for a running StatsServer — `top` for a cuckoo table.
+//
+// Polls http://127.0.0.1:<port>/json at a fixed interval and renders the
+// table's vitals: occupancy and load factor, per-op totals with rates
+// derived from consecutive polls, the sampled latency quantiles, and the
+// span counters that explain tail blips (growths, rehashes, reseeds, BFS
+// dead-ends, stash spills).
+//
+//   tools/mccuckoo_top --port=8080
+//
+//   --port=N         stats server port (required)
+//   --interval-ms=N  poll period (default 1000)
+//   --iters=N        polls before exiting; 0 = until killed (default 0)
+//
+// The scraper is a deliberately tiny flat scanner over ExportJson's
+// stable output (the server pre-computes the quantiles for exactly this
+// reason) — no JSON library, no dependencies beyond POSIX sockets.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/common/flags.h"
+#include "src/obs/metrics.h"
+
+namespace mccuckoo {
+namespace {
+
+/// One-shot HTTP GET against 127.0.0.1:`port`; returns the body, empty on
+/// any failure.
+std::string HttpGet(uint16_t port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t body = resp.find("\r\n\r\n");
+  return body == std::string::npos ? "" : resp.substr(body + 4);
+}
+
+/// First number following `"key":` in `body` (0 when absent). Good enough
+/// for ExportJson's stable, non-nested scalar keys.
+double ScanNumber(const std::string& body, const std::string& key,
+                  size_t from = 0) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const size_t pos = body.find(needle, from);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+}
+
+struct Quantiles {
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+/// Pulls one op's entry out of the "op_latency_quantiles" object.
+Quantiles ScanQuantiles(const std::string& body, const char* op) {
+  Quantiles q;
+  const size_t obj = body.find("\"op_latency_quantiles\"");
+  if (obj == std::string::npos) return q;
+  std::string needle = "\"";
+  needle += op;
+  needle += "\":";
+  const size_t at = body.find(needle, obj);
+  if (at == std::string::npos) return q;
+  q.p50 = ScanNumber(body, "p50", at);
+  q.p99 = ScanNumber(body, "p99", at);
+  q.p999 = ScanNumber(body, "p999", at);
+  return q;
+}
+
+void PrintLatencyRow(const char* name, const Quantiles& q) {
+  std::printf("  %-12s p50 %8.0f ns   p99 %8.0f ns   p999 %8.0f ns\n", name,
+              q.p50, q.p99, q.p999);
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = parsed.value();
+  const int64_t port = flags.GetInt("port", 0);
+  const int64_t interval_ms = flags.GetInt("interval-ms", 1000);
+  const int64_t iters = flags.GetInt("iters", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "usage: mccuckoo_top --port=N [--interval-ms=N] "
+                         "[--iters=N]\n");
+    return 1;
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  double prev_ops[3] = {0, 0, 0};  // inserts, lookups, erases
+  bool have_prev = false;
+  for (int64_t i = 0; iters == 0 || i < iters; ++i) {
+    const std::string body =
+        HttpGet(static_cast<uint16_t>(port), "/json");
+    if (body.empty()) {
+      std::fprintf(stderr, "mccuckoo_top: no response from 127.0.0.1:%lld\n",
+                   static_cast<long long>(port));
+      return 1;
+    }
+    const double inserts = ScanNumber(body, "inserts");
+    const double lookups = ScanNumber(body, "lookups");
+    const double erases = ScanNumber(body, "erases");
+    const double occupancy = ScanNumber(body, "occupancy_items");
+    const double capacity = ScanNumber(body, "capacity_slots");
+    const double load = ScanNumber(body, "load_factor");
+    const double period = ScanNumber(body, "latency_sample_period");
+
+    if (tty) std::printf("\x1b[2J\x1b[H");
+    std::printf("mccuckoo_top — 127.0.0.1:%lld  (sample period 1/%.0f)\n\n",
+                static_cast<long long>(port), period > 0 ? period : 1);
+    std::printf("  occupancy  %12.0f / %.0f slots   load %.3f\n\n", occupancy,
+                capacity, load);
+    const double dt = static_cast<double>(interval_ms) / 1000.0;
+    const double rates[3] = {
+        have_prev ? (inserts - prev_ops[0]) / dt : 0.0,
+        have_prev ? (lookups - prev_ops[1]) / dt : 0.0,
+        have_prev ? (erases - prev_ops[2]) / dt : 0.0,
+    };
+    std::printf("  %-12s %14s %12s\n", "op", "total", "ops/s");
+    std::printf("  %-12s %14.0f %12.0f\n", "insert", inserts, rates[0]);
+    std::printf("  %-12s %14.0f %12.0f\n", "lookup", lookups, rates[1]);
+    std::printf("  %-12s %14.0f %12.0f\n\n", "erase", erases, rates[2]);
+    prev_ops[0] = inserts;
+    prev_ops[1] = lookups;
+    prev_ops[2] = erases;
+    have_prev = true;
+
+    PrintLatencyRow("insert", ScanQuantiles(body, "insert"));
+    PrintLatencyRow("find", ScanQuantiles(body, "find"));
+    PrintLatencyRow("find_batch", ScanQuantiles(body, "find_batch"));
+    std::printf("\n  spans:");
+    // "spans": [g, rh, rs, bfs, spill] — positional per kSpanKindNames.
+    const size_t spans_at = body.find("\"spans\":");
+    if (spans_at != std::string::npos) {
+      const char* p = body.c_str() + spans_at;
+      p = std::strchr(p, '[');
+      for (size_t k = 0; p != nullptr && k < kSpanKinds; ++k) {
+        ++p;  // past '[' or ','
+        std::printf(" %s=%.0f", kSpanKindNames[k], std::strtod(p, nullptr));
+        p = std::strchr(p, k + 1 < kSpanKinds ? ',' : ']');
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    if (iters == 0 || i + 1 < iters) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Run(argc, argv); }

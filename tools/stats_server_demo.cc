@@ -1,0 +1,118 @@
+// Live-table demo behind the StatsServer: builds a growing McCuckooTable,
+// drives a mixed insert/lookup/erase workload on a background thread, and
+// serves /metrics, /json, /trace and /heatmap until --duration elapses.
+//
+//   tools/stats_server_demo --port=8080 --duration=60
+//   curl -s http://127.0.0.1:8080/json | python3 -m json.tool
+//   tools/mccuckoo_top --port=8080
+//
+// Prints "listening on http://127.0.0.1:<port>" once the socket is bound
+// (the CI endpoint job greps for it). The table starts small with
+// auto-growth enabled so the span timeline fills with growth/rehash events
+// within the first seconds.
+//
+//   --port=N       bind port (default 0 = ephemeral, printed on stdout)
+//   --duration=N   seconds to serve; 0 = until killed (default 0)
+//   --slots=N      initial slot capacity (default 9000)
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/mccuckoo_table.h"
+#include "src/obs/export.h"
+#include "src/obs/stats_server.h"
+#include "src/workload/keyset.h"
+
+namespace mccuckoo {
+namespace {
+
+int Run(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = parsed.value();
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const int64_t duration_s = flags.GetInt("duration", 0);
+  const uint64_t slots = static_cast<uint64_t>(flags.GetInt("slots", 9000));
+
+  TableOptions options;
+  options.num_hashes = 3;
+  options.buckets_per_table = (slots + 2) / 3;
+  options.deletion_mode = DeletionMode::kResetCounters;
+  options.growth.enabled = true;
+  McCuckooTable<uint64_t, uint64_t> table(options);
+
+  // One mutex covers the workload and every scrape: the exports and the
+  // heatmap scan then see a quiescent table, and the demo stays data-race
+  // free without leaning on the concurrent wrappers.
+  std::mutex mu;
+
+  StatsHandlers handlers;
+  handlers.metrics = [&] {
+    std::scoped_lock lock(mu);
+    return ExportPrometheus(table.SnapshotMetrics(), table.stats());
+  };
+  handlers.json = [&] {
+    std::scoped_lock lock(mu);
+    return ExportJson(table.SnapshotMetrics(), table.stats());
+  };
+  handlers.trace = [&] {
+    std::scoped_lock lock(mu);
+    return ExportChromeTrace(table.spans().Events(), "stats_server_demo");
+  };
+  handlers.heatmap = [&] {
+    std::scoped_lock lock(mu);
+    return ExportHeatmapJson(table.Heatmap());
+  };
+
+  StatsServer server;
+  if (Status s = server.Start(std::move(handlers), port); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on http://127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // Steady mixed workload: grow-by-insert with interleaved hit/miss
+  // lookups and occasional erases, throttled so an idle demo doesn't pin
+  // a core. Keys cycle so the table keeps churning after growth settles.
+  std::vector<uint64_t> keys = MakeUniqueKeys(1 << 20, options.seed, 0);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  size_t next = 0, oldest = 0;
+  uint64_t probe = 0;
+  while (duration_s == 0 || std::chrono::steady_clock::now() < deadline) {
+    {
+      std::scoped_lock lock(mu);
+      for (int i = 0; i < 256; ++i) {
+        table.InsertOrAssign(keys[next % keys.size()], next);
+        ++next;
+        table.Find(keys[probe % next]);
+        table.Find(~keys[probe % next]);  // guaranteed miss
+        ++probe;
+        if (next % 7 == 0 && oldest + (1 << 14) < next) {
+          table.Erase(keys[oldest % keys.size()]);
+          ++oldest;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+  std::printf("served %" PRIu64 " requests; final load %.3f\n",
+              server.requests_served(), table.load_factor());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mccuckoo
+
+int main(int argc, char** argv) { return mccuckoo::Run(argc, argv); }
