@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 #include "bench/bench_json.h"
 
@@ -43,9 +44,36 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   FlatJson* sink_;
 };
 
+/// The build's target architecture, for the machine-context rows below.
+inline const char* BenchArchName() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  return "aarch64";
+#elif defined(__riscv)
+  return "riscv";
+#else
+  return "unknown";
+#endif
+}
+
+/// Machine-context rows every bench binary refreshes alongside its results:
+/// numbers in BENCH_throughput.json are only comparable within one machine,
+/// so the file records which machine produced them. The flat format maps
+/// keys to numbers only, so the architecture is encoded in the key
+/// ("meta.arch.x86_64": 1) rather than as a string value.
+inline FlatJson BenchMetaEntries() {
+  FlatJson meta;
+  meta["meta.nproc"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  meta[std::string("meta.arch.") + BenchArchName()] = 1;
+  return meta;
+}
+
 /// Runs all registered benchmarks through a JsonCaptureReporter and merges
 /// the captured items/sec into BenchJsonPath() under `prefix` ("micro.",
-/// "batch.", ...). Returns the process exit code.
+/// "batch.", ...), plus the "meta.*" machine-context rows. Returns the
+/// process exit code.
 inline int RunBenchmarksToJson(int argc, char** argv,
                                const std::string& prefix) {
   benchmark::Initialize(&argc, argv);
@@ -57,7 +85,8 @@ inline int RunBenchmarksToJson(int argc, char** argv,
   FlatJson prefixed;
   for (const auto& [key, value] : captured) prefixed[prefix + key] = value;
   const std::string path = BenchJsonPath();
-  if (!MergeFlatJson(path, prefix, prefixed)) {
+  if (!MergeFlatJson(path, prefix, prefixed) ||
+      !MergeFlatJson(path, "meta.", BenchMetaEntries())) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;
   }

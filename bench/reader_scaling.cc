@@ -138,13 +138,13 @@ void RegisterAll() {
   Fixture& fx = GetFixture();  // build tables before any timing starts
   for (const int threads : {1, 2, 4, 8, 16}) {
     const std::string suffix = ".t" + std::to_string(threads);
-    benchmark::RegisterBenchmark(("read_scaling.locked" + suffix).c_str(),
+    benchmark::RegisterBenchmark(("locked" + suffix).c_str(),
                                  BM_ReadScaling<Locked>, fx.locked.get(),
                                  threads)
         ->Repetitions(3)
         ->ReportAggregatesOnly(false)
         ->UseManualTime();
-    benchmark::RegisterBenchmark(("read_scaling.optimistic" + suffix).c_str(),
+    benchmark::RegisterBenchmark(("optimistic" + suffix).c_str(),
                                  BM_ReadScaling<Optimistic>,
                                  fx.optimistic.get(), threads)
         ->Repetitions(3)
@@ -158,5 +158,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   mccuckoo::RegisterAll();
-  return mccuckoo::RunBenchmarksToJson(argc, argv, "concurrent.");
+  // Full-namespace merge prefix, so write_scaling and this binary can each
+  // rewrite their own "concurrent.*" rows without erasing the other's.
+  return mccuckoo::RunBenchmarksToJson(argc, argv, "concurrent.read_scaling.");
 }

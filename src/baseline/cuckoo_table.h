@@ -21,7 +21,6 @@
 #include <cstdlib>
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -478,24 +477,46 @@ class CuckooTable {
   /// absent from the table. The baseline has no counters, so the only
   /// terminal is a true hole and every child check costs a charged bucket
   /// read; a local visited mirror keeps each bucket read at most once, as
-  /// before the refactor. The node budget is maxloop, making the work
-  /// bound comparable to the walk policies.
+  /// before the refactor.
+  ///
+  /// The node budget is the full maxloop, NOT the kBfsMaxNodes cap the
+  /// counter-guided tables use: their searches terminate on free *or*
+  /// redundant-copy buckets, so a few dozen nodes nearly always reach a
+  /// terminal, while the hole-only baseline needs the deeper frontier to
+  /// match the walk policies' attainable load (capping at 48 nodes dropped
+  /// first-failure from ~0.90 to 0.80). The dead-end cost of the bigger
+  /// budget is bounded by the same BfsThrottle the other tables run: after
+  /// a failed search further inserts probe with a few nodes until one
+  /// succeeds again.
   InsertResult BfsInsert(Key key, Value value,
                          const std::array<size_t, kMaxHashes>& cand,
                          uint32_t* chain_len_out, uint32_t* nodes_out) {
     std::array<uint64_t, kMaxHashes> roots{};
     for (uint32_t t = 0; t < opts_.num_hashes; ++t) roots[t] = cand[t];
-    std::unordered_set<uint64_t> seen(roots.begin(),
-                                      roots.begin() + opts_.num_hashes);
+    // Alloc-free visited mirror (the per-insert unordered_set it replaces
+    // was the single largest cost of a successful high-load BFS insert).
+    // If a near-budget search overflows it, dedup degrades to the engine's
+    // frontier scan — a bucket may be re-read, never re-enqueued.
+    std::array<uint64_t, 192> seen;
+    size_t seen_n = 0;
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) seen[seen_n++] = roots[t];
+    auto mark_new = [&](uint64_t id) {
+      for (size_t i = 0; i < seen_n; ++i) {
+        if (seen[i] == id) return false;
+      }
+      if (seen_n < seen.size()) seen[seen_n++] = id;
+      return true;
+    };
     const BfsPathResult path = BfsFindPath(
-        roots.data(), opts_.num_hashes, BfsNodeBudget(opts_.maxloop),
+        roots.data(), opts_.num_hashes,
+        bfs_throttle_.Budget(opts_.maxloop),
         [&](uint64_t id, auto&& emit, auto&& terminal) {
           const size_t bucket = static_cast<size_t>(id);
           const Key occupant = table_[bucket].key;  // read earlier
           const std::array<size_t, kMaxHashes> alt = Candidates(occupant);
           for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
             if (alt[t] == bucket) continue;
-            if (!seen.insert(alt[t]).second) continue;
+            if (!mark_new(alt[t])) continue;
             if (!LoadBucket(alt[t]).occupied) {
               terminal(alt[t]);
               return;
@@ -503,6 +524,7 @@ class CuckooTable {
             emit(alt[t]);
           }
         });
+    bfs_throttle_.Observe(path.found);
     *nodes_out = path.nodes_expanded;
     if (path.found) {
       // Move items from the empty end backwards.
@@ -611,6 +633,10 @@ class CuckooTable {
   KickHistory kick_history_;
   Stash<Key, Value> stash_;
   Xoshiro256 rng_;
+  // Dead-end damping for the BFS policy (see BfsInsert). The baseline has
+  // no rehash, so unlike the core tables there is no reset site: the
+  // throttle only relaxes again when a search succeeds.
+  BfsThrottle bfs_throttle_;
 
   size_t size_ = 0;
   uint64_t first_collision_items_ = 0;

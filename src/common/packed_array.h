@@ -10,6 +10,7 @@
 #ifndef MCCUCKOO_COMMON_PACKED_ARRAY_H_
 #define MCCUCKOO_COMMON_PACKED_ARRAY_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -69,6 +70,30 @@ class PackedArray {
       const uint64_t himask = (1ull << hi) - 1;
       words_[word + 1] = (words_[word + 1] & ~himask) | (v >> (64 - off));
     }
+  }
+
+  /// True when entries can never straddle a word boundary (the width
+  /// divides 64) — the precondition for AtomicSet.
+  bool AtomicCapable() const { return bits_ != 0 && 64 % bits_ == 0; }
+
+  /// Atomically writes entry `i` = v via a CAS loop on the containing
+  /// 64-bit word. Only legal when AtomicCapable(): a straddling entry would
+  /// need a two-word transaction no single CAS can provide — which is why
+  /// the multi-writer tables run on the byte-per-entry TagCounterArray
+  /// rather than 3-bit packed counters.
+  void AtomicSet(size_t i, uint64_t v) {
+    assert(i < size_);
+    assert(v <= mask_);
+    assert(AtomicCapable());
+    const size_t bit = i * bits_;
+    const uint32_t off = static_cast<uint32_t>(bit & 63);
+    std::atomic_ref<uint64_t> word(words_[bit >> 6]);
+    uint64_t cur = word.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = (cur & ~(mask_ << off)) | (v << off);
+    } while (!word.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                         std::memory_order_relaxed));
   }
 
   /// Zero-fills every entry.

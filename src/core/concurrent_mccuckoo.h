@@ -38,6 +38,7 @@
 #include <utility>
 
 #include "src/core/config.h"
+#include "src/core/lock_stripes.h"
 #include "src/core/seqlock.h"
 #include "src/mem/access_stats.h"
 #include "src/obs/metrics.h"
@@ -211,6 +212,204 @@ class OneWriterManyReaders {
 /// `OptimisticReaders<McCuckooTable<K, V>> table(options);`
 template <typename Table>
 using OptimisticReaders = OneWriterManyReaders<Table, ReadMode::kOptimistic>;
+
+/// True multi-writer wrapper: writers run concurrently under the table's
+/// striped bucket locks (src/core/lock_stripes.h) while readers stay on the
+/// optimistic seqlock path. Structure:
+///
+///  * drain_mu_ (shared_mutex): every write takes it SHARED — writers never
+///    exclude each other through it; they serialize per-bucket through the
+///    lock stripes. Growth/rehash takes it EXCLUSIVE plus a LockStripeDrain
+///    (every stripe, ascending), so an in-flight write never observes a
+///    geometry change mid-operation and needs no epoch revalidation.
+///  * Reads never touch drain_mu_: the optimistic attempt is lock-free, and
+///    the fallback (FindStriped) takes only the key's own candidate stripe
+///    locks, revalidating the rehash epoch after acquisition.
+///  * growth_mu_ serializes the growth policy's bookkeeping (its state
+///    machine is not thread-safe); the decision to grow is made under it,
+///    but the rehash itself runs under the exclusive drain.
+template <typename Table>
+class ConcurrentMcCuckoo {
+ public:
+  using Key = typename Table::KeyType;
+  using Value = typename Table::ValueType;
+
+  static constexpr int kMaxOptimisticSpins = 3;
+
+  explicit ConcurrentMcCuckoo(const TableOptions& options)
+      : table_(options),
+        seq_(table_.seqlock_domain()),
+        locks_(table_.seqlock_domain()) {
+    table_.AttachSeqlock(&seq_);
+    table_.AttachLockStripes(&locks_);
+  }
+
+  /// Concurrent writer-side operations. Same contracts as the table's
+  /// single-writer forms (Insert assumes the key absent; InsertOrAssign
+  /// handles unknown presence).
+  InsertResult Insert(const Key& key, const Value& value) {
+    bool wants_growth = false;
+    InsertResult r;
+    {
+      std::shared_lock drain(drain_mu_);
+      r = table_.ConcurrentInsert(key, value, growth_mu_, &wants_growth);
+    }
+    if (wants_growth) GrowExclusive();
+    return r;
+  }
+  InsertResult InsertOrAssign(const Key& key, const Value& value) {
+    bool wants_growth = false;
+    InsertResult r;
+    {
+      std::shared_lock drain(drain_mu_);
+      r = table_.ConcurrentInsertOrAssign(key, value, growth_mu_,
+                                          &wants_growth);
+    }
+    if (wants_growth) GrowExclusive();
+    return r;
+  }
+  bool Erase(const Key& key) {
+    std::shared_lock drain(drain_mu_);
+    return table_.ConcurrentErase(key);
+  }
+
+  /// Reads: bounded lock-free optimistic attempts, then the striped-lock
+  /// fallback — which waits only for writers touching this key's own
+  /// candidate stripes, never for the table at large.
+  bool Find(const Key& key, Value* out = nullptr) const {
+    for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+      const OptimisticResult r = table_.TryFindOptimistic(key, out);
+      if (r == OptimisticResult::kHit) return true;
+      if (r == OptimisticResult::kMiss) return false;
+      if constexpr (kMetricsEnabled) optimistic_retries_.Inc();
+      if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+    }
+    if constexpr (kMetricsEnabled) optimistic_fallbacks_.Inc();
+    return table_.FindStriped(key, out);
+  }
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Batched insert: scalar concurrent inserts per key. (The single-writer
+  /// batch pipeline shares prefetch scratch across keys; under concurrent
+  /// writers per-key stripe sections are what bounds contention, so the
+  /// batch form is a convenience loop, not a pipeline.)
+  void InsertBatch(std::span<const Key> keys, std::span<const Value> values,
+                   InsertResult* results = nullptr) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const InsertResult r = Insert(keys[i], values[i]);
+      if (results != nullptr) results[i] = r;
+    }
+  }
+
+  /// Batched lookup: optimistic per tile, striped fallback per key for
+  /// tiles that keep losing to writers.
+  size_t FindBatch(std::span<const Key> keys, Value* out, bool* found) const {
+    size_t hits = 0;
+    for (size_t base = 0; base < keys.size(); base += Table::kBatchTile) {
+      const size_t n = std::min(Table::kBatchTile, keys.size() - base);
+      const std::span<const Key> tile = keys.subspan(base, n);
+      Value* tile_out = out != nullptr ? out + base : nullptr;
+      bool* tile_found = found != nullptr ? found + base : nullptr;
+      int64_t r = -1;
+      for (int attempt = 0; attempt <= kMaxOptimisticSpins; ++attempt) {
+        r = table_.TryFindBatchOptimistic(tile, tile_out, tile_found);
+        if (r >= 0) break;
+        if constexpr (kMetricsEnabled) optimistic_retries_.Inc();
+        if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
+      }
+      if (r < 0) {
+        if constexpr (kMetricsEnabled) optimistic_fallbacks_.Inc();
+        size_t tile_hits = 0;
+        for (size_t i = 0; i < n; ++i) {
+          Value* o = tile_out != nullptr ? tile_out + i : nullptr;
+          const bool hit = table_.FindStriped(tile[i], o);
+          if (tile_found != nullptr) tile_found[i] = hit;
+          if (hit) ++tile_hits;
+        }
+        r = static_cast<int64_t>(tile_hits);
+      }
+      hits += static_cast<size_t>(r);
+    }
+    return hits;
+  }
+  size_t ContainsBatch(std::span<const Key> keys, bool* found) const {
+    return FindBatch(keys, nullptr, found);
+  }
+
+  /// Introspection. size() reads an atomic; the stash size is an annotated
+  /// estimate (writers may be spilling under the shared drain).
+  size_t size() const {
+    std::shared_lock drain(drain_mu_);
+    return table_.size();
+  }
+  size_t stash_size() const {
+    std::shared_lock drain(drain_mu_);
+    return table_.ApproxStashSize();
+  }
+  double load_factor() const {
+    std::shared_lock drain(drain_mu_);
+    return table_.load_factor();
+  }
+
+  /// Snapshot of the writer-side access statistics. The concurrent write
+  /// paths are uncharged (AccessStats is a single-writer model), so this
+  /// reflects only maintenance work done under WithExclusive.
+  AccessStats stats_snapshot() const {
+    std::shared_lock drain(drain_mu_);
+    return table_.stats();
+  }
+
+  /// Metrics snapshot under the exclusive drain: totals are exact (no
+  /// writer is mid-operation) and histograms copy tear-free.
+  MetricsSnapshot metrics_snapshot() const {
+    std::unique_lock drain(drain_mu_);
+    MetricsSnapshot s = table_.SnapshotMetrics();
+    s.optimistic_retries = optimistic_retries_.Value();
+    s.optimistic_fallbacks = optimistic_fallbacks_.Value();
+    return s;
+  }
+
+  /// Exclusive access to the underlying table (maintenance/validation):
+  /// exclusive drain + every lock stripe + the aux seqlock stripe held odd,
+  /// so concurrent writers, striped readers, and optimistic readers are all
+  /// excluded or fail validation for fn's whole duration.
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::unique_lock drain(drain_mu_);
+    LockStripeDrain all(locks_);
+    struct AuxGuard {
+      SeqlockArray& seq;
+      explicit AuxGuard(SeqlockArray& s) : seq(s) {
+        seq.WriteBegin(seq.aux_stripe());
+      }
+      ~AuxGuard() { seq.WriteEnd(seq.aux_stripe()); }
+    } guard(seq_);
+    return std::forward<Fn>(fn)(table_);
+  }
+
+ private:
+  /// Escalates to full exclusivity and runs the growth engine. The policy
+  /// re-decides under the drain, so if a competing writer's escalation
+  /// already grew the table this is a no-op.
+  void GrowExclusive() {
+    std::unique_lock drain(drain_mu_);
+    LockStripeDrain all(locks_);
+    table_.MaybeGrowExclusive();
+  }
+
+  mutable std::shared_mutex drain_mu_;
+  std::mutex growth_mu_;
+  Table table_;  // must precede seq_/locks_ (its domain sizes both)
+  SeqlockArray seq_;
+  LockStripeArray locks_;
+  mutable Counter optimistic_retries_;
+  mutable Counter optimistic_fallbacks_;
+};
+
+/// The multi-writer policy, alongside OneWriterManyReaders /
+/// OptimisticReaders: `MultiWriter<McCuckooTable<K, V>> table(options);`
+template <typename Table>
+using MultiWriter = ConcurrentMcCuckoo<Table>;
 
 }  // namespace mccuckoo
 

@@ -14,6 +14,7 @@
 #ifndef MCCUCKOO_CORE_COUNTER_ARRAY_H_
 #define MCCUCKOO_CORE_COUNTER_ARRAY_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -63,6 +64,22 @@ class CounterArray {
     Charge(&AccessStats::onchip_writes);
     counters_.Set(i, 0);
     tombstones_.Set(i, 1);
+  }
+
+  /// Atomic variants of Set/MarkDeleted for multi-writer paths (uncharged —
+  /// see TagCounterArray's atomic section). Each packed store is one CAS on
+  /// its containing word; legal only when the counter width divides 64
+  /// (PackedArray::AtomicCapable), which 3-bit counters are not — the
+  /// multi-writer tables therefore run on TagCounterArray, and these exist
+  /// for atomic-capable widths (1/2/4/8...) and the CAS-exactness tests.
+  bool AtomicCapable() const { return counters_.AtomicCapable(); }
+  void AtomicSet(size_t i, uint64_t v) {
+    counters_.AtomicSet(i, v);
+    tombstones_.AtomicSet(i, 0);
+  }
+  void AtomicMarkDeleted(size_t i) {
+    counters_.AtomicSet(i, 0);
+    tombstones_.AtomicSet(i, 1);
   }
 
   /// Uncharged accessors for tests / invariant validation.
@@ -296,6 +313,71 @@ class TagCounterArray {
   /// Uncharged — see BucketHeaderArray::SetTag.
   void SetTag(size_t i, uint8_t tag) {
     bytes_[i] = static_cast<uint8_t>((bytes_[i] & 0x0Fu) | (tag << 4));
+  }
+
+  // --- Atomic update discipline (multi-writer paths) ----------------------
+  // Striped writer locks already guarantee that at most one writer mutates a
+  // given entry, and each entry is its own byte, so two writers never share
+  // a memory location. The CAS forms below are the belt-and-braces contract
+  // the multi-writer paths still want: every counter transition is a single
+  // indivisible byte RMW that can never resurrect a stale tag/tombstone
+  // nibble through a compiler-widened read-modify-write, and TSan observes
+  // them as atomics. They are uncharged — the concurrent paths deliberately
+  // leave the (non-atomic) AccessStats model untouched; the single-writer
+  // paths keep the charged plain accessors above, byte for byte.
+
+  /// Atomically sets counter `i` to `v`, clears any tombstone, keeps the
+  /// tag nibble.
+  void AtomicSet(size_t i, uint64_t v) {
+    std::atomic_ref<uint8_t> cell(bytes_[i]);
+    uint8_t cur = cell.load(std::memory_order_relaxed);
+    uint8_t next;
+    do {
+      next = static_cast<uint8_t>(
+          (cur & 0xF0u) | (static_cast<uint8_t>(v) & kHdrCounterMask));
+    } while (!cell.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Atomically decrements counter `i` by one (the redundant-copy eviction:
+  /// a pure on-chip decrement). Returns the new counter value. The counter
+  /// must be non-zero and non-tombstoned.
+  uint64_t AtomicDecrement(size_t i) {
+    std::atomic_ref<uint8_t> cell(bytes_[i]);
+    uint8_t cur = cell.load(std::memory_order_relaxed);
+    uint8_t next;
+    do {
+      assert((cur & kHdrCounterMask) != 0);
+      assert((cur & kHdrTombBit) == 0);
+      next = static_cast<uint8_t>((cur & ~kHdrCounterMask) |
+                                  ((cur & kHdrCounterMask) - 1));
+    } while (!cell.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                         std::memory_order_relaxed));
+    return next & kHdrCounterMask;
+  }
+
+  /// Atomically marks entry `i` deleted (counter 0, tombstone set, tag
+  /// kept).
+  void AtomicMarkDeleted(size_t i) {
+    std::atomic_ref<uint8_t> cell(bytes_[i]);
+    uint8_t cur = cell.load(std::memory_order_relaxed);
+    uint8_t next;
+    do {
+      next = static_cast<uint8_t>((cur & 0xF0u) | kHdrTombBit);
+    } while (!cell.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Atomically records the occupant's fingerprint, keeping counter and
+  /// tombstone bits.
+  void AtomicSetTag(size_t i, uint8_t tag) {
+    std::atomic_ref<uint8_t> cell(bytes_[i]);
+    uint8_t cur = cell.load(std::memory_order_relaxed);
+    uint8_t next;
+    do {
+      next = static_cast<uint8_t>((cur & 0x0Fu) | (tag << 4));
+    } while (!cell.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                         std::memory_order_relaxed));
   }
 
   /// Bulk on-chip read charge (see BucketHeaderArray::ChargeReads).

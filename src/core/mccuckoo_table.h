@@ -43,9 +43,11 @@
 #include <memory>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <new>
 #include <span>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +58,7 @@
 #include "src/core/counter_array.h"
 #include "src/core/eviction.h"
 #include "src/core/growth.h"
+#include "src/core/lock_stripes.h"
 #include "src/core/seqlock.h"
 #include "src/core/stash.h"
 #include "src/hash/hash_family.h"
@@ -342,6 +345,13 @@ class McCuckooTable {
   /// without any lock. Single-threaded users never call this and pay only
   /// a null check per mutation choke point.
   void AttachSeqlock(SeqlockArray* seq) { seq_ = seq; }
+
+  /// Attaches (or detaches) the striped writer-lock array for the
+  /// multi-writer path (see lock_stripes.h). Must be congruent with the
+  /// attached SeqlockArray (same sizing hint): holding a lock stripe grants
+  /// exclusive writer rights over the matching seqlock stripe, which is
+  /// what keeps the blind non-RMW version bumps valid under many writers.
+  void AttachLockStripes(LockStripeArray* locks) { locks_ = locks; }
 
   /// Sizing hint for the version array covering this table's buckets.
   size_t seqlock_domain() const { return table_.size(); }
@@ -1041,6 +1051,659 @@ class McCuckooTable {
   /// Completed rehash commits over this table's lifetime (manual and
   /// growth-triggered). Changes exactly when the geometry/seeds may have.
   uint64_t rehash_epoch() const { return rehash_epoch_; }
+
+  // ===== Multi-writer (striped-lock) operations ===========================
+  //
+  // The Concurrent* entry points below let many writers mutate the table at
+  // once under an attached LockStripeArray (congruent with the attached
+  // SeqlockArray, see lock_stripes.h). The protocol, in brief:
+  //
+  //  * An operation BLOCK-acquires only its own key's candidate stripes —
+  //    sorted, deduplicated, known up front — plus (last) the aux stripe,
+  //    which is globally maximal. Everything discovered mid-operation (BFS
+  //    chain nodes, the terminal, a displaced victim's other copies) is
+  //    TRY-locked only; a failed try-lock releases the mid-op suffix and
+  //    replans or restarts. Blocking acquisition in ascending order with no
+  //    later blocking waits is deadlock-free by the classic ordering
+  //    argument.
+  //  * Every counter mutation anywhere in the table happens under that
+  //    bucket's stripe. Holding a stripe therefore pins its buckets'
+  //    counters AND the copy-sets of the items in them: displacing a copy
+  //    of item X requires try-locking all of X's other copies first, which
+  //    a holder of any one of them blocks.
+  //  * Eviction runs the BFS engine in plan/validate/apply form regardless
+  //    of the configured policy (the walk policies mutate mid-chain and
+  //    lean on shared RNG/history state). The plan phase reads racily and
+  //    mutates nothing; the chain is then try-claimed and re-validated
+  //    under the claims; the apply phase runs terminal-first, and its only
+  //    fallible step (claiming a redundant terminal occupant's other
+  //    copies) fails before any mutation — so a failure replans cleanly.
+  //  * Seqlock windows for the whole operation are opened in a stack-local
+  //    SeqlockWriterSet and closed *before* the stripe locks are released:
+  //    the next holder of a stripe owns its version cell again only after
+  //    our odd window is closed.
+  //  * These paths charge no AccessStats and record no trace/span/kick
+  //    history (those are writer-exclusion structures); TableMetrics and
+  //    the latency recorder are atomic and recorded normally.
+  //
+  // Callers (the ConcurrentMcCuckoo wrapper) hold a shared "drain" lock for
+  // every operation; growth escalates to the exclusive side plus a full
+  // LockStripeDrain, so in-flight operations never see a geometry change —
+  // which is also why mid-operation bucket indices stay in bounds.
+
+  /// Multi-writer insert of a key assumed not to be present (same contract
+  /// as Insert: duplicates corrupt the copy invariants). `growth_mu`
+  /// serializes the growth-policy bookkeeping; `*wants_growth` is set when
+  /// the policy asks for a rehash/reseed, which the caller performs under
+  /// full exclusivity via MaybeGrowExclusive().
+  InsertResult ConcurrentInsert(const Key& key, const Value& value,
+                                std::mutex& growth_mu, bool* wants_growth) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
+    assert(locks_ != nullptr);
+    *wants_growth = false;
+    const uint64_t t0 = MetricsNowNs();
+    const Candidates cand = ComputeCandidates(key);
+    LockStripeSet ls(*locks_, metrics_.get());
+    SeqlockWriterSet ws;
+    bool collided = false;
+    bool need_restart = false;
+    uint32_t chain_len = 0, bfs_nodes = 0, bfs_budget = 0;
+    InsertResult r;
+    for (;;) {
+      AcquireCandidateStripes(ls, cand);
+      r = ConcurrentPlaceOrEvict(key, value, cand, ls, ws, &collided,
+                                 &need_restart, &chain_len, &bfs_nodes,
+                                 &bfs_budget);
+      if (!need_restart) break;
+      // A redundant candidate's other copies are transiently claimed by
+      // another writer; back off completely (breaking hold-and-wait) and
+      // redo the acquisition. Nothing was mutated, no seq window is open.
+      ls.ReleaseAll();
+      std::this_thread::yield();
+    }
+    ConcurrentFlush(ws, ls);
+    metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    if (collided) {
+      metrics_->RecordPolicyChain(static_cast<uint32_t>(EvictionPolicy::kBfs),
+                                  chain_len);
+      metrics_->RecordBfsNodes(bfs_nodes);
+    }
+    *wants_growth = ConcurrentGrowthCheck(
+        growth_mu, r != InsertResult::kInserted, chain_len, bfs_nodes,
+        bfs_budget);
+    return r;
+  }
+
+  /// Multi-writer InsertOrAssign: updates every copy in place when the key
+  /// exists (main table or stash), inserts otherwise. The candidate
+  /// stripes stay held across the found/stash/insert decision, so the
+  /// presence check cannot go stale before the insert.
+  InsertResult ConcurrentInsertOrAssign(const Key& key, const Value& value,
+                                        std::mutex& growth_mu,
+                                        bool* wants_growth) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kInsert);
+    assert(locks_ != nullptr);
+    *wants_growth = false;
+    const uint64_t t0 = MetricsNowNs();
+    const Candidates cand = ComputeCandidates(key);
+    LockStripeSet ls(*locks_, metrics_.get());
+    SeqlockWriterSet ws;
+    bool collided = false;
+    bool need_restart = false;
+    uint32_t chain_len = 0, bfs_nodes = 0, bfs_budget = 0;
+    InsertResult r;
+    for (;;) {
+      AcquireCandidateStripes(ls, cand);
+      // Re-locate on every (re)acquisition: between restarts another
+      // writer of the same key may have inserted it.
+      const CopySet copies = ConcurrentLocateCopies(key, cand);
+      if (copies.count > 0) {
+        for (uint32_t i = 0; i < copies.count; ++i) {
+          // Value-only update: the occupant's key, tag and counter are
+          // already exactly this key's (located under the held stripes).
+          SeqOpenIn(ws, copies.idx[i]);
+          table_[copies.idx[i]].value = value;
+        }
+        ConcurrentFlush(ws, ls);
+        return InsertResult::kUpdated;
+      }
+      if (ConcurrentShouldProbeStash(cand)) {
+        ls.AcquireAux();
+        const bool in_stash = stash_.Find(key, nullptr);
+        metrics_->RecordStashProbe(in_stash);
+        if (in_stash) {
+          SeqOpenAuxIn(ws);
+          stash_.Insert(key, value);
+          ConcurrentFlush(ws, ls);
+          return InsertResult::kUpdated;
+        }
+        // Keep aux held through the insert attempt: it is the maximal
+        // stripe and any later AcquireAux is an idempotent no-op.
+      }
+      r = ConcurrentPlaceOrEvict(key, value, cand, ls, ws, &collided,
+                                 &need_restart, &chain_len, &bfs_nodes,
+                                 &bfs_budget);
+      if (!need_restart) break;
+      ls.ReleaseAll();
+      std::this_thread::yield();
+    }
+    ConcurrentFlush(ws, ls);
+    metrics_->RecordInsert(chain_len, MetricsNowNs() - t0);
+    if (collided) {
+      metrics_->RecordPolicyChain(static_cast<uint32_t>(EvictionPolicy::kBfs),
+                                  chain_len);
+      metrics_->RecordBfsNodes(bfs_nodes);
+    }
+    *wants_growth = ConcurrentGrowthCheck(
+        growth_mu, r != InsertResult::kInserted, chain_len, bfs_nodes,
+        bfs_budget);
+    return r;
+  }
+
+  /// Multi-writer erase: all copies of the key lie among the held
+  /// candidates, so locating them under the stripes is exact.
+  bool ConcurrentErase(const Key& key) {
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kErase);
+    assert(locks_ != nullptr);
+    if (opts_.deletion_mode == DeletionMode::kDisabled) {
+      std::fprintf(stderr,
+                   "McCuckooTable::ConcurrentErase called with "
+                   "DeletionMode::kDisabled; construct the table with "
+                   "kResetCounters or kTombstone\n");
+      std::abort();
+    }
+    const Candidates cand = ComputeCandidates(key);
+    LockStripeSet ls(*locks_, metrics_.get());
+    SeqlockWriterSet ws;
+    AcquireCandidateStripes(ls, cand);
+    const CopySet copies = ConcurrentLocateCopies(key, cand);
+    if (copies.count > 0) {
+      for (uint32_t i = 0; i < copies.count; ++i) {
+        SeqOpenIn(ws, copies.idx[i]);
+        if (opts_.deletion_mode == DeletionMode::kTombstone) {
+          counters_.AtomicMarkDeleted(copies.idx[i]);
+        } else {
+          counters_.AtomicSet(copies.idx[i], 0);
+        }
+      }
+      size_.FetchSub(1);
+      ConcurrentFlush(ws, ls);
+      metrics_->RecordErase();
+      return true;
+    }
+    if (ConcurrentShouldProbeStash(cand)) {
+      ls.AcquireAux();
+      SeqOpenAuxIn(ws);
+      const bool hit = stash_.Erase(key);
+      ConcurrentFlush(ws, ls);
+      metrics_->RecordStashProbe(hit);
+      if (hit) {
+        // Stash items are not counted in size_, so no decrement here.
+        stale_stash_flag_keys_.FetchAdd(1);
+        metrics_->RecordErase();
+        return true;
+      }
+      return false;
+    }
+    ls.ReleaseAll();
+    return false;
+  }
+
+  /// Striped-lock reader fallback for the multi-writer mode: takes the
+  /// key's candidate stripes (blocking, ordered) instead of any table-wide
+  /// lock, so a fallback read waits only for writers touching its own
+  /// candidates. Does not require the wrapper's drain lock: a rehash
+  /// cannot *start* while we hold any stripe (growth drains them all), and
+  /// one that committed between candidate computation and acquisition is
+  /// caught by the epoch check and retried.
+  bool FindStriped(const Key& key, Value* out = nullptr) const {
+    assert(locks_ != nullptr);
+    ScopedLatencySample lat(latency_.get(), LatencyOp::kFind);
+    for (;;) {
+      const uint64_t epoch = rehash_epoch_.load();
+      const uint32_t d = opts_.num_hashes;
+      Candidates cand;
+      bool in_range = true;
+      {
+        // Geometry may be swapping under us until the stripes are held.
+        SeqlockReadCritical crit;
+        cand = ComputeCandidates(key);
+        for (uint32_t t = 0; t < d; ++t) {
+          in_range = in_range && cand.idx[t] < table_.size();
+        }
+      }
+      if (!in_range) continue;  // torn mid-commit read; retry
+      LockStripeSet ls(*locks_, metrics_.get());
+      {
+        std::array<size_t, kMaxHashes> stripes;
+        for (uint32_t t = 0; t < d; ++t) {
+          stripes[t] = locks_->StripeOf(cand.idx[t]);
+        }
+        ls.AcquireOrdered(stripes.data(), d);
+      }
+      // The stripe acquisitions are acquire barriers and the committing
+      // rehash bumps the epoch before releasing its drain, so an unchanged
+      // epoch here proves the candidates match the live geometry.
+      if (rehash_epoch_.load() != epoch) continue;
+      Value tmp{};
+      LookupTally tally;
+      MainOutcome mo;
+      {
+        // Neighbouring buckets in the same cache lines may still be
+        // mutated by writers holding *other* stripes.
+        SeqlockReadCritical crit;
+        mo = FindNoStatsMain(key, cand, &tmp, tally);
+      }
+      bool hit = (mo == MainOutcome::kHit);
+      if (mo == MainOutcome::kCheckStash) {
+        ls.AcquireAux();
+        hit = stash_.Find(key, &tmp);
+        tally.RecordStashProbe(hit);
+      }
+      tally.FlushTo(*metrics_);
+      ls.ReleaseAll();
+      if (hit && out != nullptr) *out = tmp;
+      return hit;
+    }
+  }
+
+  /// Growth-policy bookkeeping for one concurrent insert, serialized by
+  /// the wrapper's growth mutex (GrowthPolicy state is not thread-safe).
+  /// Returns true when the policy wants a rehash/reseed; the caller then
+  /// escalates to the exclusive drain and calls MaybeGrowExclusive().
+  bool ConcurrentGrowthCheck(std::mutex& growth_mu, bool overflowed,
+                             uint32_t chain_len, uint32_t bfs_nodes,
+                             uint32_t bfs_budget) {
+    std::lock_guard<std::mutex> g(growth_mu);
+    growth_.ObserveInsert(overflowed, chain_len, opts_.maxloop, bfs_nodes,
+                          bfs_budget);
+    const GrowthDecision d = growth_.Decide(
+        {ApproxTotalItems(), opts_.capacity(), ApproxStashSize(),
+         opts_.buckets_per_table});
+    if (d.action == GrowthAction::kSuppressed) {
+      metrics_->SetGrowthSuppressed(true);
+      return false;
+    }
+    return d.action != GrowthAction::kNone;
+  }
+
+  /// Runs the growth engine under full exclusivity: the caller holds the
+  /// exclusive drain plus every lock stripe (LockStripeDrain). Re-decides
+  /// from scratch, so if a competing writer already grew the table this is
+  /// a no-op.
+  void MaybeGrowExclusive() { MaybeGrow(); }
+
+  /// Racy item-count estimates for growth decisions and wrapper
+  /// introspection (annotated: the stash map may be mutating under aux).
+  size_t ApproxStashSize() const {
+    SeqlockReadCritical crit;
+    return stash_.size();
+  }
+  size_t ApproxTotalItems() const { return size_.load() + ApproxStashSize(); }
+
+ private:
+  // --- multi-writer internals --------------------------------------------
+
+  /// Bounded replans for a contended/invalidated BFS chain before the
+  /// operation falls back to the stash.
+  static constexpr int kMaxChainReplans = 3;
+
+  void AcquireCandidateStripes(LockStripeSet& ls, const Candidates& cand) {
+    std::array<size_t, kMaxHashes> stripes;
+    const uint32_t d = opts_.num_hashes;
+    for (uint32_t t = 0; t < d; ++t) {
+      stripes[t] = locks_->StripeOf(cand.idx[t]);
+    }
+    ls.AcquireOrdered(stripes.data(), d);
+  }
+
+  // Seqlock hooks against a stack-local writer set: concurrent operations
+  // must not share the member seq_open_ (it is single-writer state).
+  void SeqOpenIn(SeqlockWriterSet& ws, size_t bucket_idx) {
+    if (seq_ != nullptr) ws.Open(*seq_, seq_->StripeOf(bucket_idx));
+  }
+  void SeqOpenAuxIn(SeqlockWriterSet& ws) {
+    if (seq_ != nullptr) ws.Open(*seq_, seq_->aux_stripe());
+  }
+
+  /// Publishes the operation's seqlock windows, then releases its stripe
+  /// locks — strictly in that order, so the next stripe holder owns the
+  /// version cells only after our odd windows closed. Also flushes the
+  /// per-operation lock-contention tallies. Safe to call with nothing
+  /// held/open.
+  void ConcurrentFlush(SeqlockWriterSet& ws, LockStripeSet& ls) {
+    if (seq_ != nullptr) ws.CloseAll(*seq_);
+    ls.ReleaseAll();
+  }
+
+  /// Uncharged bucket store under a held stripe (the concurrent paths run
+  /// outside the paper's single-writer access model, so AccessStats stay
+  /// untouched; see the section comment).
+  void ConcurrentStoreBucket(SeqlockWriterSet& ws, size_t idx, const Key& key,
+                             const Value& value) {
+    SeqOpenIn(ws, idx);
+    Bucket& b = table_[idx];
+    b.key = key;
+    b.value = value;
+    counters_.AtomicSetTag(idx, family_.TagOf(key));
+  }
+
+  void ConcurrentSetFlag(SeqlockWriterSet& ws, size_t idx) {
+    SeqOpenIn(ws, idx);
+    table_[idx].stash_flag = true;
+  }
+
+  /// Exact copy location under held candidate stripes: every copy of `key`
+  /// lives in one of its candidates, whose occupants cannot change while
+  /// the stripes are held.
+  CopySet ConcurrentLocateCopies(const Key& key, const Candidates& cand) {
+    CopySet out{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      const size_t idx = cand.idx[t];
+      if (counters_.PeekCounter(idx) > 0 && table_[idx].key == key) {
+        out.idx[out.count++] = idx;
+      }
+    }
+    return out;
+  }
+
+  /// ShouldProbeStash for the concurrent paths, rebuilt from the held
+  /// candidates. Unlike the CandidateView form it can consult every
+  /// stash_flag exactly (the stripes are held), which is a strictly
+  /// stronger — still sound — screen: a stashed key set all d flags.
+  bool ConcurrentShouldProbeStash(const Candidates& cand) {
+    {
+      // Benign race on the map size: our own key's stash membership is
+      // pinned by the held candidate stripes (any writer stashing or
+      // un-stashing it needs them), and the happens-before edge through
+      // those stripes makes its effect on empty() visible.
+      SeqlockReadCritical crit;
+      if (stash_.empty()) return false;
+    }
+    if (opts_.stash_kind == StashKind::kOnchipChs) return true;
+    if (!opts_.stash_screen_enabled) return true;
+    const uint32_t d = opts_.num_hashes;
+    bool any_zero = false, any_gt1 = false, any_flag_zero = false;
+    for (uint32_t t = 0; t < d; ++t) {
+      const size_t idx = cand.idx[t];
+      const uint64_t c = counters_.PeekCounter(idx);
+      const bool tomb = opts_.deletion_mode == DeletionMode::kTombstone &&
+                        counters_.PeekTombstone(idx);
+      if (c == 0 && !tomb) any_zero = true;
+      if (c > 1) any_gt1 = true;
+      if (!table_[idx].stash_flag) any_flag_zero = true;
+    }
+    if (opts_.deletion_mode == DeletionMode::kDisabled &&
+        (any_zero || any_gt1)) {
+      return false;
+    }
+    if (opts_.deletion_mode == DeletionMode::kTombstone && any_zero) {
+      return false;
+    }
+    return !any_flag_zero;
+  }
+
+  bool AllCandidatesSoleCopies(const Candidates& cand) const {
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      if (counters_.PeekCounter(cand.idx[t]) != 1) return false;
+    }
+    return true;
+  }
+
+  /// Place-or-evict body shared by ConcurrentInsert/InsertOrAssign. Called
+  /// with the candidate stripes held. Sets *need_restart (with nothing
+  /// mutated and no seq window open) when a redundant candidate's victim
+  /// copies could not be claimed — the caller releases everything and
+  /// retries, which cannot be done here without breaking lock ordering.
+  InsertResult ConcurrentPlaceOrEvict(const Key& key, const Value& value,
+                                      const Candidates& cand,
+                                      LockStripeSet& ls, SeqlockWriterSet& ws,
+                                      bool* collided, bool* need_restart,
+                                      uint32_t* chain_len, uint32_t* nodes,
+                                      uint32_t* budget) {
+    *collided = false;
+    *need_restart = false;
+    const uint32_t placed = ConcurrentTryPlace(key, value, cand, ls, ws);
+    if (placed > 0) {
+      size_.FetchAdd(1);
+      return InsertResult::kInserted;
+    }
+    if (!AllCandidatesSoleCopies(cand)) {
+      // A candidate still holds a redundant copy we failed to claim. BFS
+      // requires all-ones roots (and so does the stash screen), so this
+      // transient contention must be resolved by a full restart.
+      *need_restart = true;
+      return InsertResult::kFailed;
+    }
+    *collided = true;
+    uint64_t expect_zero = 0;
+    first_collision_items_.CompareExchange(expect_zero,
+                                           ApproxTotalItems() + 1);
+    return ConcurrentBfsInsert(key, value, cand, ls, ws, chain_len, nodes,
+                               budget);
+  }
+
+  /// TryPlace under held candidate stripes. Differences from the
+  /// single-writer form: counter updates go through the CAS accessors, and
+  /// a redundant victim whose other copies cannot be try-claimed is
+  /// skipped rather than waited for (the caller restarts when that leaves
+  /// a non-sole-copy candidate unplaced).
+  uint32_t ConcurrentTryPlace(const Key& key, const Value& value,
+                              const Candidates& cand, LockStripeSet& ls,
+                              SeqlockWriterSet& ws) {
+    const uint32_t d = opts_.num_hashes;
+    std::array<bool, kMaxHashes> taken{};
+    std::array<size_t, kMaxHashes> placed{};
+    uint32_t n_placed = 0;
+    // Principle 1: occupy all the empty candidate buckets (tombstones read
+    // as counter 0 through PeekCounter and are recycled transparently).
+    for (uint32_t t = 0; t < d; ++t) {
+      if (counters_.PeekCounter(cand.idx[t]) == 0) {
+        ConcurrentStoreBucket(ws, cand.idx[t], key, value);
+        placed[n_placed++] = cand.idx[t];
+        taken[t] = true;
+      }
+    }
+    // Principles 2+3, as in TryPlace (re-read each round; never touch 1).
+    while (n_placed < d) {
+      int best = -1;
+      uint64_t best_v = 0;
+      for (uint32_t t = 0; t < d; ++t) {
+        if (taken[t]) continue;
+        const uint64_t cur = counters_.PeekCounter(cand.idx[t]);
+        if (cur > best_v) {
+          best_v = cur;
+          best = static_cast<int>(t);
+        }
+      }
+      if (best < 0 || best_v < 2 || best_v < n_placed + 2) break;
+      if (!ConcurrentOverwriteRedundant(ls, ws, cand.idx[best], best_v, key,
+                                        value)) {
+        taken[best] = true;  // contended victim: consider the next-best
+        continue;
+      }
+      placed[n_placed++] = cand.idx[best];
+      taken[best] = true;
+    }
+    if (n_placed == 0) return 0;
+    for (uint32_t i = 0; i < n_placed; ++i) {
+      SeqOpenIn(ws, placed[i]);
+      counters_.AtomicSet(placed[i], n_placed);
+    }
+    redundant_writes_.FetchAdd(n_placed - 1);
+    return n_placed;
+  }
+
+  /// OverwriteRedundantCopy under the claim-then-move discipline: try-lock
+  /// the victim item's other candidate stripes, identify its copies
+  /// exactly by key compare (the copy-set is frozen — changing it would
+  /// need the victim's stripe, which we hold), decrement them, then
+  /// overwrite. Fails cleanly BEFORE any mutation when a claim fails; on
+  /// success the claimed stripes stay held until the operation ends.
+  bool ConcurrentOverwriteRedundant(LockStripeSet& ls, SeqlockWriterSet& ws,
+                                    size_t victim_idx, uint64_t v,
+                                    const Key& key, const Value& value) {
+    assert(v >= 2);
+    const size_t held_before = ls.held_count();
+    const Key victim_key = table_[victim_idx].key;  // stripe held: stable
+    const Candidates vc = ComputeCandidates(victim_key);
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      if (vc.idx[t] == victim_idx) continue;
+      if (!ls.TryAcquire(locks_->StripeOf(vc.idx[t]))) {
+        ls.ReleaseSuffix(held_before);
+        return false;
+      }
+    }
+    CopySet others{};
+    for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+      const size_t idx = vc.idx[t];
+      if (idx == victim_idx) continue;
+      if (counters_.PeekCounter(idx) == v && table_[idx].key == victim_key) {
+        others.idx[others.count++] = idx;
+      }
+    }
+    assert(others.count == v - 1);
+    for (uint32_t i = 0; i < others.count; ++i) {
+      SeqOpenIn(ws, others.idx[i]);
+      counters_.AtomicDecrement(others.idx[i]);
+    }
+    ConcurrentStoreBucket(ws, victim_idx, key, value);
+    return true;
+  }
+
+  /// Re-validates a racily planned BFS chain under its claimed stripes:
+  /// every interior node must still hold a sole copy whose alternates
+  /// include the next hop (linkage recomputed from the now-stable key).
+  bool ValidateChain(const BfsPathResult& path) const {
+    for (size_t i = 0; i < path.node.size(); ++i) {
+      const size_t bucket = static_cast<size_t>(path.node[i]);
+      if (counters_.PeekCounter(bucket) != 1) return false;
+      const uint64_t next =
+          i + 1 < path.node.size() ? path.node[i + 1] : path.terminal;
+      const Candidates oc = ComputeCandidates(table_[bucket].key);
+      bool linked = false;
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        linked = linked || (oc.idx[t] == next);
+      }
+      if (!linked) return false;
+    }
+    return true;
+  }
+
+  /// BfsInsert in plan/validate/apply form. Entered with the candidate
+  /// stripes held and every candidate a sole copy. The plan phase reads
+  /// racily (annotated) and mutates nothing; indices stay in bounds
+  /// because geometry cannot change while we hold stripes. The claim
+  /// phase try-locks nodes[1..] and the terminal (node[0] is a held
+  /// root); validation re-checks the chain under the claims; the apply
+  /// phase mirrors the single-writer backward shift. Skips the shared
+  /// BfsThrottle (its streak state is single-writer) and always uses the
+  /// full node budget.
+  InsertResult ConcurrentBfsInsert(const Key& key, const Value& value,
+                                   const Candidates& cand, LockStripeSet& ls,
+                                   SeqlockWriterSet& ws, uint32_t* chain_len,
+                                   uint32_t* nodes_out, uint32_t* budget_out) {
+    const uint32_t d = opts_.num_hashes;
+    std::array<uint64_t, kMaxHashes> roots{};
+    for (uint32_t t = 0; t < d; ++t) roots[t] = cand.idx[t];
+    *budget_out = BfsNodeBudget(opts_.maxloop);
+    *chain_len = 0;
+    *nodes_out = 0;
+    for (int attempt = 0; attempt < kMaxChainReplans; ++attempt) {
+      BfsPathResult path;
+      {
+        SeqlockReadCritical crit;  // unclaimed buckets mutate underneath
+        path = BfsFindPath(
+            roots.data(), d, *budget_out,
+            [&](uint64_t id, auto&& emit, auto&& terminal) {
+              const size_t bucket = static_cast<size_t>(id);
+              const Key okey = table_[bucket].key;  // racy, re-validated
+              const Candidates oc = ComputeCandidates(okey);
+              for (uint32_t t = 0; t < d; ++t) {
+                const size_t alt = oc.idx[t];
+                if (alt == bucket) continue;
+                if (counters_.PeekCounter(alt) != 1) {
+                  terminal(alt);
+                  return;
+                }
+                __builtin_prefetch(&table_[alt], 0, 1);
+                emit(alt);
+              }
+            });
+      }
+      *nodes_out += path.nodes_expanded;
+      if (!path.found) break;  // genuine dead end: stash below
+      const size_t held_before = ls.held_count();
+      bool claimed = true;
+      for (size_t i = 1; i < path.node.size() && claimed; ++i) {
+        claimed = ls.TryAcquireChain(locks_->StripeOf(path.node[i]));
+      }
+      if (claimed) {
+        claimed = ls.TryAcquireChain(locks_->StripeOf(path.terminal));
+      }
+      if (claimed) claimed = ValidateChain(path);
+      uint64_t term_v = 0;
+      if (claimed) {
+        term_v = counters_.PeekCounter(path.terminal);
+        if (term_v == 1) claimed = false;  // no longer a terminal
+      }
+      bool applied = claimed;
+      if (claimed) {
+        // Apply backward. The terminal move runs first and is the only
+        // fallible step; its failure leaves the table untouched.
+        size_t dst = static_cast<size_t>(path.terminal);
+        for (size_t i = path.node.size(); i-- > 0;) {
+          const size_t src = static_cast<size_t>(path.node[i]);
+          const Bucket moved = table_[src];
+          if (dst == static_cast<size_t>(path.terminal)) {
+            if (term_v >= 2) {
+              if (!ConcurrentOverwriteRedundant(ls, ws, dst, term_v,
+                                                moved.key, moved.value)) {
+                applied = false;
+                break;
+              }
+            } else {
+              ConcurrentStoreBucket(ws, dst, moved.key, moved.value);
+            }
+            SeqOpenIn(ws, dst);
+            counters_.AtomicSet(dst, 1);  // the moved item is a sole copy
+          } else {
+            ConcurrentStoreBucket(ws, dst, moved.key, moved.value);
+            // Counter stays 1: dst already held a sole copy.
+          }
+          dst = src;
+        }
+      }
+      if (!applied) {
+        ls.ReleaseSuffix(held_before);
+        std::this_thread::yield();
+        continue;
+      }
+      ConcurrentStoreBucket(ws, static_cast<size_t>(path.node.front()), key,
+                            value);
+      size_.FetchAdd(1);
+      *chain_len = static_cast<uint32_t>(path.node.size());
+      return InsertResult::kInserted;
+    }
+    // Stash tail. The root stripes have been held continuously since
+    // ConcurrentTryPlace proved all-ones and nothing placed since, so the
+    // kDisabled stash screen's precondition holds exactly as in the
+    // single-writer path; the flags land on the held roots themselves.
+    uint64_t expect_zero = 0;
+    first_failure_items_.CompareExchange(expect_zero, ApproxTotalItems() + 1);
+    ls.AcquireAux();
+    SeqOpenAuxIn(ws);
+    stash_.Insert(key, value);
+    if (opts_.stash_kind == StashKind::kOffchip) {
+      for (uint32_t t = 0; t < opts_.num_hashes; ++t) {
+        ConcurrentSetFlag(ws, cand.idx[t]);
+      }
+    } else if (stash_.size() > opts_.onchip_stash_capacity) {
+      forced_rehash_events_.FetchAdd(1);
+    }
+    return opts_.stash_enabled ? InsertResult::kStashed
+                               : InsertResult::kFailed;
+  }
 
  private:
   /// Charges one stash probe: an off-chip read for the paper's off-chip
@@ -1769,8 +2432,10 @@ class McCuckooTable {
     stale_stash_flag_keys_ = rebuilt.stale_stash_flag_keys_;
     forced_rehash_events_ = rebuilt.forced_rehash_events_;
     ++rehash_epoch_;
-    // seq_, seq_open_, retired_ and growth_ deliberately keep this
-    // table's values (the policy's backoff/reseed state spans rebuilds).
+    // seq_, seq_open_, locks_, retired_ and growth_ deliberately keep this
+    // table's values (the policy's backoff/reseed state spans rebuilds, and
+    // the seqlock/lock-stripe attachments belong to the wrapper, not the
+    // scratch rebuild).
   }
 
   TableOptions opts_;
@@ -1805,6 +2470,11 @@ class McCuckooTable {
   // stripes the in-flight mutation holds odd until its SeqFlush().
   SeqlockArray* seq_ = nullptr;
   SeqlockWriterSet seq_open_;
+  // Multi-writer support: non-owning striped writer-lock array attached by
+  // the multi-writer wrapper (null in single-writer use). Congruent with
+  // seq_ by construction (both size via SeqlockArray::StripesFor), so a
+  // held lock stripe owns exactly one seqlock stripe's writer rights.
+  LockStripeArray* locks_ = nullptr;
   // Storage epochs retired by Rehash while a seqlock was attached. Never
   // accessed again (the CounterArray's stats pointer inside is dangling by
   // design) — held only so lagging optimistic readers dereference live
@@ -1815,17 +2485,21 @@ class McCuckooTable {
   };
   std::vector<RetiredStorage> retired_;
 
-  size_t size_ = 0;
-  uint64_t first_collision_items_ = 0;
-  uint64_t first_failure_items_ = 0;
-  uint64_t redundant_writes_ = 0;
-  uint64_t stale_stash_flag_keys_ = 0;
-  uint64_t forced_rehash_events_ = 0;
+  // Lifetime counters. MovableAtomic so the concurrent paths can update
+  // them with real RMWs while every single-writer use site keeps its plain
+  // ++/+=/= spelling (non-RMW loads and stores, byte-identical codegen on
+  // the hot single-writer paths).
+  MovableAtomic<size_t> size_ = 0;
+  MovableAtomic<uint64_t> first_collision_items_ = 0;
+  MovableAtomic<uint64_t> first_failure_items_ = 0;
+  MovableAtomic<uint64_t> redundant_writes_ = 0;
+  MovableAtomic<uint64_t> stale_stash_flag_keys_ = 0;
+  MovableAtomic<uint64_t> forced_rehash_events_ = 0;
   // Auto-growth engine: the policy state machine and the commit counter
   // the batched insert path uses to detect mid-batch geometry changes.
   // Both survive Rehash commits (see CommitRebuildLockFree).
   GrowthPolicy growth_;
-  uint64_t rehash_epoch_ = 0;
+  MovableAtomic<uint64_t> rehash_epoch_ = 0;
 };
 
 }  // namespace mccuckoo

@@ -98,13 +98,26 @@ enum class OptimisticResult : uint8_t { kHit, kMiss, kContended };
 /// reads first.
 enum class ReadMode : uint8_t { kLocked, kOptimistic };
 
-/// Striped seqlock version array. Single writer per table (enforced by the
-/// wrapper's writer mutex); any number of concurrent readers.
+/// Striped seqlock version array. One writer per *stripe* at a time — either
+/// the table-wide writer mutex of the single-writer wrappers, or ownership of
+/// the congruent LockStripeArray stripe in the multi-writer wrappers — with
+/// any number of concurrent readers. The non-RMW WriteBegin/WriteEnd bumps
+/// stay valid under multiple writers precisely because the writer-lock
+/// stripes partition buckets identically to these version stripes.
 class SeqlockArray {
  public:
   /// Stripe-count cap: 1024 cells = 4 KB of versions, enough granularity
   /// that a writer invalidates ~0.1% of the key space per touched bucket.
   static constexpr size_t kMaxStripes = 1024;
+
+  /// Stripe count for a bucket-count hint: min(next_pow2(buckets), cap).
+  /// Public so sibling striped structures (LockStripeArray) can size
+  /// themselves congruently — the multi-writer protocol requires the writer
+  /// locks and the seqlock versions to partition buckets identically.
+  static size_t StripesFor(size_t buckets) {
+    const size_t stripes = std::bit_ceil(buckets == 0 ? size_t{1} : buckets);
+    return stripes > kMaxStripes ? kMaxStripes : stripes;
+  }
 
   /// Builds an array of min(next_pow2(buckets), kMaxStripes) stripes plus
   /// the auxiliary cell. `buckets` is a sizing hint only — the mask mapping
@@ -191,10 +204,6 @@ class SeqlockArray {
   // single writer).
   static constexpr size_t kCellsPerBlock = 16;
 
-  static size_t StripesFor(size_t buckets) {
-    const size_t stripes = std::bit_ceil(buckets == 0 ? size_t{1} : buckets);
-    return stripes > kMaxStripes ? kMaxStripes : stripes;
-  }
   struct alignas(64) CellBlock {
     std::atomic<uint32_t> v[kCellsPerBlock];
     CellBlock() {
@@ -221,23 +230,38 @@ class SeqlockArray {
 class SeqlockWriterSet {
  public:
   void Open(SeqlockArray& arr, size_t stripe) {
-    for (size_t s : open_) {
+    for (size_t i = 0; i < inline_n_; ++i) {
+      if (inline_[i] == stripe) return;
+    }
+    for (size_t s : spill_) {
       if (s == stripe) return;
     }
     arr.WriteBegin(stripe);
-    open_.push_back(stripe);
+    if (inline_n_ < kInline) {
+      inline_[inline_n_++] = stripe;
+    } else {
+      spill_.push_back(stripe);
+    }
   }
 
   void CloseAll(SeqlockArray& arr) {
-    for (size_t s : open_) arr.WriteEnd(s);
-    open_.clear();
+    for (size_t i = 0; i < inline_n_; ++i) arr.WriteEnd(inline_[i]);
+    for (size_t s : spill_) arr.WriteEnd(s);
+    inline_n_ = 0;
+    spill_.clear();
   }
 
-  bool empty() const { return open_.empty(); }
-  size_t size() const { return open_.size(); }
+  bool empty() const { return inline_n_ == 0 && spill_.empty(); }
+  size_t size() const { return inline_n_ + spill_.size(); }
 
  private:
-  std::vector<size_t> open_;
+  // Inline storage keeps the per-operation writer sets of the multi-writer
+  // paths (constructed fresh each op) off the heap; long rehash-time window
+  // sets spill into the vector, which stays unallocated until then.
+  static constexpr size_t kInline = 16;
+  size_t inline_[kInline];
+  size_t inline_n_ = 0;
+  std::vector<size_t> spill_;
 };
 
 /// RAII TSan scope for the (intentionally racy, validated-after) data loads

@@ -26,6 +26,15 @@
 // reads the growing shard's rehash commits under its aux seqlock stripe
 // so that shard's readers never block either. Aggregate metrics sum the
 // per-shard growth counters; growth_suppressed counts degraded shards.
+//
+// WriteMode::kMultiWriter additionally runs writers concurrently *within*
+// one shard: writers take the shard mutex SHARED and serialize per bucket
+// through the shard's striped locks (src/core/lock_stripes.h), growth
+// escalates to the exclusive side plus a full stripe drain, and — since the
+// shared shard lock no longer excludes writers — readers fall back to the
+// table's FindStriped (candidate-stripe locks + rehash-epoch revalidation)
+// instead of the shared-lock FindNoStats. Demoted to kSingleWriter when the
+// table type has no concurrent write path.
 
 #ifndef MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
 #define MCCUCKOO_CORE_SHARDED_MCCUCKOO_H_
@@ -36,6 +45,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <thread>
@@ -46,6 +56,7 @@
 #include "src/common/bits.h"
 #include "src/common/rng.h"
 #include "src/core/config.h"
+#include "src/core/lock_stripes.h"
 #include "src/core/seqlock.h"
 #include "src/mem/access_stats.h"
 #include "src/obs/metrics.h"
@@ -67,6 +78,17 @@ class ShardedMcCuckoo {
   static constexpr bool kOptimisticCapable =
       std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>;
 
+  /// Whether the table type exposes the striped-lock concurrent write path
+  /// (McCuckooTable does; tables without it demote kMultiWriter requests).
+  static constexpr bool kMultiWriterCapable =
+      requires(Table& t, const Key& k, const Value& v, std::mutex& m,
+               bool* w) {
+        t.ConcurrentInsert(k, v, m, w);
+        t.ConcurrentInsertOrAssign(k, v, m, w);
+        t.ConcurrentErase(k);
+        t.FindStriped(k, nullptr);
+      };
+
   /// Optimistic attempts per read before the shared-lock fallback (see
   /// OneWriterManyReaders::kMaxOptimisticSpins).
   static constexpr int kMaxOptimisticSpins = 3;
@@ -75,12 +97,17 @@ class ShardedMcCuckoo {
   /// the *aggregate* table: each shard gets ~1/num_shards of the buckets,
   /// its own decorrelated seed, and the same policy knobs. `read_mode`
   /// opts every shard into seqlock-validated lock-free reads; it demotes
-  /// to kLocked when the key/value types cannot support them.
+  /// to kLocked when the key/value types cannot support them. `write_mode`
+  /// opts every shard into concurrent writers under its striped locks; it
+  /// demotes to kSingleWriter when the table type has no concurrent path.
   ShardedMcCuckoo(const TableOptions& options, size_t num_shards,
-                  ReadMode read_mode = ReadMode::kLocked)
+                  ReadMode read_mode = ReadMode::kLocked,
+                  WriteMode write_mode = WriteMode::kSingleWriter)
       : shard_bits_(FloorLog2(num_shards)),
         route_seed_(SplitMix64(options.seed ^ 0x9E3779B97F4A7C15ull)),
-        read_mode_(kOptimisticCapable ? read_mode : ReadMode::kLocked) {
+        read_mode_(kOptimisticCapable ? read_mode : ReadMode::kLocked),
+        write_mode_(kMultiWriterCapable ? write_mode
+                                        : WriteMode::kSingleWriter) {
     assert(num_shards >= 1 && (num_shards & (num_shards - 1)) == 0);
     shards_.reserve(num_shards);
     TableOptions shard_opts = options;
@@ -90,6 +117,16 @@ class ShardedMcCuckoo {
       shard_opts.seed =
           SplitMix64(options.seed + 0xA24BAED4963EE407ull * (i + 1));
       shards_.push_back(std::make_unique<Shard>(shard_opts, read_mode_));
+      if constexpr (kMultiWriterCapable) {
+        if (write_mode_ == WriteMode::kMultiWriter) {
+          Shard& s = *shards_.back();
+          // Concurrent writers also need the seqlock attached: their
+          // counter/bucket mutations must land inside version windows even
+          // when readers are on the striped-lock path.
+          s.table.AttachSeqlock(&s.seq);
+          s.table.AttachLockStripes(&s.locks);
+        }
+      }
     }
   }
 
@@ -97,6 +134,9 @@ class ShardedMcCuckoo {
 
   /// The reader policy actually in effect (post type-capability demotion).
   ReadMode read_mode() const { return read_mode_; }
+
+  /// The writer policy actually in effect (post table-capability demotion).
+  WriteMode write_mode() const { return write_mode_; }
 
   /// Shard index of `key` (top shard_bits_ of the routing hash).
   size_t ShardOf(const Key& key) const {
@@ -109,18 +149,50 @@ class ShardedMcCuckoo {
 
   InsertResult Insert(const Key& key, const Value& value) {
     Shard& s = *shards_[ShardOf(key)];
+    if constexpr (kMultiWriterCapable) {
+      if (write_mode_ == WriteMode::kMultiWriter) {
+        bool wants_growth = false;
+        InsertResult r;
+        {
+          std::shared_lock lock(s.mutex);
+          r = s.table.ConcurrentInsert(key, value, s.growth_mu,
+                                       &wants_growth);
+        }
+        if (wants_growth) GrowShardExclusive(s);
+        return r;
+      }
+    }
     std::unique_lock lock(s.mutex);
     return s.table.Insert(key, value);
   }
 
   InsertResult InsertOrAssign(const Key& key, const Value& value) {
     Shard& s = *shards_[ShardOf(key)];
+    if constexpr (kMultiWriterCapable) {
+      if (write_mode_ == WriteMode::kMultiWriter) {
+        bool wants_growth = false;
+        InsertResult r;
+        {
+          std::shared_lock lock(s.mutex);
+          r = s.table.ConcurrentInsertOrAssign(key, value, s.growth_mu,
+                                               &wants_growth);
+        }
+        if (wants_growth) GrowShardExclusive(s);
+        return r;
+      }
+    }
     std::unique_lock lock(s.mutex);
     return s.table.InsertOrAssign(key, value);
   }
 
   bool Erase(const Key& key) {
     Shard& s = *shards_[ShardOf(key)];
+    if constexpr (kMultiWriterCapable) {
+      if (write_mode_ == WriteMode::kMultiWriter) {
+        std::shared_lock lock(s.mutex);
+        return s.table.ConcurrentErase(key);
+      }
+    }
     std::unique_lock lock(s.mutex);
     return s.table.Erase(key);
   }
@@ -141,6 +213,13 @@ class ShardedMcCuckoo {
           if (attempt < kMaxOptimisticSpins) std::this_thread::yield();
         }
         if constexpr (kMetricsEnabled) s.optimistic_fallbacks.Inc();
+      }
+    }
+    if constexpr (kMultiWriterCapable) {
+      if (write_mode_ == WriteMode::kMultiWriter) {
+        // The shared shard lock no longer excludes writers; the striped
+        // fallback waits only for writers on this key's own candidates.
+        return s.table.FindStriped(key, out);
       }
     }
     std::shared_lock lock(s.mutex);
@@ -178,6 +257,12 @@ class ShardedMcCuckoo {
         if constexpr (kOptimisticCapable) {
           if (read_mode_ == ReadMode::kOptimistic) {
             hits += OptimisticGroupFind(sh, group, group_vals, group_found);
+            done = true;
+          }
+        }
+        if constexpr (kMultiWriterCapable) {
+          if (!done && write_mode_ == WriteMode::kMultiWriter) {
+            hits += StripedGroupFind(sh, group, group_vals, group_found);
             done = true;
           }
         }
@@ -221,10 +306,32 @@ class ShardedMcCuckoo {
       shard_results.resize(n);
       {
         Shard& sh = *shards_[s];
-        std::unique_lock lock(sh.mutex);
-        sh.table.InsertBatch(std::span<const Key>(shard_keys.data(), n),
-                             std::span<const Value>(shard_vals.data(), n),
-                             shard_results.data());
+        bool handled = false;
+        if constexpr (kMultiWriterCapable) {
+          if (write_mode_ == WriteMode::kMultiWriter) {
+            // Concurrent inserts under one shared-lock span; growth
+            // requests are coalesced and served after the span (the
+            // single-writer batch pipeline assumes writer exclusion).
+            bool wants_growth = false;
+            {
+              std::shared_lock lock(sh.mutex);
+              for (size_t j = 0; j < n; ++j) {
+                bool wg = false;
+                shard_results[j] = sh.table.ConcurrentInsert(
+                    shard_keys[j], shard_vals[j], sh.growth_mu, &wg);
+                wants_growth = wants_growth || wg;
+              }
+            }
+            if (wants_growth) GrowShardExclusive(sh);
+            handled = true;
+          }
+        }
+        if (!handled) {
+          std::unique_lock lock(sh.mutex);
+          sh.table.InsertBatch(std::span<const Key>(shard_keys.data(), n),
+                               std::span<const Value>(shard_vals.data(), n),
+                               shard_results.data());
+        }
       }
       if (results != nullptr) {
         for (size_t j = 0; j < n; ++j) {
@@ -249,7 +356,7 @@ class ShardedMcCuckoo {
     size_t total = 0;
     for (const auto& s : shards_) {
       std::shared_lock lock(s->mutex);
-      total += s->table.stash_size();
+      total += ShardStashSize(*s);
     }
     return total;
   }
@@ -258,7 +365,7 @@ class ShardedMcCuckoo {
     size_t total = 0;
     for (const auto& s : shards_) {
       std::shared_lock lock(s->mutex);
-      total += s->table.TotalItems();
+      total += s->table.size() + ShardStashSize(*s);
     }
     return total;
   }
@@ -291,11 +398,13 @@ class ShardedMcCuckoo {
   }
 
   /// Component-wise sum of all shards' metrics (histograms merge bucket-
-  /// wise; occupancy/capacity gauges sum to the aggregate view).
+  /// wise; occupancy/capacity gauges sum to the aggregate view). Takes each
+  /// shard's lock exclusively: in multi-writer mode the shared side no
+  /// longer excludes writers, and exact totals need a quiesced shard.
   MetricsSnapshot metrics_snapshot() const {
     MetricsSnapshot merged;
     for (const auto& s : shards_) {
-      std::shared_lock lock(s->mutex);
+      std::unique_lock lock(s->mutex);
       merged += s->table.SnapshotMetrics();
       merged.optimistic_retries += s->optimistic_retries.Value();
       merged.optimistic_fallbacks += s->optimistic_fallbacks.Value();
@@ -306,7 +415,7 @@ class ShardedMcCuckoo {
   /// One shard's metrics snapshot (testing / per-shard dashboards).
   MetricsSnapshot shard_metrics_snapshot(size_t shard) const {
     const Shard& s = *shards_[shard];
-    std::shared_lock lock(s.mutex);
+    std::unique_lock lock(s.mutex);
     MetricsSnapshot snap = s.table.SnapshotMetrics();
     snap.optimistic_retries = s.optimistic_retries.Value();
     snap.optimistic_fallbacks = s.optimistic_fallbacks.Value();
@@ -316,11 +425,14 @@ class ShardedMcCuckoo {
   /// Exclusive access to one shard's table (setup/validation only). In
   /// optimistic mode the shard's aux stripe is held for `fn`'s duration,
   /// forcing lock-free readers onto the shared lock while `fn` may
-  /// restructure storage (e.g. Rehash).
+  /// restructure storage (e.g. Rehash); in multi-writer mode every stripe
+  /// is additionally drained so striped readers quiesce too.
   template <typename Fn>
   auto WithExclusiveShard(size_t shard, Fn&& fn) {
     Shard& s = *shards_[shard];
     std::unique_lock lock(s.mutex);
+    std::optional<LockStripeDrain> drain;
+    if (write_mode_ == WriteMode::kMultiWriter) drain.emplace(s.locks);
     struct AuxGuard {
       SeqlockArray* seq;
       explicit AuxGuard(SeqlockArray* s_) : seq(s_) {
@@ -329,7 +441,10 @@ class ShardedMcCuckoo {
       ~AuxGuard() {
         if (seq != nullptr) seq->WriteEnd(seq->aux_stripe());
       }
-    } guard(read_mode_ == ReadMode::kOptimistic ? &s.seq : nullptr);
+    } guard(read_mode_ == ReadMode::kOptimistic ||
+                    write_mode_ == WriteMode::kMultiWriter
+                ? &s.seq
+                : nullptr);
     return std::forward<Fn>(fn)(s.table);
   }
 
@@ -339,15 +454,58 @@ class ShardedMcCuckoo {
   // &seq stays stable for the table's attached pointer.
   struct alignas(64) Shard {
     Shard(const TableOptions& options, ReadMode mode)
-        : table(options), seq(table.seqlock_domain()) {
+        : table(options),
+          seq(table.seqlock_domain()),
+          locks(table.seqlock_domain()) {
       if (mode == ReadMode::kOptimistic) table.AttachSeqlock(&seq);
+      // In WriteMode::kMultiWriter the wrapper additionally attaches seq
+      // and locks (the attach hook only exists on capable table types).
     }
     mutable std::shared_mutex mutex;
     Table table;
     SeqlockArray seq;
+    // Striped writer locks + growth serialization for kMultiWriter shards
+    // (constructed always — a few cache lines — attached only when used).
+    LockStripeArray locks;
+    std::mutex growth_mu;
     mutable Counter optimistic_retries;
     mutable Counter optimistic_fallbacks;
   };
+
+  /// Stash size of one shard under its (at least shared) lock: exact in
+  /// single-writer mode, an annotated estimate under concurrent writers.
+  size_t ShardStashSize(const Shard& s) const {
+    if constexpr (kMultiWriterCapable) {
+      if (write_mode_ == WriteMode::kMultiWriter) {
+        return s.table.ApproxStashSize();
+      }
+    }
+    return s.table.stash_size();
+  }
+
+  /// Per-key striped lookup for one shard's batch group (multi-writer
+  /// mode: the shared shard lock would not exclude writers, so the batch
+  /// pipeline's unlocked probes are off the table).
+  size_t StripedGroupFind(const Shard& sh, std::span<const Key> keys,
+                          Value* out, bool* found) const {
+    size_t hits = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Value* o = out != nullptr ? out + i : nullptr;
+      const bool hit = sh.table.FindStriped(keys[i], o);
+      if (found != nullptr) found[i] = hit;
+      if (hit) ++hits;
+    }
+    return hits;
+  }
+
+  /// Escalates one shard to full exclusivity (unique shard lock + stripe
+  /// drain) and runs its growth engine; a no-op if a competing writer's
+  /// escalation already grew the shard (the policy re-decides inside).
+  void GrowShardExclusive(Shard& s) {
+    std::unique_lock lock(s.mutex);
+    LockStripeDrain drain(s.locks);
+    s.table.MaybeGrowExclusive();
+  }
 
   /// Stable grouping of batch positions by destination shard:
   /// order[begin[s] .. begin[s] + CountOf(s)) are the indices routed to s,
@@ -382,9 +540,22 @@ class ShardedMcCuckoo {
       }
       if (r < 0) {
         if constexpr (kMetricsEnabled) sh.optimistic_fallbacks.Inc();
-        std::shared_lock lock(sh.mutex);
-        r = static_cast<int64_t>(
-            sh.table.FindBatchNoStats(tile, tile_out, tile_found));
+        bool striped = false;
+        if constexpr (kMultiWriterCapable) {
+          // Under multi-writer the shared shard lock no longer excludes
+          // writers, so the locked batch fallback would race them (the
+          // stash especially); fall back per key through the stripes.
+          if (write_mode_ == WriteMode::kMultiWriter) {
+            r = static_cast<int64_t>(
+                StripedGroupFind(sh, tile, tile_out, tile_found));
+            striped = true;
+          }
+        }
+        if (!striped) {
+          std::shared_lock lock(sh.mutex);
+          r = static_cast<int64_t>(
+              sh.table.FindBatchNoStats(tile, tile_out, tile_found));
+        }
       }
       hits += static_cast<size_t>(r);
     }
@@ -426,6 +597,7 @@ class ShardedMcCuckoo {
   size_t shard_bits_;
   uint64_t route_seed_;
   ReadMode read_mode_;
+  WriteMode write_mode_;
   Hasher hasher_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -209,6 +209,23 @@ std::string ExportPrometheus(const MetricsSnapshot& m, const AccessStats& stats,
   AppendSample(&out, "mccuckoo_optimistic_fallbacks_total", labels,
                m.optimistic_fallbacks);
 
+  AppendMeta(&out, "mccuckoo_writer_lock_acquisitions_total", "counter",
+             "Striped writer-lock acquisitions (multi-writer mode).");
+  AppendSample(&out, "mccuckoo_writer_lock_acquisitions_total", labels,
+               m.writer_lock_acquisitions);
+  AppendMeta(&out, "mccuckoo_writer_lock_contended_total", "counter",
+             "Writer-lock acquisitions that contended (a blocking wait or a "
+             "failed mid-chain try-lock).");
+  AppendSample(&out, "mccuckoo_writer_lock_contended_total", labels,
+               m.writer_lock_contended);
+  AppendMeta(&out, "mccuckoo_writer_chain_handoffs_total", "counter",
+             "Kick-chain bucket claims (claim-then-move hand-offs).");
+  AppendSample(&out, "mccuckoo_writer_chain_handoffs_total", labels,
+               m.writer_chain_handoffs);
+  AppendHistogram(&out, "mccuckoo_writer_lock_wait_ns", labels,
+                  m.writer_lock_wait_ns,
+                  "Nanoseconds per contended writer-lock acquisition.");
+
   AppendMeta(&out, "mccuckoo_growth_rehashes_total", "counter",
              "Auto-growth rehashes committed (capacity grows).");
   AppendSample(&out, "mccuckoo_growth_rehashes_total", labels,
@@ -313,6 +330,14 @@ std::string ExportJson(const MetricsSnapshot& m, const AccessStats& stats) {
   AppendJsonField(&out, "stash_misses", m.stash_misses, true);
   AppendJsonField(&out, "optimistic_retries", m.optimistic_retries, true);
   AppendJsonField(&out, "optimistic_fallbacks", m.optimistic_fallbacks, true);
+  AppendJsonField(&out, "writer_lock_acquisitions", m.writer_lock_acquisitions,
+                  true);
+  AppendJsonField(&out, "writer_lock_contended", m.writer_lock_contended,
+                  true);
+  AppendJsonField(&out, "writer_chain_handoffs", m.writer_chain_handoffs,
+                  true);
+  AppendJsonHistogram(&out, "writer_lock_wait_ns", m.writer_lock_wait_ns,
+                      true);
   AppendJsonField(&out, "growth_rehashes", m.growth_rehashes, true);
   AppendJsonField(&out, "growth_reseeds", m.growth_reseeds, true);
   AppendJsonField(&out, "growth_failures", m.growth_failures, true);
@@ -416,6 +441,15 @@ std::map<std::string, double> MetricsFlatEntries(const MetricsSnapshot& m,
   put("stash_misses", static_cast<double>(m.stash_misses));
   put("optimistic_retries", static_cast<double>(m.optimistic_retries));
   put("optimistic_fallbacks", static_cast<double>(m.optimistic_fallbacks));
+  put("writer_lock_acquisitions",
+      static_cast<double>(m.writer_lock_acquisitions));
+  put("writer_lock_contended", static_cast<double>(m.writer_lock_contended));
+  put("writer_chain_handoffs", static_cast<double>(m.writer_chain_handoffs));
+  if (m.writer_lock_wait_ns.count != 0) {
+    put("writer_lock_wait_ns.mean", m.writer_lock_wait_ns.Mean());
+    put("writer_lock_wait_ns.p99",
+        static_cast<double>(m.writer_lock_wait_ns.PercentileUpperBound(0.99)));
+  }
   put("growth_rehashes", static_cast<double>(m.growth_rehashes));
   put("growth_reseeds", static_cast<double>(m.growth_reseeds));
   put("growth_failures", static_cast<double>(m.growth_failures));

@@ -203,6 +203,17 @@ struct MetricsSnapshot {
   uint64_t optimistic_retries = 0;
   uint64_t optimistic_fallbacks = 0;
 
+  /// Multi-writer path (zero outside WriteMode::kMultiWriter): striped
+  /// writer-lock acquisitions, the subset that contended (a blocking wait
+  /// or a failed mid-chain try-lock), and successful kick-chain bucket
+  /// claims (the claim-then-move hand-offs).
+  uint64_t writer_lock_acquisitions = 0;
+  uint64_t writer_lock_contended = 0;
+  uint64_t writer_chain_handoffs = 0;
+  /// Nanoseconds per *contended* blocking stripe acquisition (uncontended
+  /// acquisitions never read the clock and are not recorded).
+  HistogramSnapshot writer_lock_wait_ns;
+
   /// Auto-growth engine (zero while growth is disabled and unpressured).
   uint64_t growth_rehashes = 0;   ///< Rehashes the engine committed.
   uint64_t growth_reseeds = 0;    ///< Subset that rotated the seed in place.
@@ -257,6 +268,10 @@ struct MetricsSnapshot {
     stash_misses += o.stash_misses;
     optimistic_retries += o.optimistic_retries;
     optimistic_fallbacks += o.optimistic_fallbacks;
+    writer_lock_acquisitions += o.writer_lock_acquisitions;
+    writer_lock_contended += o.writer_lock_contended;
+    writer_chain_handoffs += o.writer_chain_handoffs;
+    writer_lock_wait_ns += o.writer_lock_wait_ns;
     growth_rehashes += o.growth_rehashes;
     growth_reseeds += o.growth_reseeds;
     growth_failures += o.growth_failures;
@@ -388,6 +403,10 @@ struct TableMetrics {
   Counter growth_reseeds;
   Counter growth_failures;
   Gauge growth_suppressed;
+  Counter writer_lock_acquisitions;
+  Counter writer_lock_contended;
+  Counter writer_chain_handoffs;
+  Log2Histogram writer_lock_wait_ns;
 
   void RecordInsert(uint64_t chain_len, uint64_t ns) {
     kick_chain_len.Record(chain_len);
@@ -455,6 +474,19 @@ struct TableMetrics {
 
   void SetGrowthSuppressed(bool on) { growth_suppressed.Set(on ? 1 : 0); }
 
+  /// One operation's striped writer-lock tallies, flushed in a single call
+  /// (LockStripeSet::ReleaseAll) so the uncontended lock/unlock fast path
+  /// carries no per-stripe atomic RMWs.
+  void RecordWriterLocks(uint64_t acquired, uint64_t contended,
+                         uint64_t chain_handoffs) {
+    if (acquired != 0) writer_lock_acquisitions.Inc(acquired);
+    if (contended != 0) writer_lock_contended.Inc(contended);
+    if (chain_handoffs != 0) writer_chain_handoffs.Inc(chain_handoffs);
+  }
+
+  /// One contended blocking stripe acquisition took `ns` wall-clock.
+  void RecordWriterLockWait(uint64_t ns) { writer_lock_wait_ns.Record(ns); }
+
   /// Operation counters are derived, not separately maintained, so the
   /// "count" invariants in MetricsSnapshot hold by construction. Gauges
   /// (occupancy/capacity) are left zero — the owning table fills them.
@@ -494,6 +526,10 @@ struct TableMetrics {
     s.growth_reseeds = growth_reseeds.Value();
     s.growth_failures = growth_failures.Value();
     s.growth_suppressed = growth_suppressed.Value();
+    s.writer_lock_acquisitions = writer_lock_acquisitions.Value();
+    s.writer_lock_contended = writer_lock_contended.Value();
+    s.writer_chain_handoffs = writer_chain_handoffs.Value();
+    s.writer_lock_wait_ns = writer_lock_wait_ns.Snapshot();
     return s;
   }
 
@@ -526,6 +562,10 @@ struct TableMetrics {
     // Sticky OR: merging a fresh rebuild's metrics must not clear a
     // degraded state this table already reported.
     if (o.growth_suppressed.Value() != 0) growth_suppressed.Set(1);
+    writer_lock_acquisitions.Inc(o.writer_lock_acquisitions.Value());
+    writer_lock_contended.Inc(o.writer_lock_contended.Value());
+    writer_chain_handoffs.Inc(o.writer_chain_handoffs.Value());
+    writer_lock_wait_ns.MergeFrom(o.writer_lock_wait_ns);
   }
 
   void Reset() {
@@ -545,6 +585,10 @@ struct TableMetrics {
     growth_reseeds.Reset();
     growth_failures.Reset();
     growth_suppressed.Set(0);
+    writer_lock_acquisitions.Reset();
+    writer_lock_contended.Reset();
+    writer_chain_handoffs.Reset();
+    writer_lock_wait_ns.Reset();
   }
 };
 
@@ -645,6 +689,8 @@ struct TableMetrics {
   void RecordGrowthRehash(bool) {}
   void RecordGrowthFailure() {}
   void SetGrowthSuppressed(bool) {}
+  void RecordWriterLocks(uint64_t, uint64_t, uint64_t) {}
+  void RecordWriterLockWait(uint64_t) {}
   MetricsSnapshot Snapshot() const { return {}; }
   void MergeFrom(const TableMetrics&) {}
   void Reset() {}
