@@ -1,0 +1,234 @@
+// End-to-end cache-server throughput over loopback TCP.
+//
+// Starts an in-process CacheServer, drives it with blocking clients from
+// this process, and measures four phases:
+//
+//   get    one key per request (request/response round trip per key)
+//   mget   the same lookups batched --batch keys per MGET frame
+//   set    value writes
+//   mixed  90/10 GET/SET Zipf stream (GenerateZipfMixStream)
+//
+// Every phase records per-key throughput plus p50/p99/p999 of the
+// *request* latency (per round trip; an MGET round trip covers --batch
+// keys) into BENCH_throughput.json under "server.". The interesting
+// number is mget vs get: batching is the protocol-level analogue of the
+// table's FindBatch, and the CI gate asserts server.mget.ops >=
+// 1.3 * server.get.ops — if batched GETs stop paying for themselves, the
+// pipeline into FindBatch has regressed.
+//
+// All keys are "k%016llx" renderings of SplitMix64-scrambled Zipf ranks,
+// so popularity skew and table placement stay independent (same trick as
+// the opstream generator).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/obs/timing.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/workload/opstream.h"
+#include "src/workload/zipf.h"
+
+namespace {
+
+using mccuckoo::Flags;
+using mccuckoo::NowNs;
+using mccuckoo::server::CacheClient;
+using mccuckoo::server::CacheServer;
+using mccuckoo::server::MgetResult;
+using mccuckoo::server::ServerOptions;
+
+std::string KeyFor(uint64_t scrambled) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%016" PRIx64, scrambled);
+  return std::string(buf);
+}
+
+struct PhaseResult {
+  double ops = 0;   // keys (or writes) per second
+  double p50 = 0;   // request-latency percentiles, nanoseconds
+  double p99 = 0;
+  double p999 = 0;
+};
+
+PhaseResult Summarize(std::vector<uint64_t>* lat_ns, uint64_t keys_done,
+                      uint64_t elapsed_ns) {
+  PhaseResult r;
+  r.ops = elapsed_ns == 0 ? 0
+                          : static_cast<double>(keys_done) * 1e9 /
+                                static_cast<double>(elapsed_ns);
+  if (!lat_ns->empty()) {
+    std::sort(lat_ns->begin(), lat_ns->end());
+    const auto pct = [&](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(lat_ns->size() - 1) + 0.5);
+      return static_cast<double>((*lat_ns)[idx]);
+    };
+    r.p50 = pct(0.50);
+    r.p99 = pct(0.99);
+    r.p999 = pct(0.999);
+  }
+  return r;
+}
+
+void Record(mccuckoo::FlatJson* out, const std::string& phase,
+            const PhaseResult& r) {
+  (*out)["server." + phase + ".ops"] = r.ops;
+  (*out)["server." + phase + ".p50"] = r.p50;
+  (*out)["server." + phase + ".p99"] = r.p99;
+  (*out)["server." + phase + ".p999"] = r.p999;
+  std::printf("%-8s %12.0f ops/s   p50 %8.0f ns   p99 %8.0f ns   p999 %8.0f ns\n",
+              phase.c_str(), r.ops, r.p50, r.p99, r.p999);
+}
+
+int Die(const mccuckoo::Status& s, const char* where) {
+  std::fprintf(stderr, "%s: %s\n", where, s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  const uint64_t ops = static_cast<uint64_t>(flags.GetInt("ops", 200000));
+  const uint64_t key_universe =
+      static_cast<uint64_t>(flags.GetInt("keys", 1 << 15));
+  const size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 64));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 16));
+  const double theta = flags.GetDouble("theta", 0.99);
+
+  ServerOptions options;
+  options.threads = static_cast<int>(flags.GetInt("server-threads", 2));
+  options.store.initial_slots = key_universe * 2;
+  options.store.shards = 8;
+  CacheServer server(options);
+  if (mccuckoo::Status s = server.Start(); !s.ok()) return Die(s, "start");
+  std::printf("server on 127.0.0.1:%u, %" PRIu64 " ops x 4 phases, "
+              "%" PRIu64 " keys, theta %.2f\n",
+              server.port(), ops, key_universe, theta);
+
+  CacheClient client;
+  if (mccuckoo::Status s = client.Connect("127.0.0.1", server.port()); !s.ok())
+    return Die(s, "connect");
+
+  const std::string value(value_size, 'v');
+
+  // Preload every key so the GET phases measure hits.
+  for (uint64_t rank = 0; rank < key_universe; ++rank) {
+    if (mccuckoo::Status s = client.Set(KeyFor(mccuckoo::SplitMix64(rank)),
+                                        value);
+        !s.ok()) {
+      return Die(s, "preload set");
+    }
+  }
+
+  // One shared Zipf key sequence: get and mget fetch the *same* keys, so
+  // their throughput ratio isolates the framing difference.
+  mccuckoo::Xoshiro256 rng(42);
+  const mccuckoo::ZipfGenerator zipf(key_universe, theta);
+  std::vector<std::string> keys;
+  keys.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    keys.push_back(KeyFor(mccuckoo::SplitMix64(zipf.Sample(rng))));
+  }
+
+  mccuckoo::FlatJson out;
+  std::vector<uint64_t> lat;
+  lat.reserve(ops);
+
+  {  // ---- get: one key per round trip ---------------------------------
+    lat.clear();
+    std::string v;
+    bool found = false;
+    const uint64_t t0 = NowNs();
+    for (const std::string& k : keys) {
+      const uint64_t r0 = NowNs();
+      if (mccuckoo::Status s = client.Get(k, &v, &found); !s.ok())
+        return Die(s, "get");
+      lat.push_back(NowNs() - r0);
+    }
+    Record(&out, "get", Summarize(&lat, ops, NowNs() - t0));
+  }
+
+  {  // ---- mget: the same keys, `batch` per frame -----------------------
+    lat.clear();
+    std::vector<std::string> group;
+    std::vector<MgetResult> results;
+    const uint64_t t0 = NowNs();
+    for (size_t i = 0; i < keys.size(); i += batch) {
+      group.assign(keys.begin() + static_cast<ptrdiff_t>(i),
+                   keys.begin() +
+                       static_cast<ptrdiff_t>(std::min(i + batch, keys.size())));
+      const uint64_t r0 = NowNs();
+      if (mccuckoo::Status s = client.MGet(group, &results); !s.ok())
+        return Die(s, "mget");
+      lat.push_back(NowNs() - r0);
+    }
+    Record(&out, "mget", Summarize(&lat, ops, NowNs() - t0));
+  }
+
+  {  // ---- set ----------------------------------------------------------
+    lat.clear();
+    const uint64_t t0 = NowNs();
+    for (const std::string& k : keys) {
+      const uint64_t r0 = NowNs();
+      if (mccuckoo::Status s = client.Set(k, value); !s.ok())
+        return Die(s, "set");
+      lat.push_back(NowNs() - r0);
+    }
+    Record(&out, "set", Summarize(&lat, ops, NowNs() - t0));
+  }
+
+  {  // ---- mixed: 90/10 GET/SET Zipf stream -----------------------------
+    mccuckoo::ZipfMixConfig mix;
+    mix.key_universe = key_universe;
+    mix.theta = theta;
+    mix.set_fraction = 0.10;
+    const std::vector<mccuckoo::Op> stream =
+        mccuckoo::GenerateZipfMixStream(ops, mix);
+    lat.clear();
+    std::string v;
+    bool found = false;
+    const uint64_t t0 = NowNs();
+    for (const mccuckoo::Op& op : stream) {
+      const std::string k = KeyFor(op.key);
+      const uint64_t r0 = NowNs();
+      const mccuckoo::Status s = op.kind == mccuckoo::Op::Kind::kInsert
+                                     ? client.Set(k, value)
+                                     : client.Get(k, &v, &found);
+      if (!s.ok()) return Die(s, "mixed");
+      lat.push_back(NowNs() - r0);
+    }
+    Record(&out, "mixed", Summarize(&lat, ops, NowNs() - t0));
+  }
+
+  const double speedup = out["server.get.ops"] > 0
+                             ? out["server.mget.ops"] / out["server.get.ops"]
+                             : 0;
+  out["server.mget_over_get"] = speedup;
+  std::printf("mget/get speedup: %.2fx\n", speedup);
+
+  client.Close();
+  server.Stop();
+
+  const std::string path = mccuckoo::BenchJsonPath();
+  if (!mccuckoo::MergeFlatJson(path, "server.", out)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu 'server.*' entries to %s\n", out.size(),
+               path.c_str());
+  return 0;
+}

@@ -520,6 +520,120 @@ std::string ExportChromeTrace(const std::vector<Span>& spans,
   return out;
 }
 
+std::string ExportServerPrometheus(const ServerMetricsSnapshot& s,
+                                   const LabelList& labels) {
+  std::string out;
+  out.reserve(2048);
+  AppendMeta(&out, "mccuckoo_server_requests_total", "counter",
+             "Request frames dispatched, by opcode.");
+  for (size_t op = 0; op < kServerOps; ++op) {
+    LabelList with_op = labels;
+    with_op.emplace_back("op", kServerOpNames[op]);
+    AppendSample(&out, "mccuckoo_server_requests_total", with_op,
+                 s.requests[op]);
+  }
+  const std::pair<const char*, uint64_t> counters[] = {
+      {"mccuckoo_server_connections_accepted_total", s.connections_accepted},
+      {"mccuckoo_server_connections_closed_total", s.connections_closed},
+      {"mccuckoo_server_protocol_errors_total", s.protocol_errors},
+      {"mccuckoo_server_http_requests_total", s.http_requests},
+      {"mccuckoo_server_bytes_read_total", s.bytes_read},
+      {"mccuckoo_server_bytes_written_total", s.bytes_written},
+      {"mccuckoo_server_get_hits_total", s.get_hits},
+      {"mccuckoo_server_get_misses_total", s.get_misses},
+      {"mccuckoo_server_mget_keys_total", s.mget_keys},
+      {"mccuckoo_server_batched_lookups_total", s.batched_lookups},
+      {"mccuckoo_server_expired_lazy_total", s.expired_lazy},
+      {"mccuckoo_server_expired_swept_total", s.expired_swept},
+      {"mccuckoo_server_sweep_runs_total", s.sweep_runs},
+      {"mccuckoo_server_evictions_capacity_total", s.evictions_capacity},
+      {"mccuckoo_server_evictions_pressure_total", s.evictions_pressure},
+      {"mccuckoo_server_hash_collisions_total", s.hash_collisions},
+  };
+  for (const auto& [name, value] : counters) {
+    AppendMeta(&out, name, "counter", "Cache-server protocol counter.");
+    AppendSample(&out, name, labels, value);
+  }
+  AppendMeta(&out, "mccuckoo_server_items", "gauge",
+             "Live items in the item store.");
+  AppendSample(&out, "mccuckoo_server_items", labels, s.items);
+  AppendMeta(&out, "mccuckoo_server_bytes", "gauge",
+             "Key+value payload bytes held.");
+  AppendSample(&out, "mccuckoo_server_bytes", labels, s.bytes);
+  AppendMeta(&out, "mccuckoo_server_open_connections", "gauge",
+             "Currently connected client sockets.");
+  AppendSample(&out, "mccuckoo_server_open_connections", labels,
+               s.open_connections);
+  AppendMeta(&out, "mccuckoo_server_hit_ratio", "gauge",
+             "get_hits / (get_hits + get_misses).");
+  AppendGaugeDouble(&out, "mccuckoo_server_hit_ratio", labels, s.HitRatio());
+  return out;
+}
+
+std::string ExportServerJson(const ServerMetricsSnapshot& s) {
+  std::string out = "{\n";
+  out += "  \"requests\": {";
+  for (size_t op = 0; op < kServerOps; ++op) {
+    if (op > 0) out += ", ";
+    out += '"';
+    out += kServerOpNames[op];
+    out += "\": ";
+    out += std::to_string(s.requests[op]);
+  }
+  out += "},\n";
+  AppendJsonField(&out, "connections_accepted", s.connections_accepted, true);
+  AppendJsonField(&out, "connections_closed", s.connections_closed, true);
+  AppendJsonField(&out, "open_connections", s.open_connections, true);
+  AppendJsonField(&out, "protocol_errors", s.protocol_errors, true);
+  AppendJsonField(&out, "http_requests", s.http_requests, true);
+  AppendJsonField(&out, "bytes_read", s.bytes_read, true);
+  AppendJsonField(&out, "bytes_written", s.bytes_written, true);
+  AppendJsonField(&out, "get_hits", s.get_hits, true);
+  AppendJsonField(&out, "get_misses", s.get_misses, true);
+  AppendJsonField(&out, "mget_keys", s.mget_keys, true);
+  AppendJsonField(&out, "batched_lookups", s.batched_lookups, true);
+  AppendJsonField(&out, "expired_lazy", s.expired_lazy, true);
+  AppendJsonField(&out, "expired_swept", s.expired_swept, true);
+  AppendJsonField(&out, "sweep_runs", s.sweep_runs, true);
+  AppendJsonField(&out, "evictions_capacity", s.evictions_capacity, true);
+  AppendJsonField(&out, "evictions_pressure", s.evictions_pressure, true);
+  AppendJsonField(&out, "hash_collisions", s.hash_collisions, true);
+  AppendJsonField(&out, "items", s.items, true);
+  AppendJsonField(&out, "bytes", s.bytes, true);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  \"hit_ratio\": %.6g\n", s.HitRatio());
+  out += buf;
+  out += "}\n";
+  return out;
+}
+
+std::map<std::string, double> ServerFlatEntries(const ServerMetricsSnapshot& s,
+                                                const std::string& prefix) {
+  std::map<std::string, double> out;
+  auto put = [&](const std::string& name, double v) { out[prefix + name] = v; };
+  for (size_t op = 0; op < kServerOps; ++op) {
+    put(std::string("requests.") + kServerOpNames[op],
+        static_cast<double>(s.requests[op]));
+  }
+  put("connections_accepted", static_cast<double>(s.connections_accepted));
+  put("protocol_errors", static_cast<double>(s.protocol_errors));
+  put("bytes_read", static_cast<double>(s.bytes_read));
+  put("bytes_written", static_cast<double>(s.bytes_written));
+  put("get_hits", static_cast<double>(s.get_hits));
+  put("get_misses", static_cast<double>(s.get_misses));
+  put("mget_keys", static_cast<double>(s.mget_keys));
+  put("batched_lookups", static_cast<double>(s.batched_lookups));
+  put("expired_lazy", static_cast<double>(s.expired_lazy));
+  put("expired_swept", static_cast<double>(s.expired_swept));
+  put("evictions_capacity", static_cast<double>(s.evictions_capacity));
+  put("evictions_pressure", static_cast<double>(s.evictions_pressure));
+  put("hash_collisions", static_cast<double>(s.hash_collisions));
+  put("items", static_cast<double>(s.items));
+  put("bytes", static_cast<double>(s.bytes));
+  put("hit_ratio", s.HitRatio());
+  return out;
+}
+
 std::string ExportHeatmapJson(const HeatmapSnapshot& h) {
   std::string out = "{\n";
   char buf[96];

@@ -17,6 +17,7 @@
 #include "src/mem/access_stats.h"
 #include "src/obs/heatmap.h"
 #include "src/obs/metrics.h"
+#include "src/obs/server_metrics.h"
 #include "src/obs/span_recorder.h"
 #include "src/obs/trace_recorder.h"
 
@@ -68,6 +69,23 @@ std::string ExportChromeTrace(const std::vector<Span>& spans,
 /// JSON form of a heatmap snapshot: per-region occupancy (occupied /
 /// total slots), the counter-value distribution, and the totals.
 std::string ExportHeatmapJson(const HeatmapSnapshot& h);
+
+/// Prometheus text exposition of the cache server's connection/protocol
+/// counters (mccuckoo_server_* metric family). Appended after
+/// ExportPrometheus() on the server's /metrics route so one scrape carries
+/// both the table layer and the network layer.
+std::string ExportServerPrometheus(
+    const ServerMetricsSnapshot& s,
+    const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+/// JSON object of the same counters (the server's STATS opcode body and a
+/// "server" section of its /json route).
+std::string ExportServerJson(const ServerMetricsSnapshot& s);
+
+/// Flat "<prefix><metric>" -> value entries for the bench harness,
+/// mirroring MetricsFlatEntries.
+std::map<std::string, double> ServerFlatEntries(const ServerMetricsSnapshot& s,
+                                                const std::string& prefix);
 
 }  // namespace mccuckoo
 

@@ -1,0 +1,349 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mccuckoo {
+namespace server {
+
+namespace {
+
+Status MakeConnectedSocket(const std::string& host, uint16_t port, int* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string msg = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(msg);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = fd;
+  return Status::OK();
+}
+
+Status RespError(const Response& r) {
+  std::string detail(r.body);
+  switch (r.status) {
+    case RespStatus::kBadRequest:
+      return Status::InvalidArgument("server: bad request: " + detail);
+    case RespStatus::kTooLarge:
+      return Status::OutOfRange("server: too large: " + detail);
+    case RespStatus::kServerError:
+      return Status::Internal("server: " + detail);
+    default:
+      return Status::Internal("server: unexpected status " +
+                              std::to_string(static_cast<int>(r.status)));
+  }
+}
+
+}  // namespace
+
+CacheClient::~CacheClient() { Close(); }
+
+Status CacheClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::AlreadyExists("already connected");
+  return MakeConnectedSocket(host, port, &fd_);
+}
+
+void CacheClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  pipelined_ops_.clear();
+  recvbuf_.clear();
+}
+
+Status CacheClient::SendAll(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status CacheClient::ReadResponse(uint32_t expect_opaque, Response* resp,
+                                 std::string* storage) {
+  for (;;) {
+    Response r;
+    const ParseOutcome out = ParseResponse(recvbuf_, &r);
+    if (out.status == ParseStatus::kOk) {
+      if (r.opaque != expect_opaque) {
+        return Status::Internal(
+            "response opaque mismatch: expected " +
+            std::to_string(expect_opaque) + ", got " +
+            std::to_string(r.opaque));
+      }
+      // Copy the body out before the parse buffer is compacted.
+      storage->assign(r.body.data(), r.body.size());
+      resp->status = r.status;
+      resp->opaque = r.opaque;
+      resp->body = *storage;
+      recvbuf_.erase(0, out.consumed);
+      return Status::OK();
+    }
+    if (out.status == ParseStatus::kError) {
+      return Status::Internal(std::string("malformed response: ") +
+                              out.error_detail);
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server mid-response");
+    }
+    recvbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status CacheClient::Get(std::string_view key, std::string* value,
+                        bool* found) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const uint32_t opaque = NextOpaque();
+  std::string frame;
+  AppendGetRequest(&frame, key, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status == RespStatus::kOk) {
+    *found = true;
+    value->assign(r.body);
+    return Status::OK();
+  }
+  if (r.status == RespStatus::kNotFound) {
+    *found = false;
+    value->clear();
+    return Status::OK();
+  }
+  return RespError(r);
+}
+
+Status CacheClient::Set(std::string_view key, std::string_view value,
+                        uint32_t ttl_seconds) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const uint32_t opaque = NextOpaque();
+  std::string frame;
+  AppendSetRequest(&frame, key, value, ttl_seconds, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status == RespStatus::kOk) return Status::OK();
+  return RespError(r);
+}
+
+Status CacheClient::Del(std::string_view key, bool* existed) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const uint32_t opaque = NextOpaque();
+  std::string frame;
+  AppendDelRequest(&frame, key, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status == RespStatus::kOk) {
+    *existed = true;
+    return Status::OK();
+  }
+  if (r.status == RespStatus::kNotFound) {
+    *existed = false;
+    return Status::OK();
+  }
+  return RespError(r);
+}
+
+Status CacheClient::Touch(std::string_view key, uint32_t ttl_seconds,
+                          bool* found) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const uint32_t opaque = NextOpaque();
+  std::string frame;
+  AppendTouchRequest(&frame, key, ttl_seconds, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status == RespStatus::kOk) {
+    *found = true;
+    return Status::OK();
+  }
+  if (r.status == RespStatus::kNotFound) {
+    *found = false;
+    return Status::OK();
+  }
+  return RespError(r);
+}
+
+Status CacheClient::MGet(const std::vector<std::string>& keys,
+                         std::vector<MgetResult>* results) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  results->clear();
+  if (keys.empty()) return Status::OK();
+  const uint32_t opaque = NextOpaque();
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::string frame;
+  AppendMgetRequest(&frame, views, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status != RespStatus::kOk) return RespError(r);
+  std::vector<MgetEntry> entries;
+  if (!DecodeMgetBody(r.body, &entries)) {
+    return Status::Internal("malformed MGET response body");
+  }
+  if (entries.size() != keys.size()) {
+    return Status::Internal("MGET entry count mismatch: asked " +
+                            std::to_string(keys.size()) + ", got " +
+                            std::to_string(entries.size()));
+  }
+  results->reserve(entries.size());
+  for (const MgetEntry& e : entries) {
+    results->push_back({e.found, std::string(e.value)});
+  }
+  return Status::OK();
+}
+
+Status CacheClient::Stats(std::string* json) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const uint32_t opaque = NextOpaque();
+  std::string frame;
+  AppendStatsRequest(&frame, opaque);
+  if (Status s = SendAll(frame.data(), frame.size()); !s.ok()) return s;
+  Response r;
+  std::string storage;
+  if (Status s = ReadResponse(opaque, &r, &storage); !s.ok()) return s;
+  if (r.status != RespStatus::kOk) return RespError(r);
+  json->assign(r.body);
+  return Status::OK();
+}
+
+void CacheClient::PipelineGet(std::string_view key) {
+  AppendGetRequest(&sendbuf_, key, NextOpaque());
+  pipelined_ops_.push_back(Opcode::kGet);
+}
+
+void CacheClient::PipelineSet(std::string_view key, std::string_view value,
+                              uint32_t ttl_seconds) {
+  AppendSetRequest(&sendbuf_, key, value, ttl_seconds, NextOpaque());
+  pipelined_ops_.push_back(Opcode::kSet);
+}
+
+void CacheClient::PipelineDel(std::string_view key) {
+  AppendDelRequest(&sendbuf_, key, NextOpaque());
+  pipelined_ops_.push_back(Opcode::kDel);
+}
+
+Status CacheClient::FlushPipeline(std::vector<PipelinedResult>* results) {
+  results->clear();
+  if (pipelined_ops_.empty()) return Status::OK();
+  if (fd_ < 0) return Status::Internal("not connected");
+  const size_t count = pipelined_ops_.size();
+  // Responses come back in request order; the first queued opaque is the
+  // current counter minus how many we queued.
+  const uint32_t first_opaque = next_opaque_ - static_cast<uint32_t>(count);
+  const Status sent = SendAll(sendbuf_.data(), sendbuf_.size());
+  sendbuf_.clear();
+  std::vector<Opcode> ops;
+  ops.swap(pipelined_ops_);
+  if (!sent.ok()) return sent;
+  results->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Response r;
+    std::string storage;
+    if (Status s = ReadResponse(first_opaque + static_cast<uint32_t>(i), &r,
+                                &storage);
+        !s.ok()) {
+      return s;
+    }
+    results->push_back({ops[i], r.status, std::move(storage)});
+  }
+  return Status::OK();
+}
+
+Status CacheClient::HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, std::string* body,
+                            int* status_code) {
+  int fd = -1;
+  if (Status s = MakeConnectedSocket(host, port, &fd); !s.ok()) return s;
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::string raw;
+  Status result = Status::OK();
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      result = Status::IOError(std::string("send: ") + std::strerror(errno));
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (result.ok()) {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        raw.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) {
+        result =
+            Status::IOError(std::string("recv: ") + std::strerror(errno));
+      }
+      break;  // n == 0: server closed after the one-shot response.
+    }
+  }
+  ::close(fd);
+  if (!result.ok()) return result;
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response (no header terminator)");
+  }
+  if (status_code != nullptr) {
+    // "HTTP/1.1 200 OK" — the code sits after the first space.
+    const size_t sp = raw.find(' ');
+    *status_code = (sp != std::string::npos && sp + 4 <= header_end)
+                       ? std::atoi(raw.c_str() + sp + 1)
+                       : 0;
+  }
+  body->assign(raw, header_end + 4, std::string::npos);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace mccuckoo

@@ -1,0 +1,108 @@
+#include "src/server/handler.h"
+
+#include "src/obs/export.h"
+
+namespace mccuckoo {
+namespace server {
+
+void StoreHandler::ProcessGetRun(std::span<const Request> batch, size_t begin,
+                                 size_t end, std::string* out) {
+  keys_.clear();
+  for (size_t i = begin; i < end; ++i) keys_.push_back(batch[i].key);
+  store_->GetBatch(std::span<const std::string_view>(keys_.data(),
+                                                     keys_.size()),
+                   &values_, &found_);
+  for (size_t i = begin; i < end; ++i) {
+    const size_t j = i - begin;
+    if (found_[j] != 0) {
+      AppendResponse(out, RespStatus::kOk, batch[i].opaque, values_[j]);
+    } else {
+      AppendResponse(out, RespStatus::kNotFound, batch[i].opaque, "");
+    }
+  }
+}
+
+void StoreHandler::Process(std::span<const Request> batch, std::string* out) {
+  ServerMetrics& m = store_->metrics();
+  std::string scratch;
+  size_t i = 0;
+  while (i < batch.size()) {
+    const Request& r = batch[i];
+    m.RecordRequest(static_cast<size_t>(r.op) - 1);
+    switch (r.op) {
+      case Opcode::kGet: {
+        size_t j = i + 1;
+        while (j < batch.size() && batch[j].op == Opcode::kGet) ++j;
+        if (j - i >= 2) {
+          for (size_t k = i + 1; k < j; ++k) {
+            m.RecordRequest(static_cast<size_t>(Opcode::kGet) - 1);
+          }
+          ProcessGetRun(batch, i, j, out);
+          i = j;
+          continue;
+        }
+        scratch.clear();
+        if (store_->Get(r.key, &scratch)) {
+          AppendResponse(out, RespStatus::kOk, r.opaque, scratch);
+        } else {
+          AppendResponse(out, RespStatus::kNotFound, r.opaque, "");
+        }
+        break;
+      }
+
+      case Opcode::kMget: {
+        m.mget_keys.Inc(r.mget_keys.size());
+        store_->GetBatch(
+            std::span<const std::string_view>(r.mget_keys.data(),
+                                              r.mget_keys.size()),
+            &values_, &found_);
+        size_t body_len = 2;
+        for (size_t k = 0; k < r.mget_keys.size(); ++k) {
+          body_len += 5 + (found_[k] != 0 ? values_[k].size() : 0);
+        }
+        AppendMgetResponseHeader(out, r.opaque,
+                                 static_cast<uint16_t>(r.mget_keys.size()),
+                                 body_len);
+        for (size_t k = 0; k < r.mget_keys.size(); ++k) {
+          AppendMgetResponseEntry(out, found_[k] != 0, values_[k]);
+        }
+        break;
+      }
+
+      case Opcode::kSet: {
+        const Status st = store_->Set(r.key, r.value, r.ttl_seconds);
+        if (st.ok()) {
+          AppendResponse(out, RespStatus::kOk, r.opaque, "");
+        } else {
+          AppendResponse(out, RespStatus::kServerError, r.opaque,
+                         st.message());
+        }
+        break;
+      }
+
+      case Opcode::kDel:
+        AppendResponse(out,
+                       store_->Del(r.key) ? RespStatus::kOk
+                                          : RespStatus::kNotFound,
+                       r.opaque, "");
+        break;
+
+      case Opcode::kTouch:
+        AppendResponse(out,
+                       store_->Touch(r.key, r.ttl_seconds)
+                           ? RespStatus::kOk
+                           : RespStatus::kNotFound,
+                       r.opaque, "");
+        break;
+
+      case Opcode::kStats:
+        AppendResponse(out, RespStatus::kOk, r.opaque,
+                       ExportServerJson(store_->MetricsSnapshot()));
+        break;
+    }
+    ++i;
+  }
+}
+
+}  // namespace server
+}  // namespace mccuckoo

@@ -1,0 +1,47 @@
+// The production RequestSink: executes parsed requests against an
+// ItemStore, batching lookups.
+//
+// The GET coalescing here is the whole point of server-side pipelining in
+// this codebase: a run of consecutive GETs in one pipelined batch — and
+// every MGET — goes through ItemStore::GetBatch, which rides the sharded
+// FindBatch prefetch pipeline (PR 1's 1.8-2.6x over scalar probes), so a
+// client that pipelines N one-key GETs still gets batched table probes.
+
+#ifndef MCCUCKOO_SERVER_HANDLER_H_
+#define MCCUCKOO_SERVER_HANDLER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/server/connection.h"
+#include "src/server/item_store.h"
+#include "src/server/protocol.h"
+
+namespace mccuckoo {
+namespace server {
+
+class StoreHandler : public RequestSink {
+ public:
+  explicit StoreHandler(ItemStore* store) : store_(store) {}
+
+  void Process(std::span<const Request> batch, std::string* out) override;
+
+ private:
+  /// Answers batch[begin..end) — all GETs — through one GetBatch sweep.
+  void ProcessGetRun(std::span<const Request> batch, size_t begin, size_t end,
+                     std::string* out);
+
+  ItemStore* store_;
+  // Scratch reused across calls (a connection's handler runs on one
+  // thread; each connection gets its own Connection but shares this
+  // handler only within a worker — see server.cc, one handler per worker).
+  std::vector<std::string_view> keys_;
+  std::vector<std::string> values_;
+  std::vector<uint8_t> found_;
+};
+
+}  // namespace server
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_SERVER_HANDLER_H_

@@ -1,0 +1,282 @@
+#include "src/server/protocol.h"
+
+#include <cstring>
+
+namespace mccuckoo {
+namespace server {
+
+namespace {
+
+// Big-endian field accessors. The parser only ever reads within the bounds
+// it has already checked, so these helpers take pre-validated offsets.
+uint16_t LoadU16(const char* p) {
+  return static_cast<uint16_t>((static_cast<uint8_t>(p[0]) << 8) |
+                               static_cast<uint8_t>(p[1]));
+}
+
+uint32_t LoadU32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3]));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v & 0xFF));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v >> 24));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>(v & 0xFF));
+}
+
+void AppendHeader(std::string* out, uint8_t magic, uint8_t op_or_status,
+                  uint16_t key_len, uint32_t body_len, uint32_t opaque) {
+  out->push_back(static_cast<char>(magic));
+  out->push_back(static_cast<char>(op_or_status));
+  AppendU16(out, key_len);
+  AppendU32(out, body_len);
+  AppendU32(out, opaque);
+}
+
+ParseOutcome Error(RespStatus status, const char* detail) {
+  return ParseOutcome{ParseStatus::kError, 0, status, detail};
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kGet:   return "get";
+    case Opcode::kMget:  return "mget";
+    case Opcode::kSet:   return "set";
+    case Opcode::kDel:   return "del";
+    case Opcode::kTouch: return "touch";
+    case Opcode::kStats: return "stats";
+  }
+  return nullptr;
+}
+
+ParseOutcome ParseRequest(std::string_view buf, Request* out) {
+  *out = Request{};
+  if (buf.size() < kHeaderSize) return ParseOutcome{};  // kNeedMore
+  const char* h = buf.data();
+  const uint8_t magic = static_cast<uint8_t>(h[0]);
+  const uint8_t op = static_cast<uint8_t>(h[1]);
+  const uint16_t key_len = LoadU16(h + 2);
+  const uint32_t body_len = LoadU32(h + 4);
+  out->opaque = LoadU32(h + 8);
+  if (magic != kReqMagic) return Error(RespStatus::kBadRequest, "bad magic");
+  if (op < 1 || op > kNumOpcodes) {
+    return Error(RespStatus::kBadRequest, "unknown opcode");
+  }
+  if (key_len > kMaxKeyLen) return Error(RespStatus::kTooLarge, "key too long");
+  if (body_len > kMaxBodyLen) {
+    return Error(RespStatus::kTooLarge, "body too large");
+  }
+  if (buf.size() < kHeaderSize + body_len) return ParseOutcome{};  // kNeedMore
+  const std::string_view body = buf.substr(kHeaderSize, body_len);
+  out->op = static_cast<Opcode>(op);
+
+  switch (out->op) {
+    case Opcode::kGet:
+    case Opcode::kDel:
+      if (key_len == 0) return Error(RespStatus::kBadRequest, "empty key");
+      if (body_len != key_len) {
+        return Error(RespStatus::kBadRequest, "body/key length mismatch");
+      }
+      out->key = body;
+      break;
+
+    case Opcode::kSet: {
+      if (key_len == 0) return Error(RespStatus::kBadRequest, "empty key");
+      if (body_len < 4u + key_len) {
+        return Error(RespStatus::kBadRequest, "truncated SET body");
+      }
+      const size_t val_len = body_len - 4 - key_len;
+      if (val_len > kMaxValueLen) {
+        return Error(RespStatus::kTooLarge, "value too large");
+      }
+      out->ttl_seconds = LoadU32(body.data());
+      out->key = body.substr(4, key_len);
+      out->value = body.substr(4 + key_len);
+      break;
+    }
+
+    case Opcode::kTouch:
+      if (key_len == 0) return Error(RespStatus::kBadRequest, "empty key");
+      if (body_len != 4u + key_len) {
+        return Error(RespStatus::kBadRequest, "bad TOUCH body length");
+      }
+      out->ttl_seconds = LoadU32(body.data());
+      out->key = body.substr(4);
+      break;
+
+    case Opcode::kMget: {
+      if (key_len != 0) {
+        return Error(RespStatus::kBadRequest, "MGET carries no header key");
+      }
+      if (body_len < 2) {
+        return Error(RespStatus::kBadRequest, "truncated MGET body");
+      }
+      const size_t count = LoadU16(body.data());
+      if (count == 0) return Error(RespStatus::kBadRequest, "empty MGET");
+      if (count > kMaxMgetKeys) {
+        return Error(RespStatus::kTooLarge, "too many MGET keys");
+      }
+      out->mget_keys.reserve(count);
+      size_t off = 2;
+      for (size_t i = 0; i < count; ++i) {
+        if (off + 2 > body.size()) {
+          return Error(RespStatus::kBadRequest, "truncated MGET key length");
+        }
+        const size_t klen = LoadU16(body.data() + off);
+        off += 2;
+        if (klen == 0) return Error(RespStatus::kBadRequest, "empty MGET key");
+        if (klen > kMaxKeyLen) {
+          return Error(RespStatus::kTooLarge, "MGET key too long");
+        }
+        if (off + klen > body.size()) {
+          return Error(RespStatus::kBadRequest, "truncated MGET key");
+        }
+        out->mget_keys.push_back(body.substr(off, klen));
+        off += klen;
+      }
+      if (off != body.size()) {
+        return Error(RespStatus::kBadRequest, "trailing MGET bytes");
+      }
+      break;
+    }
+
+    case Opcode::kStats:
+      if (key_len != 0 || body_len != 0) {
+        return Error(RespStatus::kBadRequest, "STATS carries no body");
+      }
+      break;
+  }
+  return ParseOutcome{ParseStatus::kOk, kHeaderSize + body_len,
+                      RespStatus::kOk, ""};
+}
+
+ParseOutcome ParseResponse(std::string_view buf, Response* out) {
+  *out = Response{};
+  if (buf.size() < kHeaderSize) return ParseOutcome{};
+  const char* h = buf.data();
+  if (static_cast<uint8_t>(h[0]) != kRespMagic) {
+    return Error(RespStatus::kBadRequest, "bad response magic");
+  }
+  const uint8_t status = static_cast<uint8_t>(h[1]);
+  if (status > static_cast<uint8_t>(RespStatus::kServerError)) {
+    return Error(RespStatus::kBadRequest, "unknown response status");
+  }
+  const uint32_t body_len = LoadU32(h + 4);
+  if (body_len > kMaxBodyLen) {
+    return Error(RespStatus::kTooLarge, "response body too large");
+  }
+  if (buf.size() < kHeaderSize + body_len) return ParseOutcome{};
+  out->status = static_cast<RespStatus>(status);
+  out->opaque = LoadU32(h + 8);
+  out->body = buf.substr(kHeaderSize, body_len);
+  return ParseOutcome{ParseStatus::kOk, kHeaderSize + body_len,
+                      RespStatus::kOk, ""};
+}
+
+void AppendGetRequest(std::string* out, std::string_view key,
+                      uint32_t opaque) {
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kGet),
+               static_cast<uint16_t>(key.size()),
+               static_cast<uint32_t>(key.size()), opaque);
+  out->append(key);
+}
+
+void AppendSetRequest(std::string* out, std::string_view key,
+                      std::string_view value, uint32_t ttl_seconds,
+                      uint32_t opaque) {
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kSet),
+               static_cast<uint16_t>(key.size()),
+               static_cast<uint32_t>(4 + key.size() + value.size()), opaque);
+  AppendU32(out, ttl_seconds);
+  out->append(key);
+  out->append(value);
+}
+
+void AppendDelRequest(std::string* out, std::string_view key,
+                      uint32_t opaque) {
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kDel),
+               static_cast<uint16_t>(key.size()),
+               static_cast<uint32_t>(key.size()), opaque);
+  out->append(key);
+}
+
+void AppendTouchRequest(std::string* out, std::string_view key,
+                        uint32_t ttl_seconds, uint32_t opaque) {
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kTouch),
+               static_cast<uint16_t>(key.size()),
+               static_cast<uint32_t>(4 + key.size()), opaque);
+  AppendU32(out, ttl_seconds);
+  out->append(key);
+}
+
+void AppendMgetRequest(std::string* out,
+                       const std::vector<std::string_view>& keys,
+                       uint32_t opaque) {
+  size_t body = 2;
+  for (const std::string_view k : keys) body += 2 + k.size();
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kMget), 0,
+               static_cast<uint32_t>(body), opaque);
+  AppendU16(out, static_cast<uint16_t>(keys.size()));
+  for (const std::string_view k : keys) {
+    AppendU16(out, static_cast<uint16_t>(k.size()));
+    out->append(k);
+  }
+}
+
+void AppendStatsRequest(std::string* out, uint32_t opaque) {
+  AppendHeader(out, kReqMagic, static_cast<uint8_t>(Opcode::kStats), 0, 0,
+               opaque);
+}
+
+void AppendResponse(std::string* out, RespStatus status, uint32_t opaque,
+                    std::string_view body) {
+  AppendHeader(out, kRespMagic, static_cast<uint8_t>(status), 0,
+               static_cast<uint32_t>(body.size()), opaque);
+  out->append(body);
+}
+
+void AppendMgetResponseHeader(std::string* out, uint32_t opaque,
+                              uint16_t count, size_t total_body_len) {
+  AppendHeader(out, kRespMagic, static_cast<uint8_t>(RespStatus::kOk), 0,
+               static_cast<uint32_t>(total_body_len), opaque);
+  AppendU16(out, count);
+}
+
+void AppendMgetResponseEntry(std::string* out, bool found,
+                             std::string_view value) {
+  out->push_back(found ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(found ? value.size() : 0));
+  if (found) out->append(value);
+}
+
+bool DecodeMgetBody(std::string_view body, std::vector<MgetEntry>* out) {
+  out->clear();
+  if (body.size() < 2) return false;
+  const size_t count = LoadU16(body.data());
+  size_t off = 2;
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (off + 5 > body.size()) return false;
+    const bool found = body[off] != 0;
+    const size_t vlen = LoadU32(body.data() + off + 1);
+    off += 5;
+    if (off + vlen > body.size()) return false;
+    out->push_back(MgetEntry{found, body.substr(off, vlen)});
+    off += vlen;
+  }
+  return off == body.size();
+}
+
+}  // namespace server
+}  // namespace mccuckoo

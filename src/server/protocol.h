@@ -1,0 +1,164 @@
+// Wire protocol of the mccuckoo cache server: a small RESP-like binary
+// framing in the spirit of the memcached binary protocol, sized for the
+// ShardedMcCuckoo front-end behind it.
+//
+// Every frame is a fixed 12-byte header followed by an opcode-specific
+// body. Multibyte fields are big-endian on the wire:
+//
+//   offset 0  magic     u8   0x95 request / 0x96 response
+//   offset 1  opcode    u8   (request)  — Opcode below
+//             status    u8   (response) — RespStatus below
+//   offset 2  key_len   u16  key bytes inside the body (0 for MGET/STATS)
+//   offset 4  body_len  u32  bytes following the header
+//   offset 8  opaque    u32  echoed verbatim in the response, so a
+//                            pipelining client can correlate out-of-order
+//                            reads with requests (the server answers in
+//                            order; the opaque makes client bugs loud)
+//
+// Request bodies:
+//   GET / DEL   key                                  (body_len == key_len)
+//   SET         ttl_s u32 | key | value              (ttl_s 0 = no expiry)
+//   TOUCH       ttl_s u32 | key
+//   MGET        count u16 | count * { klen u16 | key }   (key_len == 0)
+//   STATS       empty                                    (key_len == 0)
+//
+// Response bodies:
+//   GET ok      value
+//   MGET ok     count u16 | count * { found u8 | vlen u32 | value }
+//   STATS ok    JSON text
+//   errors      human-readable ASCII detail
+//
+// The parser is incremental and total: it consumes exactly one frame from
+// the front of a byte buffer, reports kNeedMore for any prefix of a valid
+// frame, and classifies every malformed input as a clean ParseStatus::kError
+// with a RespStatus + detail — it never reads past `buf`, throws, or
+// crashes, which the protocol conformance test drives hard under
+// ASan/UBSan (truncated headers, oversized keys, partial reads, fuzzed
+// bytes). Parsed requests hold string_views into the caller's buffer; they
+// are valid until the caller mutates it.
+
+#ifndef MCCUCKOO_SERVER_PROTOCOL_H_
+#define MCCUCKOO_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mccuckoo {
+namespace server {
+
+inline constexpr uint8_t kReqMagic = 0x95;
+inline constexpr uint8_t kRespMagic = 0x96;
+inline constexpr size_t kHeaderSize = 12;
+
+/// Frame limits. A frame never exceeds kHeaderSize + kMaxBodyLen bytes, so
+/// a conforming connection buffer stays small; the parser rejects anything
+/// larger from the header alone (before the body arrives).
+inline constexpr size_t kMaxKeyLen = 1024;
+inline constexpr size_t kMaxValueLen = 1 << 20;
+inline constexpr size_t kMaxMgetKeys = 1024;
+inline constexpr size_t kMaxBodyLen =
+    kMaxMgetKeys * (2 + kMaxKeyLen) + 2 > 4 + kMaxKeyLen + kMaxValueLen
+        ? kMaxMgetKeys * (2 + kMaxKeyLen) + 2
+        : 4 + kMaxKeyLen + kMaxValueLen;
+
+enum class Opcode : uint8_t {
+  kGet = 1,
+  kMget = 2,
+  kSet = 3,
+  kDel = 4,
+  kTouch = 5,
+  kStats = 6,
+};
+inline constexpr size_t kNumOpcodes = 6;
+
+/// Stable label for an opcode ("get", "mget", ...), nullptr if invalid.
+const char* OpcodeName(Opcode op);
+
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadRequest = 2,   ///< Malformed frame; the server closes the connection.
+  kTooLarge = 3,     ///< Key/value/body over the protocol limits.
+  kServerError = 4,  ///< Internal failure (e.g. store rejected the write).
+};
+
+/// One parsed request. Views alias the parse buffer.
+struct Request {
+  Opcode op = Opcode::kGet;
+  uint32_t opaque = 0;
+  std::string_view key;                     ///< GET/SET/DEL/TOUCH.
+  std::string_view value;                   ///< SET only.
+  uint32_t ttl_seconds = 0;                 ///< SET/TOUCH; 0 = no expiry.
+  std::vector<std::string_view> mget_keys;  ///< MGET only.
+};
+
+/// One parsed response (client side). body aliases the parse buffer.
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  uint32_t opaque = 0;
+  std::string_view body;
+};
+
+enum class ParseStatus {
+  kNeedMore,  ///< `buf` is a proper prefix of a valid frame; read more.
+  kOk,        ///< One frame parsed; `consumed` bytes may be discarded.
+  kError,     ///< Malformed; answer `error`/`error_detail` and close.
+};
+
+struct ParseOutcome {
+  ParseStatus status = ParseStatus::kNeedMore;
+  size_t consumed = 0;
+  RespStatus error = RespStatus::kOk;
+  const char* error_detail = "";
+};
+
+/// Parses one request frame from the front of `buf`. On kOk fills `*out`
+/// (views into `buf`). On kError, `out->opaque` carries the frame's opaque
+/// when at least a full header was readable (so the error response can be
+/// correlated), 0 otherwise.
+ParseOutcome ParseRequest(std::string_view buf, Request* out);
+
+/// Parses one response frame from the front of `buf` (client side).
+ParseOutcome ParseResponse(std::string_view buf, Response* out);
+
+// --- Request encoders (client side) ---------------------------------------
+
+void AppendGetRequest(std::string* out, std::string_view key, uint32_t opaque);
+void AppendSetRequest(std::string* out, std::string_view key,
+                      std::string_view value, uint32_t ttl_seconds,
+                      uint32_t opaque);
+void AppendDelRequest(std::string* out, std::string_view key, uint32_t opaque);
+void AppendTouchRequest(std::string* out, std::string_view key,
+                        uint32_t ttl_seconds, uint32_t opaque);
+void AppendMgetRequest(std::string* out,
+                       const std::vector<std::string_view>& keys,
+                       uint32_t opaque);
+void AppendStatsRequest(std::string* out, uint32_t opaque);
+
+// --- Response encoders (server side) ---------------------------------------
+
+/// Generic response frame: header + body.
+void AppendResponse(std::string* out, RespStatus status, uint32_t opaque,
+                    std::string_view body);
+
+/// MGET response body entry (appended `count` times after AppendMgetHeader).
+/// Layout documented at the top of this file.
+void AppendMgetResponseHeader(std::string* out, uint32_t opaque,
+                              uint16_t count, size_t total_body_len);
+void AppendMgetResponseEntry(std::string* out, bool found,
+                             std::string_view value);
+
+/// Decodes an MGET response body into (found, value) pairs; returns false
+/// on malformed bodies (client-side validation).
+struct MgetEntry {
+  bool found = false;
+  std::string_view value;
+};
+bool DecodeMgetBody(std::string_view body, std::vector<MgetEntry>* out);
+
+}  // namespace server
+}  // namespace mccuckoo
+
+#endif  // MCCUCKOO_SERVER_PROTOCOL_H_

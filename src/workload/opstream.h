@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/workload/zipf.h"
 
 namespace mccuckoo {
 
@@ -65,6 +66,34 @@ inline std::vector<Op> GenerateOpStream(uint64_t count,
       ops.push_back(
           {Op::Kind::kLookup, SplitMix64((1ull << 40) + next_negative++)});
     }
+  }
+  return ops;
+}
+
+/// Zipf-skewed GET/SET mix over a bounded key universe — the client-side
+/// workload of a cache in front of a catalog: most traffic hits a few hot
+/// keys, writes refresh entries in place. Kinds map kLookup -> GET and
+/// kInsert -> SET; keys are Zipf *ranks* scrambled through SplitMix64 so
+/// popularity skew and hash placement stay independent.
+struct ZipfMixConfig {
+  uint64_t key_universe = 1 << 16;  ///< Distinct keys (Zipf ranks).
+  double theta = 0.99;              ///< Skew (0 = uniform, 1 = classic).
+  double set_fraction = 0.10;       ///< Remainder are GETs.
+  uint64_t seed = 42;
+};
+
+inline std::vector<Op> GenerateZipfMixStream(uint64_t count,
+                                             const ZipfMixConfig& config) {
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Xoshiro256 rng(config.seed);
+  const ZipfGenerator zipf(config.key_universe, config.theta);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = SplitMix64(zipf.Sample(rng));
+    const Op::Kind kind = rng.NextDouble() < config.set_fraction
+                              ? Op::Kind::kInsert
+                              : Op::Kind::kLookup;
+    ops.push_back({kind, key});
   }
   return ops;
 }

@@ -37,8 +37,11 @@ TEST(LatencyStressTest, ConcurrentRecordAndSnapshot) {
   std::thread scraper([&] {
     while (!stop.load(std::memory_order_acquire)) {
       const HistogramSnapshot s = r.SnapshotOp(LatencyOp::kFind);
-      ASSERT_LE(s.PercentileUpperBound(1.0),
-                s.PercentileUpperBound(1.0) + 1);  // no crash, sane value
+      // A torn snapshot (count bumped, bucket not yet) legitimately walks
+      // into the top bucket's ~0 sentinel, so don't assert on the raw
+      // value (and never on value+1 — that overflows at the sentinel);
+      // the walk over one snapshot copy must stay monotone regardless.
+      ASSERT_LE(s.PercentileUpperBound(0.5), s.PercentileUpperBound(1.0));
       MetricsSnapshot m;
       r.FoldInto(&m);
       ASSERT_GE(m.op_latency_ns[static_cast<size_t>(LatencyOp::kFind)].count,
